@@ -1,0 +1,179 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (E1-E5) and measures the latency of each experiment's
+   kernel with Bechamel (one Test.make per table/figure).
+
+   Environment:
+     MCMAP_BENCH_FAST=1   shrink GA budgets and Monte-Carlo profiles
+                          (useful in CI). *)
+
+module B = Mcmap_benchmarks
+module H = Mcmap_hardening
+module S = Mcmap_sched
+module A = Mcmap_analysis
+module Sim = Mcmap_sim
+module D = Mcmap_dse
+module E = Mcmap_experiments
+
+let fast = Sys.getenv_opt "MCMAP_BENCH_FAST" = Some "1"
+
+let profiles = if fast then 100 else 1000
+
+let ga_config =
+  if fast then
+    { D.Ga.default_config with
+      D.Ga.population = 12; offspring = 12; generations = 6 }
+  else D.Ga.default_config
+
+(* ------------------------------------------------------------------ *)
+(* Table / figure regeneration *)
+
+let regenerate () =
+  print_endline "==================================================";
+  print_endline " mcmap: regenerating the paper's tables & figures";
+  Printf.printf " (GA %d/%d/%d, %d Monte-Carlo profiles%s)\n"
+    ga_config.D.Ga.population ga_config.D.Ga.offspring
+    ga_config.D.Ga.generations profiles
+    (if fast then ", FAST mode" else "");
+  print_endline "==================================================";
+  print_endline "";
+  print_endline "-- E5 / Figure 1: motivational example --";
+  print_string (E.Fig1.render (E.Fig1.run ()));
+  print_endline "";
+  print_endline "-- E1 / Table 2: WCRT of the critical Cruise applications --";
+  print_string (E.Table2.render (E.Table2.run ~profiles ()));
+  Printf.printf "(paper, for shape comparison: %s)\n"
+    (String.concat "; "
+       (List.map
+          (fun (m, (a1, a2), (w1, w2), (p1, p2), (n1, n2)) ->
+            Printf.sprintf
+              "mapping %d: adhoc %d/%d, wc-sim %d/%d, proposed %d/%d, \
+               naive %d/%d"
+              m a1 a2 w1 w2 p1 p2 n1 n2)
+          E.Paper.table2));
+  print_endline "";
+  print_endline "-- E2 / section 5.2: power with vs without task dropping --";
+  print_string (E.Dropping.render (E.Dropping.run ~config:ga_config ()));
+  print_endline "";
+  print_endline "-- E3 / section 5.2: solutions rescued by task dropping --";
+  print_string (E.Rescue.render (E.Rescue.run ~config:ga_config ()));
+  print_endline "";
+  print_endline "-- E4 / Figure 5: power/service Pareto front (DT-med) --";
+  print_string (E.Fig5.render (E.Fig5.run ~config:ga_config ()));
+  Printf.printf "(paper finds %d Pareto-optimal points)\n"
+    E.Paper.fig5_pareto_points;
+  print_endline "";
+  print_endline
+    "-- E6 (extension) / Table 1: the static-scheduling baseline --";
+  print_string (E.Table1.render (E.Table1.run ()));
+  print_endline
+    "(static approaches must precompute one schedule per fault scenario;\n\
+    \ the rigid all-worst-case schedule is exact for one configuration\n\
+    \ but offers no run-time reaction — the paper's Table 1 argument)";
+  print_endline "";
+  print_endline "-- E7 (extension): sensitivity & ablations --";
+  print_endline "re-execution budget sweep (cruise, balanced mapping):";
+  print_string (E.Sensitivity.render_k_sweep (E.Sensitivity.k_sweep ()));
+  print_endline "priority-order ablation (cruise, balanced mapping):";
+  print_string
+    (E.Sensitivity.render_priority (E.Sensitivity.priority_ablation ()));
+  print_endline
+    "(under criticality-segregated priorities droppables never delay\n\
+    \ criticals on preemptive processors and dropping loses its purpose\n\
+    \ — which is why the paper's scheduler does not segregate)";
+  print_endline "";
+  print_endline
+    "-- E8 (extension): optimizers on an equal evaluation budget --";
+  print_string
+    (E.Optimizers.render
+       (E.Optimizers.run ~budget:(if fast then 120 else 800) ()));
+  print_endline ""
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: the kernel behind each table/figure *)
+
+let cruise_ctx =
+  lazy
+    (let bench = B.Cruise.benchmark () in
+     let plan = List.hd (B.Cruise.sample_plans bench) in
+     let happ =
+       H.Happ.build bench.B.Benchmark.arch bench.B.Benchmark.apps plan in
+     let js = S.Jobset.build happ in
+     (js, S.Bounds.make js))
+
+let dt_med = lazy (B.Registry.find_exn "dt-med")
+
+let micro_ga =
+  { D.Ga.default_config with
+    D.Ga.population = 8; offspring = 8; generations = 2;
+    check_rescue = false }
+
+let tests =
+  let open Bechamel in
+  [ (* Table 2 column "Proposed": one full Algorithm 1 run *)
+    Test.make ~name:"table2/proposed(algorithm1)"
+      (Staged.stage (fun () ->
+           let _, ctx = Lazy.force cruise_ctx in
+           ignore (A.Wcrt.analyze ctx)));
+    (* Table 2 column "Naive" *)
+    Test.make ~name:"table2/naive"
+      (Staged.stage (fun () ->
+           let _, ctx = Lazy.force cruise_ctx in
+           ignore (A.Naive.analyze ctx)));
+    (* Table 2 column "Adhoc": one worst-trace simulation *)
+    Test.make ~name:"table2/adhoc(sim)"
+      (Staged.stage (fun () ->
+           let js, _ = Lazy.force cruise_ctx in
+           ignore (Sim.Adhoc.run js)));
+    (* Table 2 column "WC-Sim": 10 Monte-Carlo profiles *)
+    Test.make ~name:"table2/wcsim(10 profiles)"
+      (Staged.stage (fun () ->
+           let js, _ = Lazy.force cruise_ctx in
+           ignore (Sim.Monte_carlo.run ~profiles:10 js)));
+    (* E2/E3/E4 kernel: one micro GA run on DT-med *)
+    Test.make ~name:"fig5/dse(micro GA, dt-med)"
+      (Staged.stage (fun () ->
+           let bench = Lazy.force dt_med in
+           ignore
+             (D.Ga.optimize micro_ga bench.B.Benchmark.arch
+                bench.B.Benchmark.apps)));
+    (* E6 kernel: the static worst-case list schedule *)
+    Test.make ~name:"table1/static list schedule"
+      (Staged.stage (fun () ->
+           let js, _ = Lazy.force cruise_ctx in
+           ignore (Mcmap_sched.Static_schedule.worst_case js)));
+    (* E5 kernel: the Figure 1 scenario *)
+    Test.make ~name:"fig1/motivational"
+      (Staged.stage (fun () -> ignore (E.Fig1.run ()))) ]
+
+let run_bechamel () =
+  let open Bechamel in
+  print_endline "==================================================";
+  print_endline " Bechamel micro-benchmarks (one per table/figure)";
+  print_endline "==================================================";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true
+      ~predictors:[| Measure.run |] in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000
+      ~quota:(Time.second (if fast then 0.25 else 1.0))
+      ~kde:(Some 100) () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let stats = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ ns_per_run ] ->
+            Printf.printf "%-32s %12.1f ns/run (%8.3f ms)\n" name
+              ns_per_run (ns_per_run /. 1e6)
+          | Some _ | None ->
+            Printf.printf "%-32s (no estimate)\n" name)
+        stats)
+    tests;
+  print_endline ""
+
+let () =
+  regenerate ();
+  run_bechamel ()

@@ -1,0 +1,304 @@
+(* mcmap command-line interface: analyze | simulate | explore |
+   experiments | list. *)
+
+module B = Mcmap_benchmarks
+module H = Mcmap_hardening
+module S = Mcmap_sched
+module A = Mcmap_analysis
+module R = Mcmap_reliability
+module Sim = Mcmap_sim
+module D = Mcmap_dse
+module E = Mcmap_experiments
+module Spec = Mcmap_spec.Spec
+
+open Cmdliner
+
+let bench_arg =
+  let doc =
+    "Benchmark name: " ^ String.concat ", " B.Registry.names ^ "." in
+  Arg.(value & opt string "cruise" & info [ "b"; "benchmark" ] ~doc)
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
+
+let ga_config population offspring generations seed =
+  { D.Ga.default_config with
+    D.Ga.population; offspring; generations; seed }
+
+let population_arg =
+  Arg.(value & opt int 40 & info [ "population" ] ~doc:"GA archive size.")
+
+let offspring_arg =
+  Arg.(value & opt int 40
+       & info [ "offspring" ] ~doc:"GA offspring per generation.")
+
+let generations_arg =
+  Arg.(value & opt int 40 & info [ "generations" ] ~doc:"GA generations.")
+
+let profiles_arg =
+  Arg.(value & opt int 1000
+       & info [ "profiles" ]
+           ~doc:"Monte-Carlo failure profiles (the paper uses 10000).")
+
+let find_benchmark name =
+  match B.Registry.find name with
+  | Some b -> Ok b
+  | None ->
+    Error
+      (Format.asprintf "unknown benchmark %s (expected one of: %s)" name
+         (String.concat ", " B.Registry.names))
+
+let system_arg =
+  Arg.(value & opt (some file) None
+       & info [ "system" ]
+           ~doc:"Analyse a system description file instead of a built-in                  benchmark (see lib/spec and examples/specs).")
+
+let plan_arg =
+  Arg.(value & opt (some file) None
+       & info [ "plan" ]
+           ~doc:"A plan file to analyse with --system; without it a                  balanced seeded plan is derived.")
+
+(* Resolve --system/--plan or fall back to a built-in benchmark with a
+   seeded balanced plan. *)
+let resolve_problem bench_name system_file plan_file seed =
+  match system_file with
+  | None ->
+    (match find_benchmark bench_name with
+     | Error _ as err -> err
+     | Ok bench ->
+       let arch = bench.B.Benchmark.arch
+       and apps = bench.B.Benchmark.apps in
+       Ok (arch, apps, B.Sampler.balanced_plan ~seed arch apps))
+  | Some path ->
+    (match Spec.load_system path with
+     | Error e -> Error (path ^ ": " ^ e)
+     | Ok system ->
+       let arch = system.Spec.arch and apps = system.Spec.apps in
+       (match plan_file with
+        | None -> Ok (arch, apps, B.Sampler.balanced_plan ~seed arch apps)
+        | Some plan_path ->
+          (match Spec.load_plan system plan_path with
+           | Error e -> Error (plan_path ^ ": " ^ e)
+           | Ok plan -> Ok (arch, apps, plan))))
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun name ->
+        let b = B.Registry.find_exn name in
+        Format.printf "%-10s %d graphs, %d tasks, %d processors@." name
+          (Mcmap_model.Appset.n_graphs b.B.Benchmark.apps)
+          (Mcmap_model.Appset.total_tasks b.B.Benchmark.apps)
+          (Mcmap_model.Arch.n_procs b.B.Benchmark.arch))
+      B.Registry.names in
+  Cmd.v (Cmd.info "list" ~doc:"List available benchmarks")
+    Term.(const (fun () -> run (); 0) $ const ())
+
+let analyze_run bench_name system_file plan_file seed =
+  match resolve_problem bench_name system_file plan_file seed with
+  | Error e -> prerr_endline e; 1
+  | Ok (arch, apps, plan) ->
+    let happ = H.Happ.build arch apps plan in
+    let js = S.Jobset.build happ in
+    let ctx = S.Bounds.make js in
+    let report = A.Wcrt.analyze ctx in
+    let naive = A.Naive.analyze ctx in
+    Format.printf "%a@." (A.Wcrt.pp_report js) report;
+    Format.printf "schedulable: %b@." (A.Wcrt.schedulable js report);
+    Array.iteri
+      (fun g v -> Format.printf "naive g%d: %a@." g A.Verdict.pp v)
+      naive;
+    (match R.Analysis.violations arch apps plan with
+     | [] -> Format.printf "reliability: all constraints met@."
+     | vs ->
+       List.iter
+         (fun v ->
+           Format.printf "reliability: %a@." R.Analysis.pp_violation v)
+         vs);
+    0
+
+let analyze_cmd =
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Run Algorithm 1 on a benchmark mapping or a system file")
+    Term.(const analyze_run $ bench_arg $ system_arg $ plan_arg
+          $ seed_arg)
+
+let simulate_run bench_name system_file plan_file seed profiles
+    distribution =
+  match resolve_problem bench_name system_file plan_file seed with
+  | Error e -> prerr_endline e; 1
+  | Ok (arch, apps, plan) ->
+    let happ = H.Happ.build arch apps plan in
+    let js = S.Jobset.build happ in
+    let adhoc = Sim.Adhoc.run js in
+    let mc = Sim.Monte_carlo.run ~profiles ~seed js in
+    Format.printf "%d Monte-Carlo profiles, %d entered the critical state@."
+      mc.Sim.Monte_carlo.profiles mc.Sim.Monte_carlo.criticals;
+    Array.iteri
+      (fun g a ->
+        let cell = function
+          | Some x -> string_of_int x
+          | None -> "-" in
+        Format.printf "graph %d: adhoc=%s wc-sim=%s@." g (cell a)
+          (cell mc.Sim.Monte_carlo.graph_wcrt.(g)))
+      adhoc;
+    if distribution then begin
+      Format.printf
+        "@.response-time distribution under physical fault rates:@.";
+      let d = Sim.Distribution.run ~runs:profiles ~seed js in
+      print_string (Sim.Distribution.render js d)
+    end;
+    0
+
+let simulate_cmd =
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Adhoc trace and Monte-Carlo simulation of a mapping")
+    Term.(const simulate_run $ bench_arg $ system_arg $ plan_arg $ seed_arg
+          $ profiles_arg
+          $ Arg.(value & flag
+                 & info [ "distribution" ]
+                     ~doc:"Also estimate the response-time distribution \
+                           under physical fault rates (the probabilistic \
+                           analysis style of Table 1's ref [5])."))
+
+let explore_run bench_name population offspring generations seed =
+  match find_benchmark bench_name with
+  | Error e -> prerr_endline e; 1
+  | Ok bench ->
+    let config = ga_config population offspring generations seed in
+    let summary =
+      D.Explore.run ~config bench.B.Benchmark.arch bench.B.Benchmark.apps in
+    let stats = summary.D.Explore.stats in
+    Format.printf
+      "%d evaluations, %d feasible, rescue ratio %.2f%%, re-execution \
+       share %.2f%%@."
+      stats.D.Ga.evaluations stats.D.Ga.feasible_evaluations
+      summary.D.Explore.rescue_ratio_pct summary.D.Explore.reexec_share_pct;
+    (match summary.D.Explore.best_power with
+     | Some p -> Format.printf "best feasible power: %.3f@." p
+     | None -> Format.printf "no feasible solution found@.");
+    List.iter
+      (fun (plan, power, service) ->
+        Format.printf "pareto: power=%.3f service=%.1f dropped=[%s]@."
+          power service
+          (String.concat ","
+             (List.map string_of_int (H.Plan.dropped_graphs plan))))
+      summary.D.Explore.pareto;
+    0
+
+let explore_cmd =
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:"SPEA2 design-space exploration of a benchmark")
+    Term.(const explore_run $ bench_arg $ population_arg $ offspring_arg
+          $ generations_arg $ seed_arg)
+
+let gantt_run bench_name system_file plan_file seed bias =
+  match resolve_problem bench_name system_file plan_file seed with
+  | Error e -> prerr_endline e; 1
+  | Ok (arch, apps, plan) ->
+    let happ = H.Happ.build arch apps plan in
+    let js = S.Jobset.build happ in
+    let show label profile =
+      Format.printf "@.== %s ==@." label;
+      let o = Sim.Engine.run js ~profile in
+      print_string (Sim.Gantt.render js o) in
+    show "fault-free" Sim.Fault_profile.none;
+    show
+      (Format.asprintf "random faults (bias %.2f)" bias)
+      (Sim.Fault_profile.random ~seed ~bias js);
+    show "all faults (adhoc stress)" Sim.Fault_profile.all;
+    0
+
+let gantt_cmd =
+  Cmd.v
+    (Cmd.info "gantt"
+       ~doc:"Render ASCII Gantt charts of simulated schedules")
+    Term.(const gantt_run $ bench_arg $ system_arg $ plan_arg $ seed_arg
+          $ Arg.(value & opt float 0.3
+                 & info [ "bias" ] ~doc:"Fault bias of the random profile."))
+
+let experiment_names =
+  [ "fig1"; "table2"; "dropping"; "rescue"; "fig5"; "table1";
+    "sensitivity"; "optimizers" ]
+
+let only_arg =
+  let doc =
+    "Run only the given experiment: "
+    ^ String.concat ", " experiment_names ^ "." in
+  Arg.(value & opt (some string) None & info [ "only" ] ~doc)
+
+let experiments_run only profiles population offspring generations seed =
+  let config = ga_config population offspring generations seed in
+  let wanted name =
+    match only with None -> true | Some o -> o = name in
+  let bad_only =
+    match only with
+    | Some o when not (List.mem o experiment_names) -> true
+    | Some _ | None -> false in
+  if bad_only then begin
+    prerr_endline
+      ("unknown experiment (expected one of: "
+       ^ String.concat ", " experiment_names ^ ")");
+    1
+  end
+  else begin
+    if wanted "fig1" then begin
+      print_endline "== E5: Figure 1 (motivational example) ==";
+      print_string (E.Fig1.render (E.Fig1.run ()))
+    end;
+    if wanted "table2" then begin
+      print_endline "== E1: Table 2 (WCRT of the critical Cruise apps) ==";
+      print_string (E.Table2.render (E.Table2.run ~profiles ~seed ()))
+    end;
+    if wanted "dropping" then begin
+      print_endline "== E2: power with vs without task dropping ==";
+      print_string (E.Dropping.render (E.Dropping.run ~config ()))
+    end;
+    if wanted "rescue" then begin
+      print_endline "== E3: solutions rescued by task dropping ==";
+      print_string (E.Rescue.render (E.Rescue.run ~config ()))
+    end;
+    if wanted "fig5" then begin
+      print_endline "== E4: Figure 5 (power/service Pareto front) ==";
+      print_string (E.Fig5.render (E.Fig5.run ~config ()))
+    end;
+    if wanted "table1" then begin
+      print_endline
+        "== E6 (extension): static scheduling baseline (Table 1) ==";
+      print_string (E.Table1.render (E.Table1.run ~seed ()))
+    end;
+    if wanted "optimizers" then begin
+      print_endline
+        "== E8 (extension): optimizers on an equal evaluation budget ==";
+      print_string (E.Optimizers.render (E.Optimizers.run ~seed ()))
+    end;
+    if wanted "sensitivity" then begin
+      print_endline "== E7 (extension): sensitivity & ablations ==";
+      print_endline "-- re-execution budget sweep (cruise) --";
+      print_string (E.Sensitivity.render_k_sweep (E.Sensitivity.k_sweep ~seed ()));
+      print_endline "-- priority-order ablation (cruise) --";
+      print_string
+        (E.Sensitivity.render_priority (E.Sensitivity.priority_ablation ~seed ()))
+    end;
+    0
+  end
+
+let experiments_cmd =
+  Cmd.v
+    (Cmd.info "experiments"
+       ~doc:"Regenerate the paper's tables and figures")
+    Term.(const experiments_run $ only_arg $ profiles_arg $ population_arg
+          $ offspring_arg $ generations_arg $ seed_arg)
+
+let main_cmd =
+  let doc =
+    "Static mapping of mixed-critical applications for fault-tolerant \
+     MPSoCs (Kang et al., DAC 2014)" in
+  Cmd.group (Cmd.info "mcmap" ~version:"1.0.0" ~doc)
+    [ list_cmd; analyze_cmd; simulate_cmd; gantt_cmd; explore_cmd;
+      experiments_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,1 @@
+dev/dbg.ml: Array Format Gen_common List Mcmap_analysis Mcmap_hardening Mcmap_model Mcmap_sched Mcmap_sim Printf Sys

@@ -1,0 +1,1 @@
+dev/dump_specs.ml: Array Filename List Mcmap_benchmarks Mcmap_spec Sys

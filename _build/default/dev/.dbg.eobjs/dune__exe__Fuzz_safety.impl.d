@@ -1,0 +1,1 @@
+dev/fuzz_safety.ml: Array Format Gen_common Mcmap_analysis Mcmap_hardening Mcmap_sched Mcmap_sim Printf Sys

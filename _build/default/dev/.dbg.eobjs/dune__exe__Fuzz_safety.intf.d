@@ -1,0 +1,1 @@
+dev/fuzz_safety.mli:

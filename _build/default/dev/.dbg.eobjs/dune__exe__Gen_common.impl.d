@@ -1,0 +1,1 @@
+dev/gen_common.ml: Array Format Mcmap_analysis Mcmap_benchmarks Mcmap_hardening Mcmap_model Mcmap_sched Mcmap_util

@@ -1,0 +1,55 @@
+(* Developer debugging scratchpad (not part of the library). *)
+module S = Mcmap_sched
+module A = Mcmap_analysis
+module Sim = Mcmap_sim
+module Happ = Mcmap_hardening.Happ
+open Gen_common
+
+let main () =
+  let seed = int_of_string Sys.argv.(1) in
+  let arch, apps, plan = random_system seed in
+  Format.printf "%a@." Mcmap_model.Appset.pp apps;
+  Format.printf "%a@." Mcmap_model.Arch.pp arch;
+  Format.printf "%a@." Mcmap_hardening.Plan.pp plan;
+  let happ = Happ.build arch apps plan in
+  let js = S.Jobset.build happ in
+  let ctx = S.Bounds.make js in
+  let report = A.Wcrt.analyze ctx in
+  (* find a violating profile *)
+  let found = ref false in
+  for p = 0 to 7 do
+    if not !found then begin
+      let profile = Sim.Fault_profile.random ~seed:(seed * 100 + p) ~bias:0.5 js in
+      List.iter
+        (fun (label, o) ->
+          Array.iteri
+            (fun g resp ->
+              match resp, report.A.Wcrt.wcrt.(g) with
+              | Some r, A.Verdict.Finite b when r > b && not !found ->
+                found := true;
+                Printf.printf "profile %d (%s): g%d sim=%d bound=%d\n" p label g r b;
+                Array.iter
+                  (fun (j : S.Job.t) ->
+                    let ht = (Happ.graph happ j.S.Job.graph).Happ.tasks.(j.S.Job.task) in
+                    Printf.printf
+                      "  j%d g%d.%s#%d rel=%d proc=%d prio=%d [%d,%d] cw=%d k=%d pas=%b drop=%b: sim=%s\n"
+                      j.S.Job.id j.S.Job.graph ht.Happ.name j.S.Job.instance
+                      j.S.Job.release j.S.Job.proc j.S.Job.priority
+                      j.S.Job.bcet j.S.Job.wcet j.S.Job.critical_wcet
+                      j.S.Job.reexec_k j.S.Job.passive j.S.Job.in_dropped_set
+                      (match o.Sim.Engine.finish.(j.S.Job.id) with
+                       | Some t -> string_of_int t
+                       | None -> "-"))
+                  js.S.Jobset.jobs;
+                (match o.Sim.Engine.critical_at with
+                 | Some t -> Printf.printf "  critical at %d\n" t
+                 | None -> Printf.printf "  stayed normal\n")
+              | _ -> ())
+            o.Sim.Engine.graph_response)
+        [ ("wc", Sim.Engine.run js ~profile);
+          ("rd", Sim.Engine.run ~mode:(Sim.Engine.Random_durations (seed + p)) js ~profile) ]
+    end
+  done;
+  if not !found then print_endline "no violation reproduced"
+
+let () = main ()

@@ -1,0 +1,29 @@
+(* Regenerate the shipped example spec files from the benchmark suite. *)
+let () =
+  let dir = Sys.argv.(1) in
+  List.iter
+    (fun name ->
+      let b = Mcmap_benchmarks.Registry.find_exn name in
+      let system =
+        { Mcmap_spec.Spec.arch = b.Mcmap_benchmarks.Benchmark.arch;
+          apps = b.Mcmap_benchmarks.Benchmark.apps } in
+      let oc = open_out (Filename.concat dir (name ^ ".mcmap")) in
+      output_string oc
+        ("; The " ^ name
+       ^ " benchmark of the mcmap suite, in the textual system format.\n\
+          ; Regenerate with: dune exec dev/dump_specs.exe examples/specs\n\n");
+      output_string oc (Mcmap_spec.Spec.write_system system);
+      close_out oc)
+    [ "cruise"; "dt-med" ];
+  (* one sample plan for cruise *)
+  let b = Mcmap_benchmarks.Registry.find_exn "cruise" in
+  let system =
+    { Mcmap_spec.Spec.arch = b.Mcmap_benchmarks.Benchmark.arch;
+      apps = b.Mcmap_benchmarks.Benchmark.apps } in
+  let plan = List.hd (Mcmap_benchmarks.Cruise.sample_plans b) in
+  let oc = open_out (Filename.concat dir "cruise-mapping1.plan") in
+  output_string oc
+    "; Sample mapping 1 of the Table 2 experiment, in the textual plan \
+     format.\n\n";
+  output_string oc (Mcmap_spec.Spec.write_plan system plan);
+  close_out oc

@@ -1,0 +1,49 @@
+(* Heavy safety fuzz: Algorithm 1 (and Naive) must upper-bound every
+   simulated execution across many random systems and fault profiles. *)
+module Happ = Mcmap_hardening.Happ
+module S = Mcmap_sched
+module A = Mcmap_analysis
+module Sim = Mcmap_sim
+
+let () =
+  let n = int_of_string Sys.argv.(1) in
+  let violations = ref 0 in
+  for seed = 0 to n - 1 do
+    let arch, apps, plan = Gen_common.random_system seed in
+    let happ = Happ.build arch apps plan in
+    let js = S.Jobset.build ~hyperperiods:(1 + (seed mod 2)) happ in
+    let ctx = S.Bounds.make js in
+    let report = A.Wcrt.analyze ctx in
+    let naive = A.Naive.analyze ctx in
+    let covers bound observed =
+      match observed with
+      | None -> true
+      | Some r -> float_of_int r <= A.Verdict.to_float bound in
+    let check_outcome label (o : Sim.Engine.outcome) =
+      Array.iteri
+        (fun g resp ->
+          if not (covers report.A.Wcrt.wcrt.(g) resp) then begin
+            incr violations;
+            Printf.printf "VIOLATION seed=%d %s g%d: sim=%s bound=%s\n" seed
+              label g
+              (match resp with Some r -> string_of_int r | None -> "-")
+              (Format.asprintf "%a" A.Verdict.pp report.A.Wcrt.wcrt.(g))
+          end;
+          if not (covers naive.(g) resp) then begin
+            incr violations;
+            Printf.printf "NAIVE VIOLATION seed=%d %s g%d\n" seed label g
+          end)
+        o.Sim.Engine.graph_response in
+    check_outcome "all" (Sim.Engine.run js ~profile:Sim.Fault_profile.all);
+    check_outcome "adhoc"
+      (Sim.Engine.run ~start_critical:true js
+         ~profile:Sim.Fault_profile.all);
+    for p = 0 to 7 do
+      let profile = Sim.Fault_profile.random ~seed:(seed * 100 + p) ~bias:0.5 js in
+      check_outcome "rand" (Sim.Engine.run js ~profile);
+      check_outcome "rand-dur"
+        (Sim.Engine.run ~mode:(Sim.Engine.Random_durations (seed + p)) js
+           ~profile)
+    done
+  done;
+  Printf.printf "fuzz done: %d systems, %d violations\n" n !violations

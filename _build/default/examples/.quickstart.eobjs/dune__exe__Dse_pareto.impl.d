@@ -1,0 +1,1 @@
+examples/dse_pareto.ml: Dse Experiments Format List Mcmap

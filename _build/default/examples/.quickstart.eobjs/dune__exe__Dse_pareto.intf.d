@@ -1,0 +1,1 @@
+examples/dse_pareto.mli:

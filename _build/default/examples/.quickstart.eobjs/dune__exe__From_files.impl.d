@@ -1,0 +1,1 @@
+examples/from_files.ml: Analysis Format Mcmap Model Sim Spec

@@ -1,0 +1,1 @@
+examples/hardening_tradeoffs.ml: Analysis Array Dse Format Hardening List Mcmap Model Reliability Util

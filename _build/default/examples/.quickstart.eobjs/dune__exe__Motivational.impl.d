@@ -1,0 +1,1 @@
+examples/motivational.ml: Array Experiments Format Hardening Mcmap Sched Sim

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Analysis Array Format Hardening List Mcmap Model Reliability Sim

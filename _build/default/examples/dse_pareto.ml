@@ -1,0 +1,21 @@
+(* Figure 5 in miniature: co-optimise power and quality of service for
+   the DT-med benchmark and print the Pareto front of dropped-set
+   choices.
+
+   Run with: dune exec examples/dse_pareto.exe *)
+
+open Mcmap
+
+let () =
+  (* A reduced GA budget keeps the example fast; use the mcmap CLI
+     (mcmap experiments --only fig5) for a fuller exploration. *)
+  let config =
+    { Dse.Ga.default_config with
+      Dse.Ga.population = 24; offspring = 24; generations = 15; seed = 3 }
+  in
+  let points = Experiments.Fig5.run ~config () in
+  print_string (Experiments.Fig5.render points);
+  Format.printf
+    "@.%d Pareto-optimal power/service trade-off points (the paper finds \
+     %d at full budget)@."
+    (List.length points) Experiments.Paper.fig5_pareto_points

@@ -1,0 +1,1 @@
+lib/analysis/naive.ml: Array Mcmap_hardening Mcmap_sched Verdict

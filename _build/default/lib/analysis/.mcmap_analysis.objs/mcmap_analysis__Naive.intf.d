@@ -1,0 +1,1 @@
+lib/analysis/naive.mli: Mcmap_sched Verdict

@@ -1,0 +1,1 @@
+lib/analysis/verdict.mli: Format

@@ -1,0 +1,1 @@
+lib/analysis/wcrt.ml: Array Format List Mcmap_hardening Mcmap_model Mcmap_sched Verdict

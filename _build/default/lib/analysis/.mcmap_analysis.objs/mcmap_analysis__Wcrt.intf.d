@@ -1,0 +1,1 @@
+lib/analysis/wcrt.mli: Format Mcmap_sched Verdict

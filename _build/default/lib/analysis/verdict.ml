@@ -1,0 +1,19 @@
+type t = Finite of int | Unbounded
+
+let max a b =
+  match a, b with
+  | Unbounded, _ | _, Unbounded -> Unbounded
+  | Finite x, Finite y -> Finite (Stdlib.max x y)
+
+let of_option = function Some w -> Finite w | None -> Unbounded
+
+let to_float = function Finite w -> float_of_int w | Unbounded -> infinity
+
+let is_finite = function Finite _ -> true | Unbounded -> false
+
+let within v deadline =
+  match v with Finite w -> w <= deadline | Unbounded -> false
+
+let pp ppf = function
+  | Finite w -> Format.fprintf ppf "%d" w
+  | Unbounded -> Format.pp_print_string ppf "unbounded"

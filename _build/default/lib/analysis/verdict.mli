@@ -1,0 +1,21 @@
+(** Worst-case response-time verdicts. *)
+
+type t =
+  | Finite of int  (** safe upper bound on the response time *)
+  | Unbounded
+      (** the backend could not certify a bound (fixed point diverged) *)
+
+val max : t -> t -> t
+
+val of_option : int option -> t
+
+val to_float : t -> float
+(** [Finite w] to [float w]; [Unbounded] to [infinity]. *)
+
+val is_finite : t -> bool
+
+val within : t -> int -> bool
+(** [within v deadline] — the verdict certifies completion by the
+    deadline. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,100 @@
+module Bounds = Mcmap_sched.Bounds
+module Jobset = Mcmap_sched.Jobset
+module Job = Mcmap_sched.Job
+module Happ = Mcmap_hardening.Happ
+
+type report = {
+  wcrt : Verdict.t array;
+  normal_wcrt : Verdict.t array;
+  required_wcrt : Verdict.t array;
+  scenarios : int;
+}
+
+(* The per-job execution bounds of one trigger scenario (Algorithm 1,
+   lines 12-29), at job granularity. [nb] are the normal-state bounds;
+   [base] is the application hyperperiod — the critical state ends (and
+   dropped applications are restored) at its next multiple after the
+   fault, so over multi-hyperperiod horizons a job is only *certainly*
+   dropped when it is also released inside the earliest possible
+   critical window of the trigger. *)
+let scenario_exec ~base (nb : Bounds.job_bounds array) (v : Job.t)
+    (w : Job.t) =
+  if w.Job.id = v.Job.id then begin
+    (* The triggering job experiences the fault: a passive spare is
+       actually invoked, a re-executable job re-runs per Eq. (1). *)
+    if w.Job.passive then (0, w.Job.wcet)
+    else (w.Job.bcet, w.Job.critical_wcet)
+  end
+  else if nb.(w.Job.id).Bounds.max_finish < nb.(v.Job.id).Bounds.min_start
+  then
+    (* Certainly completed before the first fault: normal state. *)
+    Bounds.nominal_exec w
+  else if w.Job.in_dropped_set then begin
+    let earliest_restore =
+      ((nb.(v.Job.id).Bounds.min_start / base) + 1) * base in
+    if nb.(w.Job.id).Bounds.min_start > nb.(v.Job.id).Bounds.max_finish
+       && w.Job.release < earliest_restore then
+      (0, 0) (* certainly dropped: never released *)
+    else (0, w.Job.wcet) (* transition: either executed or dropped *)
+  end
+  else if w.Job.passive then (0, w.Job.wcet) (* may be invoked *)
+  else (w.Job.bcet, w.Job.critical_wcet)
+
+let analyze ?max_iterations ctx =
+  let js = Bounds.jobset ctx in
+  let happ = js.Jobset.happ in
+  let n_graphs = Happ.n_graphs happ in
+  let normal = Bounds.analyze ?max_iterations ctx ~exec:Bounds.nominal_exec in
+  let per_graph result =
+    Array.init n_graphs (fun graph ->
+        Verdict.of_option (Bounds.graph_wcrt js result ~graph)) in
+  let normal_wcrt = per_graph normal in
+  let wcrt = Array.copy normal_wcrt in
+  let required_wcrt = Array.copy normal_wcrt in
+  let scenarios = ref 0 in
+  let base = js.Jobset.base_hyperperiod in
+  if normal.Bounds.converged then
+    List.iter
+      (fun (v : Job.t) ->
+        incr scenarios;
+        let exec = scenario_exec ~base normal.Bounds.bounds v in
+        let res = Bounds.analyze ?max_iterations ctx ~exec in
+        let scenario_wcrt = per_graph res in
+        for g = 0 to n_graphs - 1 do
+          wcrt.(g) <- Verdict.max wcrt.(g) scenario_wcrt.(g);
+          (* Dropped-set graphs owe their deadline only while alive, i.e.
+             in the normal state; all others owe it in every scenario. *)
+          if not (Happ.graph_in_dropped_set happ g) then
+            required_wcrt.(g) <- Verdict.max required_wcrt.(g)
+                scenario_wcrt.(g)
+        done)
+      (Jobset.triggers js)
+  else begin
+    Array.fill wcrt 0 n_graphs Verdict.Unbounded;
+    Array.fill required_wcrt 0 n_graphs Verdict.Unbounded
+  end;
+  { wcrt; normal_wcrt; required_wcrt; scenarios = !scenarios }
+
+let schedulable js report =
+  let happ = js.Jobset.happ in
+  let ok = ref true in
+  Array.iteri
+    (fun g verdict ->
+      let deadline = Happ.deadline (Happ.graph happ g) in
+      if not (Verdict.within verdict deadline) then ok := false)
+    report.required_wcrt;
+  !ok
+
+let pp_report js ppf report =
+  let happ = js.Jobset.happ in
+  Format.fprintf ppf "@[<v>WCRT report (%d trigger scenarios):@,"
+    report.scenarios;
+  Array.iteri
+    (fun g verdict ->
+      let hg = Happ.graph happ g in
+      Format.fprintf ppf "  %s: wcrt=%a normal=%a required=%a deadline=%d@,"
+        hg.Happ.source.Mcmap_model.Graph.name Verdict.pp verdict Verdict.pp
+        report.normal_wcrt.(g) Verdict.pp report.required_wcrt.(g)
+        (Happ.deadline hg))
+    report.wcrt;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,43 @@
+(** Algorithm 1 of the paper: safe WCRT analysis of fault-tolerant
+    mixed-criticality systems with run-time task dropping.
+
+    The analysis first derives normal-state bounds (no fault: passive
+    spares silent, re-executables at their nominal cost), then enumerates
+    every job [v] that can trigger the transition to the critical state
+    (re-executable or passive spare) and re-analyses the system with
+    per-job execution bounds adjusted by chronology (Fig. 3):
+
+    - jobs that certainly complete before [v] can first start
+      ([maxFinish_w < minStart_v]) keep their normal-state bounds;
+    - jobs of dropped-set graphs that certainly start after [v]'s
+      worst-case completion are certainly dropped — [[0, 0]];
+    - jobs of dropped-set graphs overlapping the transition may either
+      run or be dropped — [[0, wcet]];
+    - remaining (non-dropped) jobs use their critical-state worst case:
+      Eq. (1) for re-executables, possible invocation for passive
+      spares.
+
+    The per-graph result is the maximum over the normal state and all
+    trigger scenarios. *)
+
+type report = {
+  wcrt : Verdict.t array;
+      (** per source graph: WCRT over normal state and all trigger
+          scenarios — the value Table 2 reports *)
+  normal_wcrt : Verdict.t array;
+      (** per source graph: normal-state-only WCRT *)
+  required_wcrt : Verdict.t array;
+      (** the bound that must meet the deadline: graphs in the dropped
+          set [T_d] only owe their deadline in the normal state (once
+          dropped they provide no service), all other graphs owe it in
+          every scenario *)
+  scenarios : int;  (** number of trigger scenarios analysed *)
+}
+
+val analyze : ?max_iterations:int -> Mcmap_sched.Bounds.ctx -> report
+(** Run Algorithm 1 on a prepared bounds context. *)
+
+val schedulable : Mcmap_sched.Jobset.t -> report -> bool
+(** Every graph's [required_wcrt] meets its relative deadline. *)
+
+val pp_report : Mcmap_sched.Jobset.t -> Format.formatter -> report -> unit

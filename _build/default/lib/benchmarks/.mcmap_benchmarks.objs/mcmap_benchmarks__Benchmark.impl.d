@@ -1,0 +1,1 @@
+lib/benchmarks/benchmark.ml: Mcmap_model

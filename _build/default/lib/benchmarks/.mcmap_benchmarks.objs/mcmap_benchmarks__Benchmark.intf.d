@@ -1,0 +1,1 @@
+lib/benchmarks/benchmark.mli: Mcmap_model

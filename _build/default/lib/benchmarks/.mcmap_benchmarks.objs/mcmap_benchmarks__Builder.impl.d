@@ -1,0 +1,1 @@
+lib/benchmarks/builder.ml: Array List Mcmap_model

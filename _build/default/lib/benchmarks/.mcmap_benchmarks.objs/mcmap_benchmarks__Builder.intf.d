@@ -1,0 +1,1 @@
+lib/benchmarks/builder.mli: Mcmap_model

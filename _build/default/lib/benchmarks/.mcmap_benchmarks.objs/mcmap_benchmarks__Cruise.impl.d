@@ -1,0 +1,1 @@
+lib/benchmarks/cruise.ml: Benchmark Builder List Mcmap_hardening Mcmap_model Platforms

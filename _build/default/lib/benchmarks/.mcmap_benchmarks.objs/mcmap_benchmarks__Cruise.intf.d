@@ -1,0 +1,1 @@
+lib/benchmarks/cruise.mli: Benchmark Mcmap_hardening

@@ -1,0 +1,1 @@
+lib/benchmarks/dt.ml: Benchmark Builder Mcmap_model Platforms

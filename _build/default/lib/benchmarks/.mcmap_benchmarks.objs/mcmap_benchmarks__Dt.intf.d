@@ -1,0 +1,1 @@
+lib/benchmarks/dt.mli: Benchmark

@@ -1,0 +1,1 @@
+lib/benchmarks/platforms.ml: Mcmap_model

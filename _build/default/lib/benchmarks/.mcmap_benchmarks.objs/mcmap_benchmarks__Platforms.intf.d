@@ -1,0 +1,1 @@
+lib/benchmarks/platforms.mli: Mcmap_model

@@ -1,0 +1,1 @@
+lib/benchmarks/registry.ml: Cruise Dt List Option Synth

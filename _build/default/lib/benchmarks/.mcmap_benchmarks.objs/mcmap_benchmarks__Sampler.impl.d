@@ -1,0 +1,1 @@
+lib/benchmarks/sampler.ml: Array List Mcmap_hardening Mcmap_model Mcmap_util

@@ -1,0 +1,1 @@
+lib/benchmarks/sampler.mli: Mcmap_hardening Mcmap_model

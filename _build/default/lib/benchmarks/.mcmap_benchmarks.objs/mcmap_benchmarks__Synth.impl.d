@@ -1,0 +1,1 @@
+lib/benchmarks/synth.ml: Array Benchmark Builder Format List Mcmap_model Mcmap_util Platforms

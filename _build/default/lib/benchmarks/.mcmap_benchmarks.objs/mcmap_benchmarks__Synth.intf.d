@@ -1,0 +1,1 @@
+lib/benchmarks/synth.mli: Benchmark Mcmap_model

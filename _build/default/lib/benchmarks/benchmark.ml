@@ -1,0 +1,7 @@
+type t = {
+  name : string;
+  arch : Mcmap_model.Arch.t;
+  apps : Mcmap_model.Appset.t;
+}
+
+let make ~name ~arch ~apps = { name; arch; apps }

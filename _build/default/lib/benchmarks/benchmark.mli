@@ -1,0 +1,10 @@
+(** A benchmark: an architecture plus an application set. *)
+
+type t = {
+  name : string;
+  arch : Mcmap_model.Arch.t;
+  apps : Mcmap_model.Appset.t;
+}
+
+val make :
+  name:string -> arch:Mcmap_model.Arch.t -> apps:Mcmap_model.Appset.t -> t

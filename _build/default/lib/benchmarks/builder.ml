@@ -1,0 +1,27 @@
+module Task = Mcmap_model.Task
+module Channel = Mcmap_model.Channel
+module Graph = Mcmap_model.Graph
+
+let task ?bcet ~id ~name ~wcet () =
+  let bcet = match bcet with Some b -> b | None -> wcet * 3 / 5 in
+  Task.make ~id ~name ~wcet ~bcet
+    ~detection_overhead:(max 1 (wcet / 10))
+    ~voting_overhead:(max 1 (wcet / 20))
+    ()
+
+let graph ?deadline ~name ~period ~criticality ~tasks ~edges () =
+  let tasks =
+    Array.of_list
+      (List.mapi (fun id (tname, wcet) -> task ~id ~name:tname ~wcet ())
+         tasks) in
+  let channels =
+    Array.of_list
+      (List.map (fun (src, dst, size) -> Channel.make ~src ~dst ~size ())
+         edges) in
+  Graph.make ?deadline ~name ~tasks ~channels ~period ~criticality ()
+
+let chain ?deadline ?(msg_size = 4) ~name ~period ~criticality stages =
+  let n = List.length stages in
+  let edges =
+    List.init (max 0 (n - 1)) (fun i -> (i, i + 1, msg_size)) in
+  graph ?deadline ~name ~period ~criticality ~tasks:stages ~edges ()

@@ -1,0 +1,32 @@
+(** Compact construction helpers for benchmark task graphs.
+
+    Unless given explicitly, per-task parameters are derived from the
+    WCET with the ratios used across all benchmarks: [bcet = 3/5 wcet],
+    detection overhead [max 1 (wcet / 10)], voting overhead
+    [max 1 (wcet / 20)] — the "time unit" is one millisecond. *)
+
+val task : ?bcet:int -> id:int -> name:string -> wcet:int -> unit ->
+  Mcmap_model.Task.t
+(** One task with derived overheads. *)
+
+val graph :
+  ?deadline:int ->
+  name:string ->
+  period:int ->
+  criticality:Mcmap_model.Criticality.t ->
+  tasks:(string * int) list ->
+  edges:(int * int * int) list ->
+  unit ->
+  Mcmap_model.Graph.t
+(** [graph ~name ~period ~criticality ~tasks ~edges ()] builds a task
+    graph from [(task name, wcet)] pairs and [(src, dst, size)] edges. *)
+
+val chain :
+  ?deadline:int ->
+  ?msg_size:int ->
+  name:string ->
+  period:int ->
+  criticality:Mcmap_model.Criticality.t ->
+  (string * int) list ->
+  Mcmap_model.Graph.t
+(** A linear pipeline with uniform message sizes (default 4). *)

@@ -1,0 +1,92 @@
+module Appset = Mcmap_model.Appset
+module Criticality = Mcmap_model.Criticality
+
+let cruise_graph () =
+  Builder.graph ~name:"cruise" ~period:1000 ~deadline:900
+    ~criticality:(Criticality.critical 1e-7)
+    ~tasks:
+      [ ("wheel_sensor", 40); (* 0 *)
+        ("speed_sensor", 45); (* 1 *)
+        ("switch_poll", 25); (* 2 *)
+        ("signal_filter", 60); (* 3 *)
+        ("speed_calc", 70); (* 4 *)
+        ("control_law", 80); (* 5 *)
+        ("throttle_act", 45); (* 6 *)
+        ("hmi_update", 35) (* 7 *) ]
+    ~edges:
+      [ (0, 3, 8); (1, 3, 8); (2, 4, 4); (3, 4, 8); (4, 5, 8); (5, 6, 4);
+        (5, 7, 4) ]
+    ()
+
+let brake_monitor () =
+  Builder.chain ~name:"brake_monitor" ~period:500 ~deadline:480 ~msg_size:4
+    ~criticality:(Criticality.critical 1e-7)
+    [ ("pressure_sense", 35); ("abs_check", 50); ("brake_law", 55);
+      ("brake_act", 30) ]
+
+let infotainment () =
+  Builder.chain ~name:"infotainment" ~period:1000 ~deadline:750
+    ~criticality:(Criticality.droppable 3.0)
+    [ ("media_fetch", 110); ("decode", 160); ("render", 125) ]
+
+let diagnostics () =
+  Builder.chain ~name:"diagnostics" ~period:1000 ~deadline:650
+    ~criticality:(Criticality.droppable 2.0)
+    [ ("obd_poll", 70); ("fault_scan", 115); ("log_pack", 65) ]
+
+let telemetry () =
+  Builder.chain ~name:"telemetry" ~period:500 ~deadline:380
+    ~criticality:(Criticality.droppable 1.0)
+    [ ("sample", 45); ("compress", 80) ]
+
+let benchmark () =
+  let apps =
+    Appset.make
+      [| cruise_graph (); brake_monitor (); infotainment ();
+         diagnostics (); telemetry () |] in
+  Benchmark.make ~name:"cruise" ~arch:(Platforms.quad ()) ~apps
+
+let critical_graphs (b : Benchmark.t) = Appset.critical_graphs b.Benchmark.apps
+
+(* The three hand-drawn sample mappings of the Table 2 experiment. They
+   interleave the droppable applications with the critical ones on the
+   same processors — the natural designer layout the paper analyses —
+   with every droppable application in the dropped set. *)
+let sample_plans (b : Benchmark.t) =
+  let apps = b.Benchmark.apps in
+  let d ?(technique = Mcmap_hardening.Technique.No_hardening)
+      ?(replicas = [||]) ?voter primary =
+    { Mcmap_hardening.Plan.technique; primary_proc = primary;
+      replica_procs = replicas;
+      voter_proc = (match voter with Some v -> v | None -> primary) } in
+  let re ?(k = 1) primary =
+    d ~technique:(Mcmap_hardening.Technique.re_execution k) primary in
+  let active3 primary replicas voter =
+    d ~technique:(Mcmap_hardening.Technique.active_replication 3)
+      ~replicas ~voter primary in
+  let passive1 primary replicas voter =
+    d ~technique:(Mcmap_hardening.Technique.passive_replication 1)
+      ~replicas ~voter primary in
+  let dropped = [| false; false; true; true; true |] in
+  let mapping1 =
+    [| [| re 0; re 1; re 0; re 1; re 0; re 1; re 0; re 1 |];
+       [| re 3; re 3; re 3; re 3 |];
+       [| d 0; d 1; d 2 |];
+       [| d 1; d 2; d 3 |];
+       [| d 2; d 3 |] |] in
+  let mapping2 =
+    [| [| re 0; re 0; re 1; re 1; active3 0 [| 1; 3 |] 1; re 2; re 0;
+          re 1 |];
+       [| re 3; re 3; re 2; re 3 |];
+       [| d 3; d 0; d 1 |];
+       [| d 2; d 0; d 3 |];
+       [| d 1; d 2 |] |] in
+  let mapping3 =
+    [| [| re 0; re 0; re 0; re ~k:2 0; re 1; re ~k:2 1; re 1; re 0 |];
+       [| re 2; re 2; passive1 2 [| 3; 1 |] 2; re 2 |];
+       [| d 3; d 3; d 0 |];
+       [| d 3; d 1; d 2 |];
+       [| d 0; d 3 |] |] in
+  List.map
+    (fun decisions -> Mcmap_hardening.Plan.make apps ~decisions ~dropped)
+    [ mapping1; mapping2; mapping3 ]

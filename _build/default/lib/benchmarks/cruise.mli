@@ -1,0 +1,17 @@
+(** The *Cruise* benchmark (paper §5, after Kandasamy et al. [20]): a
+    cruise-control application and a brake-monitor application — the two
+    critical graphs whose WCRTs Table 2 reports — plus three synthetic
+    droppable applications added per the paper to raise complexity
+    (infotainment, diagnostics, telemetry). Runs on {!Platforms.quad}.
+
+    Time unit: 1 ms. *)
+
+val benchmark : unit -> Benchmark.t
+
+val critical_graphs : Benchmark.t -> int list
+(** Indices of the two critical applications in the set. *)
+
+val sample_plans : Benchmark.t -> Mcmap_hardening.Plan.t list
+(** The "three sample mappings" of Table 2: deterministic seeded plans
+    with hardening on the critical applications and every droppable
+    graph in the dropped set. *)

@@ -1,0 +1,111 @@
+module Appset = Mcmap_model.Appset
+module Criticality = Mcmap_model.Criticality
+module Proc = Mcmap_model.Proc
+
+(* DREAM-style distributed pipelines; the x20 scaling of the paper is
+   already applied to the periods and execution times below. *)
+
+let rt_control () =
+  Builder.graph ~name:"rt_control" ~period:400 ~deadline:700
+    ~criticality:(Criticality.critical 1e-7)
+    ~tasks:
+      [ ("sensor_in", 15); (* 0 *)
+        ("demarshal", 15); (* 1 *)
+        ("state_est", 30); (* 2 *)
+        ("ctrl_a", 25); (* 3 *)
+        ("ctrl_b", 22); (* 4 *)
+        ("merge", 15); (* 5 *)
+        ("marshal", 15); (* 6 *)
+        ("actuate", 15) (* 7 *) ]
+    ~edges:
+      [ (0, 1, 4); (1, 2, 8); (2, 3, 4); (2, 4, 4); (3, 5, 4); (4, 5, 4);
+        (5, 6, 4); (6, 7, 4) ]
+    ()
+
+let rt_stream () =
+  Builder.chain ~name:"rt_stream" ~period:800 ~deadline:1100 ~msg_size:8
+    ~criticality:(Criticality.critical 1e-7)
+    [ ("acquire", 30); ("transform", 55); ("filter", 45); ("encode", 50);
+      ("dispatch", 30); ("emit", 25) ]
+
+let t1 () =
+  Builder.graph ~name:"t1" ~period:400
+    ~criticality:(Criticality.droppable 3.0)
+    ~tasks:
+      [ ("poll", 18); ("parse", 28); ("eval_a", 34); ("eval_b", 38);
+        ("report", 22) ]
+    ~edges:[ (0, 1, 4); (1, 2, 4); (1, 3, 4); (2, 4, 4); (3, 4, 4) ]
+    ()
+
+let t2 () =
+  Builder.chain ~name:"t2" ~period:800 ~deadline:650
+    ~criticality:(Criticality.droppable 2.0)
+    [ ("collect", 38); ("aggregate", 68); ("analyze", 60); ("store", 38) ]
+
+let t3 () =
+  Builder.chain ~name:"t3" ~period:800 ~deadline:750
+    ~criticality:(Criticality.droppable 1.0)
+    [ ("fetch", 38); ("render", 60); ("display", 45); ("ack", 22) ]
+
+let dt_med () =
+  let apps =
+    Appset.make [| rt_control (); rt_stream (); t1 (); t2 (); t3 () |] in
+  Benchmark.make ~name:"dt-med"
+    ~arch:(Platforms.hexa ~policy:Proc.Non_preemptive_fp ())
+    ~apps
+
+let rt_gateway () =
+  Builder.graph ~name:"rt_gateway" ~period:400 ~deadline:700
+    ~criticality:(Criticality.critical 1e-7)
+    ~tasks:
+      [ ("rx", 15); ("validate", 22); ("route_a", 25); ("route_b", 25);
+        ("arbitrate", 18); ("tx", 15); ("audit", 18) ]
+    ~edges:
+      [ (0, 1, 8); (1, 2, 4); (1, 3, 4); (2, 4, 4); (3, 4, 4); (4, 5, 8);
+        (4, 6, 4) ]
+    ()
+
+let rt_safety () =
+  Builder.chain ~name:"rt_safety" ~period:1600 ~deadline:1500 ~msg_size:4
+    ~criticality:(Criticality.critical 1e-7)
+    [ ("watchdog", 50); ("cross_check", 90); ("diagnose", 110);
+      ("mitigate", 70); ("notify", 40) ]
+
+let u1 () =
+  Builder.chain ~name:"u1" ~period:400 ~deadline:550
+    ~criticality:(Criticality.droppable 4.0)
+    [ ("scan", 25); ("classify", 50); ("annotate", 38) ]
+
+let u2 () =
+  Builder.graph ~name:"u2" ~period:800 ~deadline:1450
+    ~criticality:(Criticality.droppable 3.0)
+    ~tasks:
+      [ ("ingest", 38); ("split", 30); ("work_a", 68); ("work_b", 62);
+        ("join", 30); ("publish", 38) ]
+    ~edges:
+      [ (0, 1, 8); (1, 2, 4); (1, 3, 4); (2, 4, 4); (3, 4, 4); (4, 5, 4) ]
+    ()
+
+let u3 () =
+  Builder.chain ~name:"u3" ~period:800 ~deadline:1100
+    ~criticality:(Criticality.droppable 2.0)
+    [ ("probe", 44); ("correlate", 80); ("summarize", 56); ("upload", 38) ]
+
+let u4 () =
+  Builder.chain ~name:"u4" ~period:1600 ~deadline:2000
+    ~criticality:(Criticality.droppable 2.0)
+    [ ("batch_in", 75); ("reduce", 150); ("batch_out", 88) ]
+
+let u5 () =
+  Builder.chain ~name:"u5" ~period:1600 ~deadline:2000
+    ~criticality:(Criticality.droppable 1.0)
+    [ ("trace_in", 62); ("pack", 100); ("flush", 62) ]
+
+let dt_large () =
+  let apps =
+    Appset.make
+      [| rt_control (); rt_stream (); rt_gateway (); rt_safety (); u1 ();
+         u2 (); u3 (); u4 (); u5 () |] in
+  Benchmark.make ~name:"dt-large"
+    ~arch:(Platforms.hexa ~policy:Proc.Non_preemptive_fp ())
+    ~apps

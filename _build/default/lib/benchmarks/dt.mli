@@ -1,0 +1,12 @@
+(** The *DT-med* and *DT-large* benchmarks (paper §5): medium and large
+    distributed non-preemptive real-time CORBA-style applications inspired
+    by the DREAM tool [21], with invocation periods and execution times
+    multiplied by 20 as in the paper. Run on {!Platforms.hexa}.
+
+    DT-med has two critical pipelines plus the three droppable
+    applications [t1, t2, t3] whose dropping trade-off Figure 5 explores;
+    DT-large has four critical and five droppable applications. *)
+
+val dt_med : unit -> Benchmark.t
+
+val dt_large : unit -> Benchmark.t

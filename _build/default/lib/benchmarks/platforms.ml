@@ -1,0 +1,29 @@
+module Proc = Mcmap_model.Proc
+module Arch = Mcmap_model.Arch
+
+let quad ?(policy = Proc.Preemptive_fp) () =
+  Arch.make ~bus_bandwidth:2 ~bus_latency:1
+    [| Proc.make ~id:0 ~name:"risc0" ~proc_type:"RISC" ~static_power:0.30
+         ~dynamic_power:2.0 ~fault_rate:1e-5 ~speed:1.0 ~policy ();
+       Proc.make ~id:1 ~name:"risc1" ~proc_type:"RISC" ~static_power:0.30
+         ~dynamic_power:2.0 ~fault_rate:1e-5 ~speed:1.0 ~policy ();
+       Proc.make ~id:2 ~name:"lp0" ~proc_type:"RISC-LP" ~static_power:0.10
+         ~dynamic_power:0.8 ~fault_rate:2e-5 ~speed:1.4 ~policy ();
+       Proc.make ~id:3 ~name:"dsp0" ~proc_type:"DSP" ~static_power:0.20
+         ~dynamic_power:1.4 ~fault_rate:1e-5 ~speed:0.8 ~policy () |]
+
+let hexa ?(policy = Proc.Preemptive_fp) () =
+  Arch.make ~bus_bandwidth:2 ~bus_latency:1
+    [| Proc.make ~id:0 ~name:"risc0" ~proc_type:"RISC" ~static_power:0.30
+         ~dynamic_power:2.0 ~fault_rate:1e-5 ~speed:1.0 ~policy ();
+       Proc.make ~id:1 ~name:"risc1" ~proc_type:"RISC" ~static_power:0.30
+         ~dynamic_power:2.0 ~fault_rate:1e-5 ~speed:1.0 ~policy ();
+       Proc.make ~id:2 ~name:"risc2" ~proc_type:"RISC" ~static_power:0.30
+         ~dynamic_power:2.0 ~fault_rate:1e-5 ~speed:1.0 ~policy ();
+       Proc.make ~id:3 ~name:"lp0" ~proc_type:"RISC-LP" ~static_power:0.10
+         ~dynamic_power:0.8 ~fault_rate:2e-5 ~speed:1.4 ~policy ();
+       Proc.make ~id:4 ~name:"lock0" ~proc_type:"LOCKSTEP"
+         ~static_power:0.45 ~dynamic_power:2.6 ~fault_rate:1e-6 ~speed:1.0
+         ~policy ();
+       Proc.make ~id:5 ~name:"dsp0" ~proc_type:"DSP" ~static_power:0.20
+         ~dynamic_power:1.4 ~fault_rate:1e-5 ~speed:0.8 ~policy () |]

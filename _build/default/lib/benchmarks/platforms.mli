@@ -1,0 +1,13 @@
+(** Reference MPSoC platforms used by the benchmarks. Fault rates are in
+    faults per millisecond; powers in abstract watts. *)
+
+val quad : ?policy:Mcmap_model.Proc.policy -> unit -> Mcmap_model.Arch.t
+(** Four heterogeneous processors (2 fast RISC, 1 slow low-power RISC,
+    1 DSP) on a shared bus — the default platform of the Cruise and
+    synthetic benchmarks. Default policy: preemptive fixed-priority. *)
+
+val hexa : ?policy:Mcmap_model.Proc.policy -> unit -> Mcmap_model.Arch.t
+(** Six processors (quad plus one lockstep-grade low-fault-rate core and
+    one extra RISC) — the platform of the DT benchmarks, which run
+    non-preemptively in the paper (pass
+    [~policy:Mcmap_model.Proc.Non_preemptive_fp]). *)

@@ -1,0 +1,16 @@
+let builders =
+  [ ("cruise", Cruise.benchmark); ("dt-med", Dt.dt_med);
+    ("dt-large", Dt.dt_large); ("synth-1", Synth.synth1);
+    ("synth-2", Synth.synth2) ]
+
+let names = List.map fst builders
+
+let find name =
+  Option.map (fun build -> build ()) (List.assoc_opt name builders)
+
+let find_exn name =
+  match find name with
+  | Some b -> b
+  | None -> invalid_arg ("Registry.find_exn: unknown benchmark " ^ name)
+
+let all () = List.map (fun (_, build) -> build ()) builders

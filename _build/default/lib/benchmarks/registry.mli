@@ -1,0 +1,11 @@
+(** Name-indexed access to all benchmarks. *)
+
+val names : string list
+(** ["cruise"; "dt-med"; "dt-large"; "synth-1"; "synth-2"]. *)
+
+val find : string -> Benchmark.t option
+
+val find_exn : string -> Benchmark.t
+(** @raise Invalid_argument for an unknown name. *)
+
+val all : unit -> Benchmark.t list

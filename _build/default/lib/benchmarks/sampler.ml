@@ -1,0 +1,119 @@
+module Arch = Mcmap_model.Arch
+module Appset = Mcmap_model.Appset
+module Graph = Mcmap_model.Graph
+module Plan = Mcmap_hardening.Plan
+module Technique = Mcmap_hardening.Technique
+module Prng = Mcmap_util.Prng
+
+(* [n] pairwise distinct processors, the first being the primary. *)
+let distinct_procs rng arch n =
+  let ids = Array.init (Arch.n_procs arch) (fun i -> i) in
+  Prng.shuffle rng ids;
+  Array.sub ids 0 n
+
+let balanced_plan ~seed ?(drop_all = true) arch apps =
+  let rng = Prng.create seed in
+  let n_procs = Arch.n_procs arch in
+  let load = Array.make n_procs 0. in
+  let least_loaded () =
+    let best = ref 0 in
+    for p = 1 to n_procs - 1 do
+      if load.(p) < load.(!best) then best := p
+    done;
+    !best in
+  let decisions =
+    Array.init (Appset.n_graphs apps) (fun gi ->
+        let g = Appset.graph apps gi in
+        let critical = not (Graph.is_droppable g) in
+        let period = float_of_int g.Graph.period in
+        let home = ref (least_loaded ()) in
+        Array.init (Graph.n_tasks g) (fun ti ->
+            let task = Graph.task g ti in
+            let technique =
+              if not critical then Technique.No_hardening
+              else begin
+                let dice = Prng.float rng 1. in
+                if dice < 0.75 || n_procs < 3 then
+                  Technique.re_execution 1
+                else if dice < 0.9 then Technique.active_replication 3
+                else Technique.passive_replication 1
+              end in
+            let demand p =
+              let cycles =
+                match technique with
+                | Technique.Re_execution k ->
+                  (task.Mcmap_model.Task.wcet
+                   + task.Mcmap_model.Task.detection_overhead)
+                  * (k + 1)
+                | Technique.Checkpointing (segments, k) ->
+                  Technique.wcet_after_checkpointing
+                    ~wcet:task.Mcmap_model.Task.wcet
+                    ~detection:task.Mcmap_model.Task.detection_overhead
+                    ~segments ~k
+                | Technique.No_hardening | Technique.Active_replication _
+                | Technique.Passive_replication _ ->
+                  task.Mcmap_model.Task.wcet in
+              float_of_int cycles
+              *. (Arch.proc arch p).Mcmap_model.Proc.speed /. period in
+            if load.(!home) +. demand !home > 0.75 then
+              home := least_loaded ();
+            let primary = !home in
+            load.(primary) <- load.(primary) +. demand primary;
+            let extras = Technique.replica_count technique - 1 in
+            if extras > 0 then begin
+              let others =
+                Array.of_list
+                  (List.filter (fun p -> p <> primary)
+                     (List.init n_procs (fun p -> p))) in
+              Prng.shuffle rng others;
+              { Plan.technique; primary_proc = primary;
+                replica_procs = Array.sub others 0 extras;
+                voter_proc = primary }
+            end
+            else
+              { Plan.technique; primary_proc = primary;
+                replica_procs = [||]; voter_proc = primary }))
+  in
+  let dropped =
+    Array.init (Appset.n_graphs apps) (fun gi ->
+        drop_all && Graph.is_droppable (Appset.graph apps gi)) in
+  Plan.make apps ~decisions ~dropped
+
+let plan ~seed ?(drop_all = true) ?(harden_critical = true) arch apps =
+  let rng = Prng.create seed in
+  let n_procs = Arch.n_procs arch in
+  let decide gi _ti =
+    let g = Appset.graph apps gi in
+    let critical = not (Graph.is_droppable g) in
+    let technique =
+      if harden_critical && critical then begin
+        let dice = Prng.float rng 1. in
+        if dice < 0.55 then Technique.re_execution (Prng.int_in rng 1 2)
+        else if dice < 0.7 then
+          Technique.checkpointing ~segments:(Prng.int_in rng 2 4)
+            ~k:(Prng.int_in rng 1 2)
+        else if dice < 0.9 && n_procs >= 3 then
+          Technique.active_replication 3
+        else if n_procs >= 3 then Technique.passive_replication 1
+        else Technique.re_execution 1
+      end
+      else Technique.No_hardening in
+    let replicas = Technique.replica_count technique in
+    if replicas > 1 then begin
+      let procs = distinct_procs rng arch replicas in
+      { Plan.technique; primary_proc = procs.(0);
+        replica_procs = Array.sub procs 1 (replicas - 1);
+        voter_proc = Prng.int rng n_procs }
+    end
+    else
+      { Plan.technique; primary_proc = Prng.int rng n_procs;
+        replica_procs = [||]; voter_proc = 0 } in
+  let decisions =
+    Array.init (Appset.n_graphs apps) (fun gi ->
+        Array.init
+          (Graph.n_tasks (Appset.graph apps gi))
+          (fun ti -> decide gi ti)) in
+  let dropped =
+    Array.init (Appset.n_graphs apps) (fun gi ->
+        drop_all && Graph.is_droppable (Appset.graph apps gi)) in
+  Plan.make apps ~decisions ~dropped

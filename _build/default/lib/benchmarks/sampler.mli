@@ -1,0 +1,31 @@
+(** Deterministic seeded plan construction — used for sample mappings in
+    experiments and as a random-candidate source in tests. *)
+
+val plan :
+  seed:int ->
+  ?drop_all:bool ->
+  ?harden_critical:bool ->
+  Mcmap_model.Arch.t ->
+  Mcmap_model.Appset.t ->
+  Mcmap_hardening.Plan.t
+(** A placement-feasible random plan: every task bound to a random
+    processor; when [harden_critical] (default true), tasks of critical
+    graphs draw a hardening technique (re-execution with k in 1-2 with
+    probability 0.7, triple active replication 0.2, passive replication
+    with one spare 0.1) with replicas on pairwise distinct processors.
+    [drop_all] (default true) puts every droppable graph in the dropped
+    set. *)
+
+val balanced_plan :
+  seed:int ->
+  ?drop_all:bool ->
+  Mcmap_model.Arch.t ->
+  Mcmap_model.Appset.t ->
+  Mcmap_hardening.Plan.t
+(** A graph-sticky, load-balanced plan of the kind a designer would draw
+    by hand: each graph's tasks stay on one processor (spilling to the
+    next least-loaded one when full), critical tasks are hardened —
+    mostly with single re-execution, occasionally (seed-dependent) with
+    triple active replication or one-spare passive replication on
+    distinct processors. Used as the "sample mappings" of the Table 2
+    experiment. *)

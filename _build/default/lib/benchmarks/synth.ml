@@ -1,0 +1,93 @@
+module Appset = Mcmap_model.Appset
+module Criticality = Mcmap_model.Criticality
+module Channel = Mcmap_model.Channel
+module Graph = Mcmap_model.Graph
+module Prng = Mcmap_util.Prng
+
+type spec = {
+  n_graphs : int;
+  tasks_lo : int;
+  tasks_hi : int;
+  periods : int list;
+  wcet_lo : int;
+  wcet_hi : int;
+  extra_edge_prob : float;
+  droppable_ratio : float;
+  deadline_factor : float;
+}
+
+let default_spec =
+  { n_graphs = 4; tasks_lo = 6; tasks_hi = 10; periods = [ 500; 1000 ];
+    wcet_lo = 5; wcet_hi = 20; extra_edge_prob = 0.15;
+    droppable_ratio = 0.75; deadline_factor = 1.6 }
+
+(* A layered DAG: tasks are spread over ceil(sqrt n) layers; every
+   non-source task has a parent in the previous layer, plus optional
+   extra forward edges. *)
+let random_graph rng spec ~index ~droppable =
+  let n = Prng.int_in rng spec.tasks_lo spec.tasks_hi in
+  let n_layers = max 2 (int_of_float (sqrt (float_of_int n)) + 1) in
+  let layer_of = Array.init n (fun i -> i * n_layers / n) in
+  let tasks =
+    List.init n (fun i ->
+        (Format.asprintf "s%d_t%d" index i,
+         Prng.int_in rng spec.wcet_lo spec.wcet_hi)) in
+  let edges = ref [] in
+  for v = 0 to n - 1 do
+    if layer_of.(v) > 0 then begin
+      (* mandatory parent in the previous layer *)
+      let candidates = ref [] in
+      for u = 0 to n - 1 do
+        if layer_of.(u) = layer_of.(v) - 1 then candidates := u :: !candidates
+      done;
+      let parent = Prng.pick_list rng !candidates in
+      edges := (parent, v, Prng.int_in rng 2 8) :: !edges;
+      (* optional extra forward edges from any earlier layer *)
+      for u = 0 to n - 1 do
+        if layer_of.(u) < layer_of.(v) && u <> parent
+           && Prng.bernoulli rng spec.extra_edge_prob then
+          edges := (u, v, Prng.int_in rng 2 8) :: !edges
+      done
+    end
+  done;
+  let period = Prng.pick_list rng spec.periods in
+  let deadline =
+    max 1 (int_of_float (spec.deadline_factor *. float_of_int period)) in
+  let criticality =
+    if droppable then
+      Criticality.droppable (float_of_int (Prng.int_in rng 1 5))
+    else Criticality.critical 1e-7 in
+  let tasks_arr =
+    Array.of_list
+      (List.mapi
+         (fun id (name, wcet) -> Builder.task ~id ~name ~wcet ())
+         tasks) in
+  let channels =
+    Array.of_list
+      (List.rev_map
+         (fun (src, dst, size) -> Channel.make ~src ~dst ~size ())
+         !edges) in
+  Graph.make ~deadline
+    ~name:(Format.asprintf "synth%d" index)
+    ~tasks:tasks_arr ~channels ~period ~criticality ()
+
+let generate ~seed spec =
+  let rng = Prng.create seed in
+  let graphs =
+    Array.init spec.n_graphs (fun index ->
+        let droppable =
+          index > 0 && Prng.bernoulli rng spec.droppable_ratio in
+        random_graph rng spec ~index ~droppable) in
+  Appset.make graphs
+
+let synth1 () =
+  let apps = generate ~seed:11 default_spec in
+  Benchmark.make ~name:"synth-1" ~arch:(Platforms.quad ()) ~apps
+
+let synth2 () =
+  let spec =
+    { default_spec with n_graphs = 5; tasks_lo = 8; tasks_hi = 12;
+      wcet_lo = 8; wcet_hi = 20; droppable_ratio = 0.4;
+      deadline_factor = 1.1 } in
+  let apps = generate ~seed:23 spec in
+  Benchmark.make ~name:"synth-2" ~arch:(Platforms.quad ()) ~apps

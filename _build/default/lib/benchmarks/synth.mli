@@ -1,0 +1,31 @@
+(** Seeded synthetic benchmark generator (paper §5: "two synthetic
+    examples that are randomly generated"), in the spirit of TGFF:
+    layered random DAGs with configurable size, load and criticality
+    mix. *)
+
+type spec = {
+  n_graphs : int;
+  tasks_lo : int;  (** minimum tasks per graph *)
+  tasks_hi : int;  (** maximum tasks per graph *)
+  periods : int list;  (** drawn uniformly per graph *)
+  wcet_lo : int;
+  wcet_hi : int;
+  extra_edge_prob : float;  (** chance of extra cross-layer edges *)
+  droppable_ratio : float;  (** fraction of graphs that are droppable *)
+  deadline_factor : float;  (** deadline = factor * period (capped) *)
+}
+
+val default_spec : spec
+(** 4 graphs of 6-10 tasks, periods 500/1000, WCETs 10-40 ms, loose
+    deadlines. *)
+
+val generate : seed:int -> spec -> Mcmap_model.Appset.t
+(** Deterministic generation from the seed. At least one graph is kept
+    critical regardless of [droppable_ratio]. *)
+
+val synth1 : unit -> Benchmark.t
+(** *Synth-1*: lightly loaded, loose deadlines (the paper observes almost
+    no dropping-rescued solutions here). *)
+
+val synth2 : unit -> Benchmark.t
+(** *Synth-2*: heavier tasks and tighter deadlines. *)

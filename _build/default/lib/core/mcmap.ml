@@ -1,0 +1,123 @@
+(** Umbrella module: the full mcmap API under one namespace.
+
+    {1 Layers}
+
+    - {!Util}: PRNG, heaps, statistics, Pareto helpers.
+    - {!Model}: MPSoC architecture and mixed-criticality applications
+      (paper §2.1).
+    - {!Hardening}: re-execution / replication plans and the hardened
+      application transform (§2.2-2.3).
+    - {!Reliability}: transient-fault model and the [f_t] constraint.
+    - {!Sched}: jobs, priorities and the best/worst interval backend
+      (the [sched] of Algorithm 1).
+    - {!Analysis}: Algorithm 1 WCRT analysis and the Naive baseline
+      (§3).
+    - {!Sim}: fault-injecting discrete-event simulator, Monte-Carlo
+      (WC-Sim) and the Adhoc trace (§5.1).
+    - {!Dse}: SPEA2 genetic mapping optimisation (§4).
+    - {!Benchmarks}: Cruise, DT-med/large, Synth-1/2 (§5).
+    - {!Experiments}: runners regenerating every table and figure of the
+      evaluation. *)
+
+module Util = struct
+  module Prng = Mcmap_util.Prng
+  module Mathx = Mcmap_util.Mathx
+  module Heap = Mcmap_util.Heap
+  module Interval = Mcmap_util.Interval
+  module Stats = Mcmap_util.Stats
+  module Pareto = Mcmap_util.Pareto
+  module Parallel = Mcmap_util.Parallel
+  module Sexp = Mcmap_util.Sexp
+  module Texttable = Mcmap_util.Texttable
+end
+
+module Model = struct
+  module Proc = Mcmap_model.Proc
+  module Arch = Mcmap_model.Arch
+  module Criticality = Mcmap_model.Criticality
+  module Task = Mcmap_model.Task
+  module Channel = Mcmap_model.Channel
+  module Graph = Mcmap_model.Graph
+  module Appset = Mcmap_model.Appset
+end
+
+module Hardening = struct
+  module Technique = Mcmap_hardening.Technique
+  module Plan = Mcmap_hardening.Plan
+  module Happ = Mcmap_hardening.Happ
+end
+
+module Reliability = struct
+  module Fault_model = Mcmap_reliability.Fault_model
+  module Analysis = Mcmap_reliability.Analysis
+end
+
+module Sched = struct
+  module Priority = Mcmap_sched.Priority
+  module Job = Mcmap_sched.Job
+  module Jobset = Mcmap_sched.Jobset
+  module Bounds = Mcmap_sched.Bounds
+  module Static_schedule = Mcmap_sched.Static_schedule
+end
+
+module Analysis = struct
+  module Verdict = Mcmap_analysis.Verdict
+  module Wcrt = Mcmap_analysis.Wcrt
+  module Naive = Mcmap_analysis.Naive
+end
+
+module Sim = struct
+  module Fault_profile = Mcmap_sim.Fault_profile
+  module Engine = Mcmap_sim.Engine
+  module Monte_carlo = Mcmap_sim.Monte_carlo
+  module Adhoc = Mcmap_sim.Adhoc
+  module Distribution = Mcmap_sim.Distribution
+  module Gantt = Mcmap_sim.Gantt
+end
+
+module Dse = struct
+  module Genome = Mcmap_dse.Genome
+  module Decode = Mcmap_dse.Decode
+  module Evaluate = Mcmap_dse.Evaluate
+  module Spea2 = Mcmap_dse.Spea2
+  module Nsga2 = Mcmap_dse.Nsga2
+  module Baselines = Mcmap_dse.Baselines
+  module Ga = Mcmap_dse.Ga
+  module Explore = Mcmap_dse.Explore
+end
+
+module Benchmarks = struct
+  module Benchmark = Mcmap_benchmarks.Benchmark
+  module Builder = Mcmap_benchmarks.Builder
+  module Platforms = Mcmap_benchmarks.Platforms
+  module Sampler = Mcmap_benchmarks.Sampler
+  module Cruise = Mcmap_benchmarks.Cruise
+  module Dt = Mcmap_benchmarks.Dt
+  module Synth = Mcmap_benchmarks.Synth
+  module Registry = Mcmap_benchmarks.Registry
+end
+
+module Spec = Mcmap_spec.Spec
+
+module Experiments = struct
+  module Paper = Mcmap_experiments.Paper
+  module Table1 = Mcmap_experiments.Table1
+  module Table2 = Mcmap_experiments.Table2
+  module Dropping = Mcmap_experiments.Dropping
+  module Rescue = Mcmap_experiments.Rescue
+  module Fig5 = Mcmap_experiments.Fig5
+  module Fig1 = Mcmap_experiments.Fig1
+  module Sensitivity = Mcmap_experiments.Sensitivity
+  module Optimizers = Mcmap_experiments.Optimizers
+end
+
+(** {1 Convenience pipeline} *)
+
+(** Build the hardened application, its job set and a WCRT report for a
+    plan in one call. *)
+let analyze_plan arch apps plan =
+  let happ = Mcmap_hardening.Happ.build arch apps plan in
+  let js = Mcmap_sched.Jobset.build happ in
+  let ctx = Mcmap_sched.Bounds.make js in
+  let report = Mcmap_analysis.Wcrt.analyze ctx in
+  (happ, js, report)

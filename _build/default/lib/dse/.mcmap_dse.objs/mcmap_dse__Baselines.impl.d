@@ -1,0 +1,1 @@
+lib/dse/baselines.ml: Decode Evaluate Genome Mcmap_util Option

@@ -1,0 +1,1 @@
+lib/dse/baselines.mli: Evaluate Genome Mcmap_model

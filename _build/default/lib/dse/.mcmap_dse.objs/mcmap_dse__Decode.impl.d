@@ -1,0 +1,1 @@
+lib/dse/decode.ml: Array Genome List Mcmap_hardening Mcmap_model Mcmap_reliability Mcmap_util

@@ -1,0 +1,1 @@
+lib/dse/decode.mli: Genome Mcmap_hardening Mcmap_model Mcmap_util

@@ -1,0 +1,1 @@
+lib/dse/evaluate.ml: Array List Mcmap_analysis Mcmap_hardening Mcmap_model Mcmap_reliability Mcmap_sched

@@ -1,0 +1,1 @@
+lib/dse/evaluate.mli: Mcmap_hardening Mcmap_model

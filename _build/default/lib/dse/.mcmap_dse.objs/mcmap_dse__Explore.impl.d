@@ -1,0 +1,1 @@
+lib/dse/explore.ml: Array Evaluate Ga List Mcmap_hardening Mcmap_util

@@ -1,0 +1,1 @@
+lib/dse/explore.mli: Ga Mcmap_hardening Mcmap_model

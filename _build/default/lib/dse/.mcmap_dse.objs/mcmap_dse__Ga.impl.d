@@ -1,0 +1,1 @@
+lib/dse/ga.ml: Array Decode Evaluate Genome List Mcmap_hardening Mcmap_model Mcmap_util Nsga2 Spea2

@@ -1,0 +1,1 @@
+lib/dse/ga.mli: Evaluate Genome Mcmap_model

@@ -1,0 +1,1 @@
+lib/dse/genome.ml: Array Mcmap_hardening Mcmap_model Mcmap_util

@@ -1,0 +1,1 @@
+lib/dse/genome.mli: Mcmap_hardening Mcmap_model Mcmap_util

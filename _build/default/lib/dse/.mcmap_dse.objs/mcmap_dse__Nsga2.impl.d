@@ -1,0 +1,1 @@
+lib/dse/nsga2.ml: Array Hashtbl List Spea2

@@ -1,0 +1,1 @@
+lib/dse/nsga2.mli: Spea2

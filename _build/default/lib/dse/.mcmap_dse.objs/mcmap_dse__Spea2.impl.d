@@ -1,0 +1,1 @@
+lib/dse/spea2.ml: Array List Mcmap_util

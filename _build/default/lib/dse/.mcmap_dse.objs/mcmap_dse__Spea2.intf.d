@@ -1,0 +1,1 @@
+lib/dse/spea2.mli: Mcmap_util

@@ -1,0 +1,73 @@
+module Prng = Mcmap_util.Prng
+
+type result = {
+  best : (Genome.t * Evaluate.t) option;
+  evaluations : int;
+  feasible : int;
+}
+
+(* Scalar score for single-objective search: feasible candidates compete
+   on power; infeasible ones rank after every feasible one, ordered by
+   violation magnitude. *)
+let score (e : Evaluate.t) =
+  if Evaluate.feasible e then e.Evaluate.power
+  else 1e6 +. e.Evaluate.violation
+
+let evaluate rng arch apps genome =
+  let plan = Decode.decode rng arch apps genome in
+  Evaluate.evaluate ~check_rescue:false arch apps plan
+
+let random_search ~budget ~seed arch apps =
+  let rng = Prng.create seed in
+  let best = ref None in
+  let feasible = ref 0 in
+  for i = 0 to budget - 1 do
+    let genome =
+      if i = 0 then Genome.seeded rng arch apps
+      else Genome.random rng arch apps in
+    let e = evaluate rng arch apps genome in
+    if Evaluate.feasible e then incr feasible;
+    match !best with
+    | Some (_, b) when score b <= score e -> ()
+    | Some _ | None -> best := Some (genome, e)
+  done;
+  { best = Option.bind !best (fun (g, e) ->
+        if Evaluate.feasible e then Some (g, e) else None);
+    evaluations = budget;
+    feasible = !feasible }
+
+let simulated_annealing ~budget ~seed ?(initial_temperature = 1.0) ?cooling
+    arch apps =
+  let rng = Prng.create seed in
+  let cooling =
+    match cooling with
+    | Some c -> c
+    | None ->
+      (* reach ~1 % of the initial temperature by the end of the budget *)
+      exp (log 0.01 /. float_of_int (max 1 budget)) in
+  let current = ref (Genome.seeded rng arch apps) in
+  let current_eval = ref (evaluate rng arch apps !current) in
+  let best = ref (!current, !current_eval) in
+  let feasible = ref (if Evaluate.feasible !current_eval then 1 else 0) in
+  let temperature = ref initial_temperature in
+  for _ = 2 to budget do
+    let candidate = Genome.mutate rng ~rate:0.08 arch apps !current in
+    let e = evaluate rng arch apps candidate in
+    if Evaluate.feasible e then incr feasible;
+    let delta = score e -. score !current_eval in
+    let accept =
+      delta <= 0.
+      || Prng.bernoulli rng (exp (-.delta /. max 1e-9 !temperature)) in
+    if accept then begin
+      current := candidate;
+      current_eval := e
+    end;
+    (match !best with
+     | _, b when score b <= score e -> ()
+     | _ -> best := (candidate, e));
+    temperature := !temperature *. cooling
+  done;
+  let g, e = !best in
+  { best = (if Evaluate.feasible e then Some (g, e) else None);
+    evaluations = budget;
+    feasible = !feasible }

@@ -1,0 +1,38 @@
+(** Single-objective optimisation baselines for comparing against the
+    genetic algorithm of the paper (§4): random search and simulated
+    annealing over the same genome encoding, decode/repair and
+    evaluation, targeting the primary objective (power) among feasible
+    candidates.
+
+    These quantify what the GA's population-based search buys: on equal
+    evaluation budgets the GA typically finds cheaper feasible designs
+    than annealing, which in turn beats random search. *)
+
+type result = {
+  best : (Genome.t * Evaluate.t) option;
+      (** cheapest feasible candidate found (None if none was) *)
+  evaluations : int;
+  feasible : int;
+}
+
+val random_search :
+  budget:int ->
+  seed:int ->
+  Mcmap_model.Arch.t ->
+  Mcmap_model.Appset.t ->
+  result
+(** [budget] independent random candidates. *)
+
+val simulated_annealing :
+  budget:int ->
+  seed:int ->
+  ?initial_temperature:float ->
+  ?cooling:float ->
+  Mcmap_model.Arch.t ->
+  Mcmap_model.Appset.t ->
+  result
+(** Metropolis search over genome mutations: an infeasible candidate is
+    scored by its constraint violation, a feasible one by its power;
+    worse moves are accepted with probability [exp (-delta / T)], [T]
+    decaying geometrically from [initial_temperature] (default 1.0) by
+    [cooling] (default such that T ends around 1 % of the start). *)

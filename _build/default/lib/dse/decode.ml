@@ -1,0 +1,130 @@
+module Arch = Mcmap_model.Arch
+module Appset = Mcmap_model.Appset
+module Graph = Mcmap_model.Graph
+module Plan = Mcmap_hardening.Plan
+module Technique = Mcmap_hardening.Technique
+module Reliability = Mcmap_reliability.Analysis
+module Prng = Mcmap_util.Prng
+
+let allocated_procs rng alloc =
+  let ids = ref [] in
+  Array.iteri (fun i bit -> if bit then ids := i :: !ids) alloc;
+  match !ids with
+  | [] ->
+    (* empty allocation: switch one processor on at random *)
+    let p = Prng.int rng (Array.length alloc) in
+    alloc.(p) <- true;
+    [| p |]
+  | l -> Array.of_list (List.rev l)
+
+(* Degrade a technique that needs more simultaneous replicas than there
+   are allocated processors. *)
+let fit_technique technique ~available =
+  let needed = Technique.replica_count technique in
+  if needed <= available then technique
+  else
+    match technique with
+    | Technique.No_hardening | Technique.Re_execution _
+    | Technique.Checkpointing _ ->
+      technique
+    | Technique.Active_replication _ ->
+      if available >= 2 then Technique.active_replication available
+      else Technique.re_execution 1
+    | Technique.Passive_replication _ ->
+      if available >= 3 then Technique.passive_replication (available - 2)
+      else Technique.re_execution 1
+
+let legalise rng allocated p =
+  if Array.exists (fun q -> q = p) allocated then p
+  else Prng.pick rng allocated
+
+(* Pairwise distinct bindings for a replica set, keeping genome choices
+   where possible. *)
+let distinct_bindings rng allocated ~wanted candidates =
+  let chosen = ref [] in
+  let taken p = List.exists (fun q -> q = p) !chosen in
+  List.iter
+    (fun p ->
+      let p = legalise rng allocated p in
+      if (not (taken p)) && List.length !chosen < wanted then
+        chosen := p :: !chosen)
+    candidates;
+  (* top up with unused allocated processors, in shuffled order *)
+  let pool = Array.copy allocated in
+  Prng.shuffle rng pool;
+  Array.iter
+    (fun p ->
+      if (not (taken p)) && List.length !chosen < wanted then
+        chosen := p :: !chosen)
+    pool;
+  Array.of_list (List.rev !chosen)
+
+let decision_of_gene rng allocated (gene : Genome.task_gene) =
+  let available = Array.length allocated in
+  let technique = fit_technique gene.Genome.technique ~available in
+  let wanted = Technique.replica_count technique in
+  if wanted > 1 then begin
+    let candidates =
+      gene.Genome.primary :: Array.to_list gene.Genome.replicas in
+    let procs = distinct_bindings rng allocated ~wanted candidates in
+    { Plan.technique; primary_proc = procs.(0);
+      replica_procs = Array.sub procs 1 (wanted - 1);
+      voter_proc = legalise rng allocated gene.Genome.voter }
+  end
+  else
+    { Plan.technique;
+      primary_proc = legalise rng allocated gene.Genome.primary;
+      replica_procs = [||];
+      voter_proc = legalise rng allocated gene.Genome.voter }
+
+(* Randomized reliability repair: strengthen random tasks of violating
+   graphs with random techniques until the constraint holds or the
+   attempt budget is exhausted. *)
+let repair_reliability rng arch apps allocated decisions dropped =
+  let budget = ref (3 * Appset.total_tasks apps) in
+  let current = ref (Plan.make apps ~decisions ~dropped) in
+  let violated () = Reliability.violations arch apps !current in
+  let rec loop () =
+    match violated () with
+    | [] -> ()
+    | v :: _ when !budget > 0 ->
+      decr budget;
+      let gi = v.Reliability.graph in
+      let g = Appset.graph apps gi in
+      let ti = Prng.int rng (Graph.n_tasks g) in
+      let available = Array.length allocated in
+      let technique =
+        let dice = Prng.float rng 1. in
+        if dice < 0.5 || available < 3 then
+          Technique.re_execution (Prng.int_in rng 1 3)
+        else if dice < 0.8 then
+          Technique.active_replication (min 3 available)
+        else Technique.passive_replication (min 2 (available - 2)) in
+      let technique = fit_technique technique ~available in
+      let wanted = Technique.replica_count technique in
+      let procs =
+        distinct_bindings rng allocated ~wanted
+          [ decisions.(gi).(ti).Plan.primary_proc ] in
+      decisions.(gi).(ti) <-
+        { Plan.technique; primary_proc = procs.(0);
+          replica_procs = Array.sub procs 1 (wanted - 1);
+          voter_proc = Prng.pick rng allocated };
+      current := Plan.make apps ~decisions ~dropped;
+      loop ()
+    | _ :: _ -> () (* out of budget: leave for the penalty scheme *) in
+  loop ();
+  !current
+
+let decode rng ?(force_no_dropping = false) arch apps (genome : Genome.t) =
+  let alloc = Array.copy genome.Genome.alloc in
+  let allocated = allocated_procs rng alloc in
+  let decisions =
+    Array.mapi
+      (fun _gi row -> Array.map (decision_of_gene rng allocated) row)
+      genome.Genome.genes in
+  let dropped =
+    Array.init (Appset.n_graphs apps) (fun gi ->
+        (not force_no_dropping)
+        && Graph.is_droppable (Appset.graph apps gi)
+        && not genome.Genome.nondrop.(gi)) in
+  repair_reliability rng arch apps allocated decisions dropped

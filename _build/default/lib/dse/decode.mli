@@ -1,0 +1,29 @@
+(** Genotype-to-phenotype translation with repair (paper §4).
+
+    Decoding restricts every binding to allocated processors, reconciles
+    replica sets with the available processors, and applies the paper's
+    randomized repair heuristics:
+
+    - bindings on unallocated processors are reassigned to a random
+      allocated one;
+    - colliding replicas are re-drawn onto pairwise distinct allocated
+      processors; if fewer processors are allocated than the technique
+      needs, the technique is degraded (replication to re-execution);
+    - while a reliability constraint is violated, a random task of the
+      violating graph receives a random hardening technique (bounded
+      number of attempts — a still-violating candidate is left to the
+      penalty scheme).
+
+    Repair draws from the supplied PRNG, so decoding is deterministic
+    given the seed. *)
+
+val decode :
+  Mcmap_util.Prng.t ->
+  ?force_no_dropping:bool ->
+  Mcmap_model.Arch.t ->
+  Mcmap_model.Appset.t ->
+  Genome.t ->
+  Mcmap_hardening.Plan.t
+(** [force_no_dropping] (default false) ignores the genome's non-drop
+    section and keeps every application — the ablation knob behind the
+    paper's "with vs without task dropping" comparison (§5.2). *)

@@ -1,0 +1,47 @@
+(** Candidate evaluation: objectives and constraints (paper §2.3, §4).
+
+    Objectives (both as minimisation entries of [objectives]):
+    + provisioned power consumption
+      [sum_p (stat_p + dyn_p * u_p)] over used processors, with [u_p]
+      the certified critical-state utilisation (Eq. (1) WCETs, dropped
+      graphs excluded) — the demand the design must provision for, so
+      task dropping saves real capacity and power;
+    + negated quality of service [- sum_{t not in T_d} sv_t].
+
+    Constraints: reliability (per {!Mcmap_reliability.Analysis}) and
+    schedulability under Algorithm 1 ({!Mcmap_analysis.Wcrt}). Violations
+    are aggregated into a magnitude used for constraint-domination. *)
+
+type t = {
+  plan : Mcmap_hardening.Plan.t;
+  power : float;
+  service : float;
+  schedulable : bool;
+  reliable : bool;
+  violation : float;  (** 0 when feasible; larger = worse *)
+  rescued : bool;
+      (** feasible as decoded but infeasible when dropping is disabled —
+          the solutions counted by the paper's §5.2 ratio *)
+  objectives : float array;  (** [| power; -. service |] *)
+}
+
+val feasible : t -> bool
+
+val power_of_plan :
+  Mcmap_model.Arch.t ->
+  Mcmap_model.Appset.t ->
+  Mcmap_hardening.Plan.t ->
+  float
+(** The power objective alone (no scheduling analysis). *)
+
+val evaluate :
+  ?check_rescue:bool ->
+  ?max_iterations:int ->
+  Mcmap_model.Arch.t ->
+  Mcmap_model.Appset.t ->
+  Mcmap_hardening.Plan.t ->
+  t
+(** Full evaluation. [check_rescue] (default true) additionally analyses
+    the same plan with an empty dropped set to detect dropping-rescued
+    candidates; pass [false] to halve analysis cost when the statistic is
+    not needed. *)

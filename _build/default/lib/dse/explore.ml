@@ -1,0 +1,75 @@
+module Stats = Mcmap_util.Stats
+module Pareto = Mcmap_util.Pareto
+
+type summary = {
+  best_power : float option;
+  pareto : (Mcmap_hardening.Plan.t * float * float) list;
+  rescue_ratio_pct : float;
+  reexec_share_pct : float;
+  rescue_trend : (float * float) option;
+  stats : Ga.stats;
+}
+
+(* Rescue ratio over the first vs the second half of the generations. *)
+let trend_of_history history =
+  match history with
+  | [] | [ _ ] -> None
+  | _ :: _ ->
+    let n = List.length history in
+    let ratio slice =
+      let feasible =
+        Mcmap_util.Mathx.sum_by (fun g -> g.Ga.batch_feasible) slice in
+      let rescued =
+        Mcmap_util.Mathx.sum_by (fun g -> g.Ga.batch_rescued) slice in
+      if feasible = 0 then None
+      else Some (Mcmap_util.Stats.ratio_pct rescued feasible) in
+    let first = List.filteri (fun i _ -> i < n / 2) history in
+    let second = List.filteri (fun i _ -> i >= n / 2) history in
+    (match ratio first, ratio second with
+     | Some a, Some b -> Some (a, b)
+     | _, _ -> None)
+
+let summarize (result : Ga.result) =
+  let feasible =
+    List.filter
+      (fun (_, e) -> Evaluate.feasible e)
+      (Array.to_list result.Ga.archive) in
+  let best_power =
+    List.fold_left
+      (fun acc (_, (e : Evaluate.t)) ->
+        match acc with
+        | Some p when p <= e.Evaluate.power -> acc
+        | Some _ | None -> Some e.Evaluate.power)
+      None feasible in
+  let entries =
+    List.map
+      (fun (_, (e : Evaluate.t)) ->
+        ((e.Evaluate.plan, e.Evaluate.power, e.Evaluate.service),
+         e.Evaluate.objectives))
+      feasible in
+  let pareto = List.map fst (Pareto.front_2d entries) in
+  let stats = result.Ga.stats in
+  { best_power; pareto;
+    rescue_trend = trend_of_history stats.Ga.history;
+    rescue_ratio_pct =
+      Stats.ratio_pct stats.Ga.rescued_evaluations
+        stats.Ga.feasible_evaluations;
+    reexec_share_pct =
+      Stats.ratio_pct stats.Ga.reexec_hardened stats.Ga.hardened;
+    stats }
+
+let run ?(config = Ga.default_config) arch apps =
+  summarize (Ga.optimize config arch apps)
+
+let dropping_gain_pct ?(config = Ga.default_config) arch apps =
+  let with_dropping =
+    run ~config:{ config with force_no_dropping = false } arch apps in
+  let without_dropping =
+    run
+      ~config:{ config with force_no_dropping = true; check_rescue = false }
+      arch apps in
+  let gain =
+    match with_dropping.best_power, without_dropping.best_power with
+    | Some w, Some wo -> Some (100. *. (wo -. w) /. w)
+    | _, _ -> None in
+  (with_dropping.best_power, without_dropping.best_power, gain)

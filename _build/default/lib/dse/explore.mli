@@ -1,0 +1,39 @@
+(** High-level exploration drivers behind the paper's experiments. *)
+
+type summary = {
+  best_power : float option;
+      (** lowest power among feasible archive members *)
+  pareto : (Mcmap_hardening.Plan.t * float * float) list;
+      (** feasible power/service front: (plan, power, service), sorted by
+          ascending power *)
+  rescue_ratio_pct : float;
+      (** among feasible candidates explored, the share that is
+          infeasible when dropping is disabled — i.e. solutions rescued
+          by task dropping (§5.2) *)
+  reexec_share_pct : float;
+      (** share of re-execution among applied hardening techniques
+          (§5.2) *)
+  rescue_trend : (float * float) option;
+      (** rescue ratio (in %) over the first vs the second half of the
+          generations — the paper observes the ratio grows as the
+          exploration converges (§5.2); [None] when a half saw no
+          feasible candidate *)
+  stats : Ga.stats;
+}
+
+val run :
+  ?config:Ga.config ->
+  Mcmap_model.Arch.t ->
+  Mcmap_model.Appset.t ->
+  summary
+(** One optimisation run, summarised. *)
+
+val dropping_gain_pct :
+  ?config:Ga.config ->
+  Mcmap_model.Arch.t ->
+  Mcmap_model.Appset.t ->
+  (float option * float option * float option)
+(** The §5.2 power comparison: [(with, without, gain_pct)] where [with]
+    is the best feasible power with task dropping enabled, [without] the
+    best with dropping disabled, and [gain_pct] the relative extra power
+    of the no-dropping design ([100 * (without - with) / with]). *)

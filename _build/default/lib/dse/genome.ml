@@ -1,0 +1,188 @@
+module Arch = Mcmap_model.Arch
+module Appset = Mcmap_model.Appset
+module Graph = Mcmap_model.Graph
+module Technique = Mcmap_hardening.Technique
+module Prng = Mcmap_util.Prng
+
+type task_gene = {
+  technique : Technique.t;
+  primary : int;
+  replicas : int array;
+  voter : int;
+}
+
+type t = {
+  alloc : bool array;
+  nondrop : bool array;
+  genes : task_gene array array;
+}
+
+let random_technique rng ~harden_prob ~n_procs =
+  if not (Prng.bernoulli rng harden_prob) then Technique.No_hardening
+  else begin
+    let dice = Prng.float rng 1. in
+    if dice < 0.45 || n_procs < 3 then
+      Technique.re_execution (Prng.int_in rng 1 2)
+    else if dice < 0.6 then
+      Technique.checkpointing ~segments:(Prng.int_in rng 2 4)
+        ~k:(Prng.int_in rng 1 2)
+    else if dice < 0.85 then Technique.active_replication 3
+    else Technique.passive_replication 1
+  end
+
+let random_gene rng ~harden_prob ~n_procs =
+  let technique = random_technique rng ~harden_prob ~n_procs in
+  let extras = Technique.replica_count technique - 1 in
+  { technique;
+    primary = Prng.int rng n_procs;
+    replicas = Array.init extras (fun _ -> Prng.int rng n_procs);
+    voter = Prng.int rng n_procs }
+
+let random rng arch apps =
+  let n_procs = Arch.n_procs arch in
+  let alloc = Array.init n_procs (fun _ -> Prng.bernoulli rng 0.75) in
+  let nondrop =
+    Array.init (Appset.n_graphs apps) (fun gi ->
+        if Graph.is_droppable (Appset.graph apps gi) then
+          Prng.bernoulli rng 0.5
+        else true) in
+  let genes =
+    Array.init (Appset.n_graphs apps) (fun gi ->
+        let g = Appset.graph apps gi in
+        let harden_prob = if Graph.is_droppable g then 0.05 else 0.6 in
+        Array.init (Graph.n_tasks g) (fun _ ->
+            random_gene rng ~harden_prob ~n_procs)) in
+  { alloc; nondrop; genes }
+
+let seeded rng arch apps =
+  let n_procs = Arch.n_procs arch in
+  let load = Array.make n_procs 0. in
+  let least_loaded () =
+    let best = ref 0 in
+    for p = 1 to n_procs - 1 do
+      if load.(p) < load.(!best) then best := p
+    done;
+    !best in
+  (* Graph-sticky placement: keeping a graph's tasks together removes
+     communication delays and lets the pay-once interference accounting
+     collapse the chain's busy windows; spill to the next least-loaded
+     processor when the current one fills up. *)
+  let genes =
+    Array.init (Appset.n_graphs apps) (fun gi ->
+        let g = Appset.graph apps gi in
+        let critical = not (Graph.is_droppable g) in
+        let period = float_of_int g.Graph.period in
+        let home = ref (least_loaded ()) in
+        Array.init (Graph.n_tasks g) (fun ti ->
+            let task = Graph.task g ti in
+            let technique =
+              if critical then Technique.re_execution 1
+              else Technique.No_hardening in
+            let speed p = (Arch.proc arch p).Mcmap_model.Proc.speed in
+            let demand p =
+              let cycles =
+                match technique with
+                | Technique.Re_execution k ->
+                  (task.Mcmap_model.Task.wcet
+                   + task.Mcmap_model.Task.detection_overhead)
+                  * (k + 1)
+                | Technique.Checkpointing (segments, k) ->
+                  Technique.wcet_after_checkpointing
+                    ~wcet:task.Mcmap_model.Task.wcet
+                    ~detection:task.Mcmap_model.Task.detection_overhead
+                    ~segments ~k
+                | Technique.No_hardening | Technique.Active_replication _
+                | Technique.Passive_replication _ ->
+                  task.Mcmap_model.Task.wcet in
+              float_of_int cycles *. speed p /. period in
+            if load.(!home) +. demand !home > 0.75 then
+              home := least_loaded ();
+            let p = !home in
+            load.(p) <- load.(p) +. demand p;
+            { technique; primary = p;
+              replicas =
+                Array.init
+                  (Technique.replica_count technique - 1)
+                  (fun _ -> Prng.int rng n_procs);
+              voter = Prng.int rng n_procs }))
+  in
+  let nondrop =
+    Array.init (Appset.n_graphs apps) (fun gi ->
+        if Graph.is_droppable (Appset.graph apps gi) then Prng.bool rng
+        else true) in
+  { alloc = Array.make n_procs true; nondrop; genes }
+
+let crossover rng a b =
+  let pick_bit x y = if Prng.bool rng then (x, y) else (y, x) in
+  let alloc1 = Array.copy a.alloc and alloc2 = Array.copy b.alloc in
+  Array.iteri
+    (fun i _ ->
+      let x, y = pick_bit a.alloc.(i) b.alloc.(i) in
+      alloc1.(i) <- x;
+      alloc2.(i) <- y)
+    a.alloc;
+  let nd1 = Array.copy a.nondrop and nd2 = Array.copy b.nondrop in
+  Array.iteri
+    (fun i _ ->
+      let x, y = pick_bit a.nondrop.(i) b.nondrop.(i) in
+      nd1.(i) <- x;
+      nd2.(i) <- y)
+    a.nondrop;
+  let g1 = Array.map Array.copy a.genes
+  and g2 = Array.map Array.copy b.genes in
+  Array.iteri
+    (fun gi row ->
+      Array.iteri
+        (fun ti _ ->
+          let x, y = pick_bit a.genes.(gi).(ti) b.genes.(gi).(ti) in
+          g1.(gi).(ti) <- x;
+          g2.(gi).(ti) <- y)
+        row)
+    a.genes;
+  ({ alloc = alloc1; nondrop = nd1; genes = g1 },
+   { alloc = alloc2; nondrop = nd2; genes = g2 })
+
+let mutate rng ?(rate = 0.05) arch apps t =
+  let n_procs = Arch.n_procs arch in
+  let alloc =
+    Array.map
+      (fun bit -> if Prng.bernoulli rng rate then not bit else bit)
+      t.alloc in
+  let nondrop =
+    Array.mapi
+      (fun gi bit ->
+        if Graph.is_droppable (Appset.graph apps gi)
+           && Prng.bernoulli rng rate then not bit
+        else bit)
+      t.nondrop in
+  let mutate_gene gi gene =
+    if not (Prng.bernoulli rng rate) then gene
+    else begin
+      let g = Appset.graph apps gi in
+      let harden_prob = if Graph.is_droppable g then 0.05 else 0.6 in
+      match Prng.int rng 4 with
+      | 0 ->
+        (* re-roll the technique (and its replica slots) *)
+        let technique = random_technique rng ~harden_prob ~n_procs in
+        let extras = Technique.replica_count technique - 1 in
+        { gene with technique;
+          replicas = Array.init extras (fun _ -> Prng.int rng n_procs) }
+      | 1 -> { gene with primary = Prng.int rng n_procs }
+      | 2 ->
+        if Array.length gene.replicas = 0 then
+          { gene with primary = Prng.int rng n_procs }
+        else begin
+          let replicas = Array.copy gene.replicas in
+          replicas.(Prng.int rng (Array.length replicas)) <-
+            Prng.int rng n_procs;
+          { gene with replicas }
+        end
+      | _ -> { gene with voter = Prng.int rng n_procs }
+    end in
+  let genes =
+    Array.mapi
+      (fun gi row -> Array.map (mutate_gene gi) row)
+      t.genes in
+  { alloc; nondrop; genes }
+
+let equal a b = a = b

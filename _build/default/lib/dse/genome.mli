@@ -1,0 +1,64 @@
+(** The chromosome of the genetic algorithm (paper §4, Fig. 4). Three
+    sections:
+
+    + {b allocation} — one bit per processor of the target architecture;
+    + {b non-droppable selection} — one bit per application; a set bit
+      means the application is never dropped on mode changes (bits of
+      non-droppable applications are forced);
+    + {b binding/hardening} — per task: the hardening technique (degree
+      of re-execution or replication), the bindings of the task, of its
+      replicas and of its voter.
+
+    Genomes are plain data; {!Decode} turns them into phenotypes
+    ({!Mcmap_hardening.Plan.t}) with repair. *)
+
+type task_gene = {
+  technique : Mcmap_hardening.Technique.t;
+  primary : int;
+  replicas : int array;  (** candidate replica bindings (may be repaired) *)
+  voter : int;
+}
+
+type t = {
+  alloc : bool array;  (** per processor *)
+  nondrop : bool array;  (** per graph; meaningful for droppable graphs *)
+  genes : task_gene array array;  (** indexed [graph].[task] *)
+}
+
+val random :
+  Mcmap_util.Prng.t ->
+  Mcmap_model.Arch.t ->
+  Mcmap_model.Appset.t ->
+  t
+(** A random genome: all processors allocated with probability 0.75,
+    droppable graphs kept with probability 0.5, critical tasks hardened
+    with probability 0.6 (droppable tasks 0.2). *)
+
+val seeded :
+  Mcmap_util.Prng.t ->
+  Mcmap_model.Arch.t ->
+  Mcmap_model.Appset.t ->
+  t
+(** A load-balance-seeded genome: every processor allocated, primaries
+    placed greedily on the least-loaded processor (accounting for the
+    speed factor and the Eq. (1) inflation of the chosen hardening),
+    critical tasks hardened with single re-execution, droppable tasks
+    unhardened, non-drop bits random. A handful of these in the initial
+    population gives the GA a schedulable foothold. *)
+
+val crossover : Mcmap_util.Prng.t -> t -> t -> t * t
+(** Uniform crossover, independently per allocation bit, per non-drop
+    bit and per task gene. *)
+
+val mutate :
+  Mcmap_util.Prng.t ->
+  ?rate:float ->
+  Mcmap_model.Arch.t ->
+  Mcmap_model.Appset.t ->
+  t ->
+  t
+(** Point mutation: with probability [rate] (default 0.05) per locus,
+    flip an allocation bit, toggle a non-drop bit, or re-roll a field of
+    a task gene. *)
+
+val equal : t -> t -> bool

@@ -1,0 +1,108 @@
+(* Fast non-dominated sorting and crowding distance, on top of the
+   individual representation (and constraint-domination) of Spea2. *)
+
+let fronts pop =
+  let n = Array.length pop in
+  let dominated_by = Array.make n 0 in
+  let dominates_list = Array.make n [] in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j && Spea2.dominates pop.(i) pop.(j) then begin
+        dominates_list.(i) <- j :: dominates_list.(i);
+        dominated_by.(j) <- dominated_by.(j) + 1
+      end
+    done
+  done;
+  let rec peel current acc =
+    if current = [] then List.rev acc
+    else begin
+      let next = ref [] in
+      List.iter
+        (fun i ->
+          List.iter
+            (fun j ->
+              dominated_by.(j) <- dominated_by.(j) - 1;
+              if dominated_by.(j) = 0 then next := j :: !next)
+            dominates_list.(i))
+        current;
+      peel (List.rev !next) (current :: acc)
+    end in
+  let first = ref [] in
+  for i = n - 1 downto 0 do
+    if dominated_by.(i) = 0 then first := i :: !first
+  done;
+  peel !first []
+
+let crowding pop front =
+  let members = Array.of_list front in
+  let m = Array.length members in
+  let dist = Hashtbl.create m in
+  List.iter (fun i -> Hashtbl.replace dist i 0.) front;
+  if m > 0 then begin
+    let n_obj = Array.length pop.(members.(0)).Spea2.objectives in
+    for obj = 0 to n_obj - 1 do
+      let sorted = Array.copy members in
+      Array.sort
+        (fun a b ->
+          compare pop.(a).Spea2.objectives.(obj)
+            pop.(b).Spea2.objectives.(obj))
+        sorted;
+      let lo = pop.(sorted.(0)).Spea2.objectives.(obj) in
+      let hi = pop.(sorted.(m - 1)).Spea2.objectives.(obj) in
+      Hashtbl.replace dist sorted.(0) infinity;
+      Hashtbl.replace dist sorted.(m - 1) infinity;
+      let range = hi -. lo in
+      if range > 0. then
+        for k = 1 to m - 2 do
+          let prev = pop.(sorted.(k - 1)).Spea2.objectives.(obj) in
+          let next = pop.(sorted.(k + 1)).Spea2.objectives.(obj) in
+          Hashtbl.replace dist sorted.(k)
+            (Hashtbl.find dist sorted.(k) +. ((next -. prev) /. range))
+        done
+    done
+  end;
+  dist
+
+let assign_fitness pop =
+  List.iteri
+    (fun rank front ->
+      let dist = crowding pop front in
+      List.iter
+        (fun i ->
+          let c = Hashtbl.find dist i in
+          pop.(i).Spea2.fitness <- float_of_int rank +. (1. /. (2. +. c)))
+        front)
+    (fronts pop)
+
+let environmental_selection ~size pop =
+  let n = Array.length pop in
+  if n <= size then Array.copy pop
+  else begin
+    let selected = ref [] and count = ref 0 in
+    List.iter
+      (fun front ->
+        if !count < size then begin
+          let room = size - !count in
+          if List.length front <= room then begin
+            selected := List.rev_append front !selected;
+            count := !count + List.length front
+          end
+          else begin
+            (* truncate the overflowing front by descending crowding *)
+            let dist = crowding pop front in
+            let by_crowding =
+              List.sort
+                (fun a b ->
+                  compare (Hashtbl.find dist b) (Hashtbl.find dist a))
+                front in
+            let rec take k = function
+              | [] -> []
+              | x :: rest -> if k = 0 then [] else x :: take (k - 1) rest
+            in
+            selected := List.rev_append (take room by_crowding) !selected;
+            count := size
+          end
+        end)
+      (fronts pop);
+    Array.of_list (List.rev_map (fun i -> pop.(i)) !selected)
+  end

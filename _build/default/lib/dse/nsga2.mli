@@ -1,0 +1,19 @@
+(** NSGA-II environmental selection (Deb et al.) — an alternative to the
+    paper's SPEA2 selector, provided for ablation studies.
+
+    Individuals are ranked by fast non-dominated sorting (under the same
+    constraint-domination as {!Spea2}); whole fronts are admitted to the
+    next archive until one overflows, which is truncated by descending
+    crowding distance. Fitness is encoded so that binary tournaments on
+    it reproduce NSGA-II's crowded-comparison operator:
+    [rank + 1 / (2 + crowding)] (lower is better; extreme points of a
+    front have infinite crowding and thus the best fitness of their
+    rank). *)
+
+val assign_fitness : 'a Spea2.individual array -> unit
+(** In-place, like {!Spea2.assign_fitness}. *)
+
+val environmental_selection :
+  size:int -> 'a Spea2.individual array -> 'a Spea2.individual array
+(** Select the next archive of [min size n] individuals (requires
+    fitness assigned). *)

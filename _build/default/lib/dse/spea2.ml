@@ -1,0 +1,125 @@
+module Pareto = Mcmap_util.Pareto
+module Prng = Mcmap_util.Prng
+
+type 'a individual = {
+  payload : 'a;
+  objectives : float array;
+  violation : float;
+  mutable fitness : float;
+}
+
+let make_individual ~payload ~objectives ~violation =
+  { payload; objectives; violation; fitness = infinity }
+
+let dominates a b =
+  if a.violation = 0. && b.violation > 0. then true
+  else if a.violation > 0. && b.violation = 0. then false
+  else if a.violation > 0. (* both infeasible *) then
+    a.violation < b.violation
+  else Pareto.dominates a.objectives b.objectives
+
+let distance a b =
+  let acc = ref 0. in
+  Array.iteri
+    (fun i x ->
+      let d = x -. b.objectives.(i) in
+      acc := !acc +. (d *. d))
+    a.objectives;
+  sqrt !acc
+
+(* Distances to all other individuals, ascending. *)
+let sorted_distances pop i =
+  let n = Array.length pop in
+  let d = Array.make (n - 1) 0. in
+  let k = ref 0 in
+  for j = 0 to n - 1 do
+    if j <> i then begin
+      d.(!k) <- distance pop.(i) pop.(j);
+      incr k
+    end
+  done;
+  Array.sort compare d;
+  d
+
+let assign_fitness pop =
+  let n = Array.length pop in
+  if n = 0 then ()
+  else begin
+    let strength = Array.make n 0 in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if i <> j && dominates pop.(i) pop.(j) then
+          strength.(i) <- strength.(i) + 1
+      done
+    done;
+    let k = max 1 (int_of_float (sqrt (float_of_int n))) in
+    for i = 0 to n - 1 do
+      let raw = ref 0 in
+      for j = 0 to n - 1 do
+        if i <> j && dominates pop.(j) pop.(i) then raw := !raw + strength.(j)
+      done;
+      let density =
+        if n = 1 then 0.
+        else begin
+          let d = sorted_distances pop i in
+          let sigma = d.(min (k - 1) (Array.length d - 1)) in
+          1. /. (sigma +. 2.)
+        end in
+      pop.(i).fitness <- float_of_int !raw +. density
+    done
+  end
+
+let environmental_selection ~size pop =
+  let n = Array.length pop in
+  if n <= size then Array.copy pop
+  else begin
+    let non_dominated =
+      Array.of_list
+        (List.filter (fun ind -> ind.fitness < 1.) (Array.to_list pop)) in
+    if Array.length non_dominated <= size then begin
+      (* fill up with the best dominated individuals *)
+      let sorted = Array.copy pop in
+      Array.sort (fun a b -> compare a.fitness b.fitness) sorted;
+      Array.sub sorted 0 size
+    end
+    else begin
+      (* truncate by iteratively removing the most crowded individual *)
+      let alive = Array.make (Array.length non_dominated) true in
+      let count = ref (Array.length non_dominated) in
+      while !count > size do
+        (* the individual with lexicographically smallest distance
+           vector to its nearest alive neighbours is removed *)
+        let best = ref (-1) in
+        let best_key = ref [||] in
+        Array.iteri
+          (fun i a ->
+            if a then begin
+              let ds = ref [] in
+              Array.iteri
+                (fun j b ->
+                  if b && j <> i then
+                    ds := distance non_dominated.(i) non_dominated.(j)
+                          :: !ds)
+                alive;
+              let key = Array.of_list (List.sort compare !ds) in
+              if !best < 0 || key < !best_key then begin
+                best := i;
+                best_key := key
+              end
+            end)
+          alive;
+        alive.(!best) <- false;
+        decr count
+      done;
+      let out = ref [] in
+      Array.iteri
+        (fun i a -> if a then out := non_dominated.(i) :: !out)
+        alive;
+      Array.of_list (List.rev !out)
+    end
+  end
+
+let binary_tournament rng pop =
+  let a = pop.(Prng.int rng (Array.length pop)) in
+  let b = pop.(Prng.int rng (Array.length pop)) in
+  if a.fitness <= b.fitness then a else b

@@ -1,0 +1,41 @@
+(** SPEA2 (Zitzler et al., the paper's population selector, ref [19])
+    with constraint-domination.
+
+    Fitness = raw fitness + density. The {e strength} of an individual
+    is the number of individuals it dominates; the {e raw fitness} is
+    the sum of the strengths of its dominators (0 = non-dominated); the
+    {e density} is [1 / (sigma_k + 2)] with [sigma_k] the distance to
+    the k-th nearest neighbour in objective space, [k = sqrt N].
+    Environmental selection keeps all non-dominated individuals, fills
+    up with the best dominated ones, and truncates an overfull archive
+    by iteratively removing the individual with the smallest
+    nearest-neighbour distance.
+
+    Constraint-domination: a feasible individual dominates every
+    infeasible one; among infeasible individuals the smaller violation
+    dominates; among feasible ones Pareto dominance applies. *)
+
+type 'a individual = {
+  payload : 'a;
+  objectives : float array;
+  violation : float;  (** 0 = feasible *)
+  mutable fitness : float;  (** assigned by {!assign_fitness}; lower is
+                                better *)
+}
+
+val make_individual :
+  payload:'a -> objectives:float array -> violation:float -> 'a individual
+
+val dominates : 'a individual -> 'a individual -> bool
+
+val assign_fitness : 'a individual array -> unit
+(** Compute SPEA2 fitness for the union population, in place. *)
+
+val environmental_selection :
+  size:int -> 'a individual array -> 'a individual array
+(** Select the next archive of exactly [min size n] individuals
+    (requires fitness assigned). *)
+
+val binary_tournament :
+  Mcmap_util.Prng.t -> 'a individual array -> 'a individual
+(** Mating selection on fitness (lower wins). *)

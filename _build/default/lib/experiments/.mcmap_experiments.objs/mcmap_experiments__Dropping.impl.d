@@ -1,0 +1,1 @@
+lib/experiments/dropping.ml: Format List Mcmap_benchmarks Mcmap_dse Mcmap_util Paper

@@ -1,0 +1,1 @@
+lib/experiments/dropping.mli: Mcmap_dse

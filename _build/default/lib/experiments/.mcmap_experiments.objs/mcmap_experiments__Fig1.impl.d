@@ -1,0 +1,1 @@
+lib/experiments/fig1.ml: Array Format Mcmap_hardening Mcmap_model Mcmap_sched Mcmap_sim

@@ -1,0 +1,1 @@
+lib/experiments/fig5.ml: Array Buffer Bytes Format List Mcmap_benchmarks Mcmap_dse Mcmap_hardening Mcmap_model Mcmap_util String

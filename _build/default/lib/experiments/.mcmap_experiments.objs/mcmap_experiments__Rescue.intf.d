@@ -1,0 +1,1 @@
+lib/experiments/rescue.mli: Mcmap_dse

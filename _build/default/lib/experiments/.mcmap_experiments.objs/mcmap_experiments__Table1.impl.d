@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: Array Format List Mcmap_analysis Mcmap_benchmarks Mcmap_hardening Mcmap_model Mcmap_sched Mcmap_util

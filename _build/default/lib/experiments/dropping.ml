@@ -1,0 +1,42 @@
+module B = Mcmap_benchmarks
+module Dse = Mcmap_dse
+
+type entry = {
+  benchmark : string;
+  power_with : float option;
+  power_without : float option;
+  gain_pct : float option;
+  paper_gain_pct : float option;
+}
+
+let run ?config ?(benchmarks = [ "dt-med"; "dt-large"; "cruise" ]) () =
+  let config =
+    match config with
+    | Some c -> { c with Dse.Ga.check_rescue = false }
+    | None -> { Dse.Ga.default_config with Dse.Ga.check_rescue = false } in
+  List.map
+    (fun name ->
+      let bench = B.Registry.find_exn name in
+      let power_with, power_without, gain_pct =
+        Dse.Explore.dropping_gain_pct ~config bench.B.Benchmark.arch
+          bench.B.Benchmark.apps in
+      { benchmark = name; power_with; power_without; gain_pct;
+        paper_gain_pct = List.assoc_opt name Paper.dropping_gain_pct })
+    benchmarks
+
+let render entries =
+  let table =
+    Mcmap_util.Texttable.create
+      ~header:
+        [ "Benchmark"; "Power (dropping)"; "Power (no dropping)";
+          "Extra power %"; "Paper %" ] in
+  let cell = function
+    | Some x -> Format.asprintf "%.3f" x
+    | None -> "-" in
+  List.iter
+    (fun e ->
+      Mcmap_util.Texttable.add_row table
+        [ e.benchmark; cell e.power_with; cell e.power_without;
+          cell e.gain_pct; cell e.paper_gain_pct ])
+    entries;
+  Mcmap_util.Texttable.render table

@@ -1,0 +1,21 @@
+(** Experiment E2 — §5.2 of the paper: optimized power consumption with
+    vs without task dropping (the paper reports +14.66 % / +16.16 % /
+    +18.52 % extra power without dropping on DT-med / DT-large /
+    Cruise). *)
+
+type entry = {
+  benchmark : string;
+  power_with : float option;  (** best feasible power, dropping enabled *)
+  power_without : float option;  (** best feasible power, no dropping *)
+  gain_pct : float option;
+      (** extra power of the no-dropping design, in percent *)
+  paper_gain_pct : float option;  (** the paper's value, when reported *)
+}
+
+val run :
+  ?config:Mcmap_dse.Ga.config -> ?benchmarks:string list -> unit ->
+  entry list
+(** Default benchmarks: the three the paper reports
+    (dt-med, dt-large, cruise). *)
+
+val render : entry list -> string

@@ -1,0 +1,108 @@
+module Arch = Mcmap_model.Arch
+module Proc = Mcmap_model.Proc
+module Task = Mcmap_model.Task
+module Channel = Mcmap_model.Channel
+module Graph = Mcmap_model.Graph
+module Appset = Mcmap_model.Appset
+module Criticality = Mcmap_model.Criticality
+module Plan = Mcmap_hardening.Plan
+module Happ = Mcmap_hardening.Happ
+module Technique = Mcmap_hardening.Technique
+module Jobset = Mcmap_sched.Jobset
+module Job = Mcmap_sched.Job
+module Engine = Mcmap_sim.Engine
+module Fault_profile = Mcmap_sim.Fault_profile
+
+type outcome = {
+  normal_deadline_met : bool;
+  fault_keep_deadline_met : bool;
+  fault_drop_deadline_met : bool;
+  normal_response : int option;
+  fault_keep_response : int option;
+  fault_drop_response : int option;
+  deadline : int;
+}
+
+let deadline_high = 130
+
+let scenario () =
+  let proc id name =
+    Proc.make ~id ~name ~fault_rate:1e-5 ~policy:Proc.Non_preemptive_fp () in
+  let arch =
+    Arch.make ~bus_bandwidth:2 ~bus_latency:1
+      [| proc 0 "pe0"; proc 1 "pe1" |] in
+  let high =
+    Graph.make ~name:"high" ~deadline:deadline_high
+      ~tasks:
+        [| Task.make ~id:0 ~name:"A" ~wcet:40 ~bcet:30
+             ~detection_overhead:4 ();
+           Task.make ~id:1 ~name:"E" ~wcet:35 ~bcet:25 () |]
+      ~channels:[| Channel.make ~src:0 ~dst:1 ~size:4 () |]
+      ~period:200 ~criticality:(Criticality.critical 1e-3) () in
+  let low =
+    Graph.make ~name:"low" ~deadline:200
+      ~tasks:
+        [| Task.make ~id:0 ~name:"G" ~wcet:58 ~bcet:40 ();
+           Task.make ~id:1 ~name:"H" ~wcet:60 ~bcet:45 () |]
+      ~channels:[| Channel.make ~src:0 ~dst:1 ~size:4 () |]
+      ~period:200 ~criticality:(Criticality.droppable 1.0) () in
+  let apps = Appset.make [| high; low |] in
+  let d technique proc =
+    { Plan.technique; primary_proc = proc; replica_procs = [||];
+      voter_proc = proc } in
+  let decisions () =
+    [| [| d (Technique.re_execution 1) 0 (* A on pe0 *);
+          d Technique.No_hardening 1 (* E on pe1 *) |];
+       [| d Technique.No_hardening 1 (* G on pe1 *);
+          d Technique.No_hardening 1 (* H on pe1 *) |] |] in
+  let keep =
+    Plan.make apps ~decisions:(decisions ()) ~dropped:[| false; false |] in
+  let drop =
+    Plan.make apps ~decisions:(decisions ()) ~dropped:[| false; true |] in
+  (arch, apps, keep, drop)
+
+(* A fault profile where only task A's first attempt fails. *)
+let fault_at_a js =
+  { Fault_profile.none with
+    Fault_profile.reexec_fault =
+      (fun (j : Job.t) ~attempt ->
+        attempt = 0
+        && j.Job.graph = 0
+        &&
+        let ht =
+          (Happ.graph js.Jobset.happ j.Job.graph).Happ.tasks.(j.Job.task) in
+        ht.Happ.origin = 0) }
+
+let run () =
+  let arch, apps, keep, drop = scenario () in
+  let response plan profile_of =
+    let happ = Happ.build arch apps plan in
+    let js = Jobset.build happ in
+    let outcome = Engine.run js ~profile:(profile_of js) in
+    (outcome.Engine.graph_response.(0), outcome.Engine.graph_deadline_ok.(0))
+  in
+  let normal_response, normal_ok =
+    response keep (fun _ -> Fault_profile.none) in
+  let fault_keep_response, keep_ok = response keep fault_at_a in
+  let fault_drop_response, drop_ok = response drop fault_at_a in
+  { normal_deadline_met = normal_ok;
+    fault_keep_deadline_met = keep_ok;
+    fault_drop_deadline_met = drop_ok;
+    normal_response; fault_keep_response; fault_drop_response;
+    deadline = deadline_high }
+
+let render o =
+  let cell = function Some r -> string_of_int r | None -> "-" in
+  let verdict ok = if ok then "met" else "MISSED" in
+  Format.asprintf
+    "@[<v>Figure 1 motivational example (deadline of the critical \
+     application: %d)@,\
+     (b) no fault:              response %s, deadline %s@,\
+     (c) fault, nothing dropped: response %s, deadline %s@,\
+     (d) fault, low dropped:     response %s, deadline %s@]@."
+    o.deadline (cell o.normal_response)
+    (verdict o.normal_deadline_met)
+    (cell o.fault_keep_response)
+    (verdict o.fault_keep_deadline_met)
+    (cell o.fault_drop_response)
+    (verdict o.fault_drop_deadline_met)

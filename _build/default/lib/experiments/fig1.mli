@@ -1,0 +1,34 @@
+(** Experiment E5 — the motivational example of Figure 1: a two-processor
+    system where
+
+    + with no fault, every application meets its deadline;
+    + a re-execution of the hardened task [A] makes the critical
+      application miss its deadline when the low-criticality application
+      is kept;
+    + dropping the low-criticality application on the mode change
+      restores the deadline.
+
+    The scenario is executed on the discrete-event engine (Figure 1 is a
+    schedule illustration; the corresponding analysis verdicts are also
+    reported). *)
+
+type outcome = {
+  normal_deadline_met : bool;  (** Fig. 1 (b) *)
+  fault_keep_deadline_met : bool;  (** Fig. 1 (c): expected [false] *)
+  fault_drop_deadline_met : bool;  (** Fig. 1 (d): expected [true] *)
+  normal_response : int option;
+  fault_keep_response : int option;
+  fault_drop_response : int option;
+  deadline : int;
+}
+
+val scenario :
+  unit ->
+  Mcmap_model.Arch.t * Mcmap_model.Appset.t * Mcmap_hardening.Plan.t
+  * Mcmap_hardening.Plan.t
+(** The architecture, applications, keep-everything plan and
+    drop-low-criticality plan of the example. *)
+
+val run : unit -> outcome
+
+val render : outcome -> string

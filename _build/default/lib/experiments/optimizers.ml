@@ -1,0 +1,60 @@
+module B = Mcmap_benchmarks
+module Dse = Mcmap_dse
+
+type entry = {
+  optimizer : string;
+  best_power : float option;
+  feasible : int;
+  evaluations : int;
+}
+
+let ga_entry label selector arch apps ~budget ~seed =
+  let population = 40 in
+  let offspring = population in
+  let generations = max 1 ((budget - population) / offspring) in
+  let config =
+    { Dse.Ga.default_config with
+      Dse.Ga.population; offspring; generations; seed;
+      check_rescue = false; selector } in
+  let summary = Dse.Explore.run ~config arch apps in
+  { optimizer = label;
+    best_power = summary.Dse.Explore.best_power;
+    feasible = summary.Dse.Explore.stats.Dse.Ga.feasible_evaluations;
+    evaluations = summary.Dse.Explore.stats.Dse.Ga.evaluations }
+
+let run ?(benchmark = "cruise") ?(budget = 800) ?(seed = 42) () =
+  let bench = B.Registry.find_exn benchmark in
+  let arch = bench.B.Benchmark.arch and apps = bench.B.Benchmark.apps in
+  let baseline label r =
+    { optimizer = label;
+      best_power =
+        Option.map
+          (fun (_, (e : Dse.Evaluate.t)) -> e.Dse.Evaluate.power)
+          r.Dse.Baselines.best;
+      feasible = r.Dse.Baselines.feasible;
+      evaluations = r.Dse.Baselines.evaluations } in
+  [ ga_entry "GA + SPEA2 (paper)" Dse.Ga.Spea2_selector arch apps ~budget
+      ~seed;
+    ga_entry "GA + NSGA-II (ablation)" Dse.Ga.Nsga2_selector arch apps
+      ~budget ~seed;
+    baseline "simulated annealing"
+      (Dse.Baselines.simulated_annealing ~budget ~seed arch apps);
+    baseline "random search"
+      (Dse.Baselines.random_search ~budget ~seed arch apps) ]
+
+let render entries =
+  let table =
+    Mcmap_util.Texttable.create
+      ~header:[ "Optimizer"; "Best feasible power"; "Feasible"; "Evals" ]
+  in
+  List.iter
+    (fun e ->
+      Mcmap_util.Texttable.add_row table
+        [ e.optimizer;
+          (match e.best_power with
+           | Some p -> Format.asprintf "%.3f" p
+           | None -> "-");
+          string_of_int e.feasible;
+          string_of_int e.evaluations ])
+    entries;
+  Mcmap_util.Texttable.render table

@@ -1,0 +1,19 @@
+(** Experiment E8 (extension) — optimiser comparison on equal evaluation
+    budgets: the paper's GA + SPEA2, the NSGA-II ablation, simulated
+    annealing and random search, all over the same genome encoding and
+    evaluation pipeline, compared on the best feasible power they find
+    and on how much of the budget lands in the feasible region. *)
+
+type entry = {
+  optimizer : string;
+  best_power : float option;
+  feasible : int;
+  evaluations : int;
+}
+
+val run :
+  ?benchmark:string -> ?budget:int -> ?seed:int -> unit -> entry list
+(** Default: cruise with a budget of 800 evaluations (the GA runs
+    population 40 with offspring sized to match the budget). *)
+
+val render : entry list -> string

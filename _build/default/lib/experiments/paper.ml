@@ -1,0 +1,17 @@
+let dropping_gain_pct =
+  [ ("dt-med", 14.66); ("dt-large", 16.16); ("cruise", 18.52) ]
+
+let rescue_ratio_pct =
+  [ ("synth-1", 0.02); ("synth-2", 0.685); ("dt-med", 29.00);
+    ("dt-large", 22.49); ("cruise", 99.98) ]
+
+let reexec_share_pct =
+  [ ("dt-med", 87.03); ("dt-large", 98.66); ("cruise", 83.23);
+    ("synth-1", 44.29) ]
+
+let table2 =
+  [ (1, (661, 462), (661, 521), (666, 552), (796, 641));
+    (2, (819, 723), (649, 568), (842, 815), (1035, 981));
+    (3, (771, 525), (678, 480), (810, 563), (1007, 915)) ]
+
+let fig5_pareto_points = 5

@@ -1,0 +1,22 @@
+(** The values the paper reports, for side-by-side comparison in the
+    regenerated tables (EXPERIMENTS.md). *)
+
+val dropping_gain_pct : (string * float) list
+(** §5.2: extra power without task dropping — DT-med 14.66 %,
+    DT-large 16.16 %, Cruise 18.52 %. *)
+
+val rescue_ratio_pct : (string * float) list
+(** §5.2: ratio of solutions rescued by dropping — Synth-1 0.02 %,
+    Synth-2 0.685 %, DT-med 29.00 %, DT-large 22.49 %, Cruise 99.98 %. *)
+
+val reexec_share_pct : (string * float) list
+(** §5.2: share of re-execution among applied hardenings — DT-med
+    87.03 %, DT-large 98.66 %, Cruise 83.23 %, Synth-1 44.29 %. *)
+
+val table2 : (int * (int * int) * (int * int) * (int * int) * (int * int)) list
+(** Table 2 — per mapping (1-3): (Adhoc, WC-Sim, Proposed, Naive) WCRT
+    pairs for the two critical Cruise applications, in ms. *)
+
+val fig5_pareto_points : int
+(** Figure 5: the paper finds 5 Pareto-optimal power/service points for
+    DT-med. *)

@@ -1,0 +1,55 @@
+module B = Mcmap_benchmarks
+module Dse = Mcmap_dse
+
+type entry = {
+  benchmark : string;
+  evaluations : int;
+  feasible : int;
+  rescue_pct : float;
+  reexec_pct : float;
+  rescue_trend : (float * float) option;
+  paper_rescue_pct : float option;
+  paper_reexec_pct : float option;
+}
+
+let run ?(config = Dse.Ga.default_config)
+    ?(benchmarks = [ "synth-1"; "synth-2"; "dt-med"; "dt-large"; "cruise" ])
+    () =
+  List.map
+    (fun name ->
+      let bench = B.Registry.find_exn name in
+      let summary =
+        Dse.Explore.run ~config bench.B.Benchmark.arch
+          bench.B.Benchmark.apps in
+      let stats = summary.Dse.Explore.stats in
+      { benchmark = name;
+        evaluations = stats.Dse.Ga.evaluations;
+        feasible = stats.Dse.Ga.feasible_evaluations;
+        rescue_pct = summary.Dse.Explore.rescue_ratio_pct;
+        reexec_pct = summary.Dse.Explore.reexec_share_pct;
+        rescue_trend = summary.Dse.Explore.rescue_trend;
+        paper_rescue_pct = List.assoc_opt name Paper.rescue_ratio_pct;
+        paper_reexec_pct = List.assoc_opt name Paper.reexec_share_pct })
+    benchmarks
+
+let render entries =
+  let table =
+    Mcmap_util.Texttable.create
+      ~header:
+        [ "Benchmark"; "Evals"; "Feasible"; "Rescued %"; "Paper %";
+          "Re-exec %"; "Paper re-exec %"; "Trend (1st->2nd half)" ] in
+  let cell = function
+    | Some x -> Format.asprintf "%.2f" x
+    | None -> "-" in
+  List.iter
+    (fun e ->
+      Mcmap_util.Texttable.add_row table
+        [ e.benchmark; string_of_int e.evaluations;
+          string_of_int e.feasible; Format.asprintf "%.2f" e.rescue_pct;
+          cell e.paper_rescue_pct; Format.asprintf "%.2f" e.reexec_pct;
+          cell e.paper_reexec_pct;
+          (match e.rescue_trend with
+           | Some (a, b) -> Format.asprintf "%.1f -> %.1f" a b
+           | None -> "-") ])
+    entries;
+  Mcmap_util.Texttable.render table

@@ -1,0 +1,26 @@
+(** Experiment E3 — §5.2 of the paper: the share of explored feasible
+    solutions that are infeasible without task dropping ("rescued"), and
+    the share of re-execution among applied hardening techniques. The
+    paper reports rescue ratios of 0.02 % (Synth-1), 0.685 % (Synth-2),
+    29.00 % (DT-med), 22.49 % (DT-large) and 99.98 % (Cruise), and
+    observes that the ratio grows with the re-execution share. *)
+
+type entry = {
+  benchmark : string;
+  evaluations : int;
+  feasible : int;
+  rescue_pct : float;
+  reexec_pct : float;
+  rescue_trend : (float * float) option;
+      (** first-half vs second-half rescue ratio: the paper observes the
+          ratio grows as the exploration converges *)
+  paper_rescue_pct : float option;
+  paper_reexec_pct : float option;
+}
+
+val run :
+  ?config:Mcmap_dse.Ga.config -> ?benchmarks:string list -> unit ->
+  entry list
+(** Default benchmarks: all five. *)
+
+val render : entry list -> string

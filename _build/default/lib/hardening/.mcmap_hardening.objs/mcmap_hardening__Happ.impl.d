@@ -1,0 +1,1 @@
+lib/hardening/happ.ml: Array Format List Mcmap_model Mcmap_util Plan Technique

@@ -1,0 +1,1 @@
+lib/hardening/happ.mli: Format Mcmap_model Plan

@@ -1,0 +1,1 @@
+lib/hardening/plan.ml: Array Format Hashtbl List Mcmap_model Mcmap_util Technique

@@ -1,0 +1,1 @@
+lib/hardening/plan.mli: Format Mcmap_model Technique

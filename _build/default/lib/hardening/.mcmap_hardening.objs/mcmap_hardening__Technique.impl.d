@@ -1,0 +1,1 @@
+lib/hardening/technique.ml: Format Mcmap_util

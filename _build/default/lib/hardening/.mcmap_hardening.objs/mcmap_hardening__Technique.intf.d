@@ -1,0 +1,1 @@
+lib/hardening/technique.mli: Format

@@ -1,0 +1,139 @@
+module Appset = Mcmap_model.Appset
+module Arch = Mcmap_model.Arch
+module Graph = Mcmap_model.Graph
+
+type decision = {
+  technique : Technique.t;
+  primary_proc : int;
+  replica_procs : int array;
+  voter_proc : int;
+}
+
+type t = {
+  decisions : decision array array;
+  dropped : bool array;
+}
+
+let structural_check apps decisions dropped =
+  if Array.length decisions <> Appset.n_graphs apps then
+    invalid_arg "Plan: decision matrix does not match the application set";
+  if Array.length dropped <> Appset.n_graphs apps then
+    invalid_arg "Plan: dropped vector does not match the application set";
+  Array.iteri
+    (fun gi row ->
+      let g = Appset.graph apps gi in
+      if Array.length row <> Graph.n_tasks g then
+        invalid_arg "Plan: decision row does not match the graph";
+      if dropped.(gi) && not (Graph.is_droppable g) then
+        invalid_arg "Plan: a non-droppable graph is marked dropped";
+      Array.iter
+        (fun d ->
+          let expected = Technique.replica_count d.technique - 1 in
+          if Array.length d.replica_procs <> expected then
+            invalid_arg "Plan: replica count does not match the technique")
+        row)
+    decisions
+
+let make apps ~decisions ~dropped =
+  structural_check apps decisions dropped;
+  { decisions; dropped }
+
+let unhardened ?(proc = 0) apps =
+  let decisions =
+    Array.init (Appset.n_graphs apps) (fun gi ->
+        Array.make
+          (Graph.n_tasks (Appset.graph apps gi))
+          { technique = Technique.No_hardening;
+            primary_proc = proc;
+            replica_procs = [||];
+            voter_proc = proc }) in
+  { decisions; dropped = Array.make (Appset.n_graphs apps) false }
+
+let decision t ~graph ~task = t.decisions.(graph).(task)
+
+let with_decision t ~graph ~task d =
+  let decisions = Array.map Array.copy t.decisions in
+  decisions.(graph).(task) <- d;
+  { t with decisions }
+
+let with_dropped t ~graph flag =
+  let dropped = Array.copy t.dropped in
+  dropped.(graph) <- flag;
+  { t with dropped }
+
+let dropped_graphs t =
+  let acc = ref [] in
+  for gi = Array.length t.dropped - 1 downto 0 do
+    if t.dropped.(gi) then acc := gi :: !acc
+  done;
+  !acc
+
+let errors arch _apps t =
+  let n = Arch.n_procs arch in
+  let problems = ref [] in
+  let check_range what gi ti p =
+    if p < 0 || p >= n then
+      problems :=
+        Format.asprintf "g%d.t%d: %s processor %d out of range" gi ti what p
+        :: !problems in
+  Array.iteri
+    (fun gi row ->
+      Array.iteri
+        (fun ti d ->
+          check_range "primary" gi ti d.primary_proc;
+          Array.iter (check_range "replica" gi ti) d.replica_procs;
+          if Technique.needs_voter d.technique then
+            check_range "voter" gi ti d.voter_proc;
+          (* Replicas only add reliability when placed on distinct PEs. *)
+          if Technique.replica_count d.technique > 1 then begin
+            let procs = d.primary_proc :: Array.to_list d.replica_procs in
+            let sorted = List.sort_uniq compare procs in
+            if List.length sorted <> List.length procs then
+              problems :=
+                Format.asprintf "g%d.t%d: replicas share a processor" gi ti
+                :: !problems
+          end)
+        row)
+    t.decisions;
+  List.rev !problems
+
+let technique_histogram t =
+  let table = Hashtbl.create 8 in
+  Array.iter
+    (Array.iter (fun d ->
+         let count =
+           match Hashtbl.find_opt table d.technique with
+           | Some c -> c
+           | None -> 0 in
+         Hashtbl.replace table d.technique (count + 1)))
+    t.decisions;
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) table [])
+
+let hardened_share_re_execution t =
+  let hardened = ref 0 and reexec = ref 0 in
+  Array.iter
+    (Array.iter (fun d ->
+         match d.technique with
+         | Technique.No_hardening -> ()
+         | Technique.Re_execution _ ->
+           incr hardened;
+           incr reexec
+         | Technique.Checkpointing _ | Technique.Active_replication _
+         | Technique.Passive_replication _ ->
+           incr hardened))
+    t.decisions;
+  Mcmap_util.Stats.ratio_pct !reexec !hardened
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>plan:@,";
+  Array.iteri
+    (fun gi row ->
+      Format.fprintf ppf "  graph %d%s:@," gi
+        (if t.dropped.(gi) then " [dropped]" else "");
+      Array.iteri
+        (fun ti d ->
+          Format.fprintf ppf "    t%d -> p%d %a@," ti d.primary_proc
+            Technique.pp d.technique)
+        row)
+    t.decisions;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,58 @@
+(** A hardening/mapping/dropping plan — the decision variables of the
+    problem in paper §2.3: a hardening technique per task, the processor
+    binding of the task, its replicas and its voter, and the dropped set
+    [T_d] of droppable graphs that the scheduler abandons in the critical
+    state. *)
+
+type decision = {
+  technique : Technique.t;
+  primary_proc : int;  (** binding of the task / first replica *)
+  replica_procs : int array;
+      (** bindings of the remaining replicas, length
+          [Technique.replica_count technique - 1]; active replicas first,
+          then passive spares *)
+  voter_proc : int;  (** binding of the voter; ignored without voter *)
+}
+
+type t = private {
+  decisions : decision array array;  (** indexed [graph].[task] *)
+  dropped : bool array;  (** per graph: member of the dropped set T_d *)
+}
+
+val unhardened : ?proc:int -> Mcmap_model.Appset.t -> t
+(** Every task unhardened and bound to [proc] (default 0); nothing
+    dropped. A convenient starting point for tests and examples. *)
+
+val make :
+  Mcmap_model.Appset.t ->
+  decisions:decision array array ->
+  dropped:bool array ->
+  t
+(** Structural validation: dimensions match the application set, replica
+    array lengths match the technique, only droppable graphs are dropped.
+    @raise Invalid_argument otherwise. *)
+
+val decision : t -> graph:int -> task:int -> decision
+
+val with_decision : t -> graph:int -> task:int -> decision -> t
+(** Functional update (copies the decision matrix). *)
+
+val with_dropped : t -> graph:int -> bool -> t
+
+val dropped_graphs : t -> int list
+
+val errors : Mcmap_model.Arch.t -> Mcmap_model.Appset.t -> t -> string list
+(** Placement errors: out-of-range processors, colliding replicas
+    (replicas of one task must sit on pairwise distinct processors).
+    Empty list = placement-feasible. *)
+
+val technique_histogram : t -> (Technique.t * int) list
+(** How many tasks use each technique shape (parameters erased to their
+    canonical representative: k/n/m folded to the constructor with its
+    actual value). Sorted by constructor. *)
+
+val hardened_share_re_execution : t -> float
+(** Fraction (in %) of hardened tasks whose technique is re-execution —
+    the statistic reported in paper §5.2. 0 when nothing is hardened. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,62 @@
+type t =
+  | No_hardening
+  | Re_execution of int
+  | Checkpointing of int * int
+  | Active_replication of int
+  | Passive_replication of int
+
+let re_execution k =
+  if k < 1 then invalid_arg "Technique.re_execution: k must be >= 1";
+  Re_execution k
+
+let checkpointing ~segments ~k =
+  if segments < 1 then
+    invalid_arg "Technique.checkpointing: segments must be >= 1";
+  if k < 1 then invalid_arg "Technique.checkpointing: k must be >= 1";
+  Checkpointing (segments, k)
+
+let active_replication n =
+  if n < 2 then invalid_arg "Technique.active_replication: n must be >= 2";
+  Active_replication n
+
+let passive_replication m =
+  if m < 1 then invalid_arg "Technique.passive_replication: m must be >= 1";
+  Passive_replication m
+
+let wcet_after_re_execution ~wcet ~detection ~k = (wcet + detection) * (k + 1)
+
+let wcet_after_checkpointing ~wcet ~detection ~segments ~k =
+  wcet + (segments * detection)
+  + (k * (Mcmap_util.Mathx.ceil_div wcet segments + detection))
+
+let replica_count = function
+  | No_hardening | Re_execution _ | Checkpointing _ -> 1
+  | Active_replication n -> n
+  | Passive_replication m -> 2 + m
+
+let needs_voter = function
+  | No_hardening | Re_execution _ | Checkpointing _ -> false
+  | Active_replication _ | Passive_replication _ -> true
+
+let is_re_execution = function
+  | Re_execution _ | Checkpointing _ -> true
+  | No_hardening | Active_replication _ | Passive_replication _ -> false
+
+let equal a b =
+  match a, b with
+  | No_hardening, No_hardening -> true
+  | Re_execution k1, Re_execution k2 -> k1 = k2
+  | Checkpointing (n1, k1), Checkpointing (n2, k2) -> n1 = n2 && k1 = k2
+  | Active_replication n1, Active_replication n2 -> n1 = n2
+  | Passive_replication m1, Passive_replication m2 -> m1 = m2
+  | ( (No_hardening | Re_execution _ | Checkpointing _
+      | Active_replication _ | Passive_replication _),
+      _ ) ->
+    false
+
+let pp ppf = function
+  | No_hardening -> Format.pp_print_string ppf "none"
+  | Re_execution k -> Format.fprintf ppf "reexec(k=%d)" k
+  | Checkpointing (n, k) -> Format.fprintf ppf "checkpoint(n=%d,k=%d)" n k
+  | Active_replication n -> Format.fprintf ppf "active(n=%d)" n
+  | Passive_replication m -> Format.fprintf ppf "passive(m=%d)" m

@@ -1,0 +1,59 @@
+(** Hardening techniques against transient faults (paper §2.2).
+
+    - {b Re-execution}: faults are detected locally at the end of the task
+      (cost [dt_v]); the task rolls back and re-runs, up to [k] times.
+      Eq. (1): [wcet' = (wcet + dt) * (k + 1)].
+    - {b Checkpointing} (the technique of the paper's baseline ref [2],
+      Pop et al.): the task saves its state at [n] checkpoints (cost
+      [dt_v] each); a fault rolls back only to the last checkpoint, so
+      each of up to [k] tolerated faults re-executes one segment:
+      [wcet' = wcet + n*dt + k*(ceil(wcet/n) + dt)].
+    - {b Active replication}: [n >= 2] replicas always execute on distinct
+      processors; a voter (cost [ve_v]) majority-votes their outputs
+      ([n = 2] gives detection only).
+    - {b Passive replication}: two replicas always execute; [m >= 1] spare
+      replicas are instantiated only when the voter observes a mismatch. *)
+
+type t =
+  | No_hardening
+  | Re_execution of int  (** maximum number [k >= 1] of re-executions *)
+  | Checkpointing of int * int
+      (** [(n, k)]: [n >= 1] checkpoints, tolerating [k >= 1] faults *)
+  | Active_replication of int  (** total number [n >= 2] of replicas *)
+  | Passive_replication of int
+      (** number [m >= 1] of passive spares (on top of 2 active
+          replicas) *)
+
+val re_execution : int -> t
+(** @raise Invalid_argument unless [k >= 1]. *)
+
+val checkpointing : segments:int -> k:int -> t
+(** @raise Invalid_argument unless [segments >= 1] and [k >= 1]. *)
+
+val active_replication : int -> t
+(** @raise Invalid_argument unless [n >= 2]. *)
+
+val passive_replication : int -> t
+(** @raise Invalid_argument unless [m >= 1]. *)
+
+val wcet_after_re_execution : wcet:int -> detection:int -> k:int -> int
+(** Eq. (1) of the paper: [(wcet + detection) * (k + 1)]. *)
+
+val wcet_after_checkpointing :
+  wcet:int -> detection:int -> segments:int -> k:int -> int
+(** [wcet + segments*detection + k * (ceil (wcet / segments) + detection)]
+    — checkpoint overhead plus [k] single-segment recoveries. *)
+
+val replica_count : t -> int
+(** Total simultaneous instances the technique creates: 1 for none and
+    re-execution, [n] for active, [2 + m] for passive. *)
+
+val needs_voter : t -> bool
+
+val is_re_execution : t -> bool
+(** [true] for both {!Re_execution} and {!Checkpointing} — the rollback
+    family whose faults trigger the critical state. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/model/appset.ml: Array Criticality Format Graph Hashtbl List Mcmap_util

@@ -1,0 +1,1 @@
+lib/model/appset.mli: Format Graph Task

@@ -1,0 +1,1 @@
+lib/model/arch.ml: Array Format Mcmap_util Proc

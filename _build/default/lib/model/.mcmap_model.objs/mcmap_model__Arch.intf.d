@@ -1,0 +1,1 @@
+lib/model/arch.mli: Format Proc

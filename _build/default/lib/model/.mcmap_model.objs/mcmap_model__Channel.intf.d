@@ -1,0 +1,1 @@
+lib/model/channel.mli: Format

@@ -1,0 +1,1 @@
+lib/model/criticality.ml: Format

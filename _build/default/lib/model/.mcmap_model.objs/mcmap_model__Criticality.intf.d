@@ -1,0 +1,1 @@
+lib/model/criticality.mli: Format

@@ -1,0 +1,1 @@
+lib/model/graph.ml: Array Channel Criticality Format Hashtbl List Task

@@ -1,0 +1,1 @@
+lib/model/graph.mli: Channel Criticality Format Task

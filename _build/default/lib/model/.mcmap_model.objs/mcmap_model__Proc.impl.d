@@ -1,0 +1,1 @@
+lib/model/proc.ml: Format

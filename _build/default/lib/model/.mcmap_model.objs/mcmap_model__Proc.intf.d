@@ -1,0 +1,1 @@
+lib/model/proc.mli: Format

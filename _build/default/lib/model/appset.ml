@@ -1,0 +1,67 @@
+type task_ref = { graph : int; task : int }
+
+type t = { graphs : Graph.t array }
+
+let make graphs =
+  if Array.length graphs = 0 then invalid_arg "Appset.make: empty set";
+  let names = Hashtbl.create 8 in
+  Array.iter
+    (fun (g : Graph.t) ->
+      if Hashtbl.mem names g.Graph.name then
+        invalid_arg "Appset.make: duplicate graph name";
+      Hashtbl.add names g.Graph.name ())
+    graphs;
+  { graphs }
+
+let n_graphs t = Array.length t.graphs
+
+let graph t i = t.graphs.(i)
+
+let graph_index t name =
+  let rec find i =
+    if i >= n_graphs t then raise Not_found
+    else if (graph t i).Graph.name = name then i
+    else find (i + 1) in
+  find 0
+
+let hyperperiod t =
+  Mcmap_util.Mathx.lcm_list
+    (Array.to_list (Array.map (fun (g : Graph.t) -> g.Graph.period) t.graphs))
+
+let total_tasks t =
+  Array.fold_left (fun acc g -> acc + Graph.n_tasks g) 0 t.graphs
+
+let all_task_refs t =
+  let acc = ref [] in
+  for gi = n_graphs t - 1 downto 0 do
+    for ti = Graph.n_tasks (graph t gi) - 1 downto 0 do
+      acc := { graph = gi; task = ti } :: !acc
+    done
+  done;
+  !acc
+
+let task t r = Graph.task (graph t r.graph) r.task
+
+let filter_graphs t keep =
+  let acc = ref [] in
+  for gi = n_graphs t - 1 downto 0 do
+    if keep (graph t gi) then acc := gi :: !acc
+  done;
+  !acc
+
+let droppable_graphs t = filter_graphs t Graph.is_droppable
+
+let critical_graphs t = filter_graphs t (fun g -> not (Graph.is_droppable g))
+
+let total_service t =
+  List.fold_left
+    (fun acc gi -> acc +. Criticality.service (graph t gi).Graph.criticality)
+    0. (droppable_graphs t)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>appset (%d graphs, hyperperiod %d):@," (n_graphs t)
+    (hyperperiod t);
+  Array.iter (fun g -> Format.fprintf ppf "  %a@," Graph.pp g) t.graphs;
+  Format.fprintf ppf "@]"
+
+let pp_task_ref ppf r = Format.fprintf ppf "g%d.t%d" r.graph r.task

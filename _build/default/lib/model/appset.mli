@@ -1,0 +1,41 @@
+(** The application set [T] sharing the MPSoC (paper §2.1), plus global
+    task references used by mappings and analyses. *)
+
+type task_ref = { graph : int; task : int }
+(** Identifies task [task] of graph [graph] within an application set. *)
+
+type t = private { graphs : Graph.t array }
+
+val make : Graph.t array -> t
+(** @raise Invalid_argument on an empty set or duplicate graph names. *)
+
+val n_graphs : t -> int
+
+val graph : t -> int -> Graph.t
+
+val graph_index : t -> string -> int
+(** Index of the graph with the given name.
+    @raise Not_found otherwise. *)
+
+val hyperperiod : t -> int
+(** LCM of all graph periods. *)
+
+val total_tasks : t -> int
+
+val all_task_refs : t -> task_ref list
+(** Every task of every graph, in (graph, task) lexicographic order. *)
+
+val task : t -> task_ref -> Task.t
+
+val droppable_graphs : t -> int list
+(** Indices of droppable graphs, ascending. *)
+
+val critical_graphs : t -> int list
+(** Indices of non-droppable graphs, ascending. *)
+
+val total_service : t -> float
+(** Sum of service values of droppable graphs. *)
+
+val pp : Format.formatter -> t -> unit
+
+val pp_task_ref : Format.formatter -> task_ref -> unit

@@ -1,0 +1,34 @@
+type t = {
+  procs : Proc.t array;
+  bus_bandwidth : int;
+  bus_latency : int;
+}
+
+let make ?(bus_bandwidth = 1) ?(bus_latency = 0) procs =
+  if Array.length procs = 0 then invalid_arg "Arch.make: no processors";
+  if bus_bandwidth <= 0 then invalid_arg "Arch.make: bandwidth must be > 0";
+  if bus_latency < 0 then invalid_arg "Arch.make: negative latency";
+  Array.iteri
+    (fun i (p : Proc.t) ->
+      if p.Proc.id <> i then
+        invalid_arg "Arch.make: processor id must equal its index")
+    procs;
+  { procs; bus_bandwidth; bus_latency }
+
+let n_procs t = Array.length t.procs
+
+let proc t i =
+  if i < 0 || i >= Array.length t.procs then
+    invalid_arg "Arch.proc: processor id out of range";
+  t.procs.(i)
+
+let comm_delay t ~size ~src_proc ~dst_proc =
+  if src_proc = dst_proc then 0
+  else if size <= 0 then t.bus_latency
+  else t.bus_latency + Mcmap_util.Mathx.ceil_div size t.bus_bandwidth
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>arch: %d procs, bw=%d, lat=%d@," (n_procs t)
+    t.bus_bandwidth t.bus_latency;
+  Array.iter (fun p -> Format.fprintf ppf "  %a@," Proc.pp p) t.procs;
+  Format.fprintf ppf "@]"

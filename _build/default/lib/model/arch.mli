@@ -1,0 +1,30 @@
+(** MPSoC architecture [A = (P, nw)] (paper §2.1).
+
+    Processors communicate over a shared interconnect characterised by a
+    maximum bandwidth [bw_nw] and a fixed per-transfer latency. Faults on
+    communication links are assumed transparent (handled by low-level
+    error-resilient techniques), as in the paper. *)
+
+type t = private {
+  procs : Proc.t array;
+  bus_bandwidth : int;  (** payload units transferred per time unit *)
+  bus_latency : int;  (** fixed start-up cost per remote transfer *)
+}
+
+val make : ?bus_bandwidth:int -> ?bus_latency:int -> Proc.t array -> t
+(** Defaults: bandwidth 1 unit/time, latency 0. Processor ids must equal
+    their array index.
+    @raise Invalid_argument on inconsistent ids or non-positive
+    bandwidth. *)
+
+val n_procs : t -> int
+
+val proc : t -> int -> Proc.t
+(** @raise Invalid_argument if the id is out of range. *)
+
+val comm_delay : t -> size:int -> src_proc:int -> dst_proc:int -> int
+(** Worst-case transfer delay of a message of [size] payload units between
+    the given processors: [0] if they are equal, otherwise
+    [latency + ceil (size / bandwidth)]. *)
+
+val pp : Format.formatter -> t -> unit

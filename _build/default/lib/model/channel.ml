@@ -1,0 +1,8 @@
+type t = { src : int; dst : int; size : int }
+
+let make ?(size = 0) ~src ~dst () =
+  if src = dst then invalid_arg "Channel.make: self-loop";
+  if size < 0 then invalid_arg "Channel.make: negative size";
+  { src; dst; size }
+
+let pp ppf t = Format.fprintf ppf "%d->%d(%d)" t.src t.dst t.size

@@ -1,0 +1,10 @@
+(** A channel [e = (src_e, dst_e)] of a task graph: a data dependency whose
+    each transmission carries [s_e] payload units over the interconnect. *)
+
+type t = { src : int; dst : int; size : int }
+
+val make : ?size:int -> src:int -> dst:int -> unit -> t
+(** Default size 0 (pure precedence).
+    @raise Invalid_argument on a self-loop or negative size. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,22 @@
+type t = Critical of float | Droppable of float
+
+let critical f =
+  if f <= 0. || f > 1. then
+    invalid_arg "Criticality.critical: rate must be in (0, 1]";
+  Critical f
+
+let droppable sv =
+  if sv < 0. then invalid_arg "Criticality.droppable: negative service";
+  Droppable sv
+
+let is_droppable = function Critical _ -> false | Droppable _ -> true
+
+let service = function Critical _ -> infinity | Droppable sv -> sv
+
+let max_failure_rate = function
+  | Critical f -> Some f
+  | Droppable _ -> None
+
+let pp ppf = function
+  | Critical f -> Format.fprintf ppf "critical(f=%.2e)" f
+  | Droppable sv -> Format.fprintf ppf "droppable(sv=%.2f)" sv

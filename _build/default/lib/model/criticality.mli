@@ -1,0 +1,32 @@
+(** Criticality attributes of a task graph (paper §2.1).
+
+    Non-droppable graphs carry a reliability constraint [f_t in (0, 1]]:
+    the maximum allowed failures per time unit (the lower, the more
+    critical). Droppable graphs have no reliability constraint (the paper
+    encodes this as [f_t = -1]) and instead carry a service value [sv_t];
+    the quality of service of a configuration is the sum of [sv] over
+    non-dropped graphs. *)
+
+type t =
+  | Critical of float
+      (** [Critical f] — non-droppable, at most [f] failures per time
+          unit. *)
+  | Droppable of float
+      (** [Droppable sv] — may be dropped in the critical system state;
+          contributes [sv] to the quality of service while alive. *)
+
+val critical : float -> t
+(** @raise Invalid_argument unless the rate is in (0, 1]. *)
+
+val droppable : float -> t
+(** @raise Invalid_argument on a negative service value. *)
+
+val is_droppable : t -> bool
+
+val service : t -> float
+(** [sv_t]; [infinity] for critical graphs (they are never dropped). *)
+
+val max_failure_rate : t -> float option
+(** [f_t] for critical graphs, [None] for droppable ones. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,120 @@
+type t = {
+  name : string;
+  tasks : Task.t array;
+  channels : Channel.t array;
+  period : int;
+  deadline : int;
+  criticality : Criticality.t;
+}
+
+let n_tasks t = Array.length t.tasks
+
+let task t i = t.tasks.(i)
+
+let preds t v =
+  Array.fold_right
+    (fun (c : Channel.t) acc ->
+      if c.Channel.dst = v then (c.Channel.src, c) :: acc else acc)
+    t.channels []
+
+let succs t v =
+  Array.fold_right
+    (fun (c : Channel.t) acc ->
+      if c.Channel.src = v then (c.Channel.dst, c) :: acc else acc)
+    t.channels []
+
+let in_degree t =
+  let deg = Array.make (n_tasks t) 0 in
+  Array.iter (fun (c : Channel.t) -> deg.(c.Channel.dst) <- deg.(c.Channel.dst) + 1)
+    t.channels;
+  deg
+
+let topological_order t =
+  (* Kahn's algorithm with a sorted ready list for determinism. *)
+  let n = n_tasks t in
+  let deg = in_degree t in
+  let ready = ref [] in
+  for v = n - 1 downto 0 do
+    if deg.(v) = 0 then ready := v :: !ready
+  done;
+  let order = Array.make n (-1) in
+  let rec loop i = function
+    | [] -> i
+    | v :: rest ->
+      order.(i) <- v;
+      let rest =
+        List.fold_left
+          (fun acc (w, _) ->
+            deg.(w) <- deg.(w) - 1;
+            if deg.(w) = 0 then
+              List.sort compare (w :: acc)
+            else acc)
+          rest (succs t v) in
+      loop (i + 1) rest in
+  let filled = loop 0 !ready in
+  if filled <> n then invalid_arg "Graph: cycle detected";
+  order
+
+let validate t =
+  let n = n_tasks t in
+  if n = 0 then invalid_arg "Graph: no tasks";
+  Array.iteri
+    (fun i (task : Task.t) ->
+      if task.Task.id <> i then
+        invalid_arg "Graph: task id must equal its index")
+    t.tasks;
+  let seen = Hashtbl.create 16 in
+  Array.iter
+    (fun (c : Channel.t) ->
+      if c.Channel.src < 0 || c.Channel.src >= n || c.Channel.dst < 0
+         || c.Channel.dst >= n then
+        invalid_arg "Graph: channel endpoint out of range";
+      let key = (c.Channel.src, c.Channel.dst) in
+      if Hashtbl.mem seen key then invalid_arg "Graph: duplicate channel";
+      Hashtbl.add seen key ())
+    t.channels;
+  if t.period <= 0 then invalid_arg "Graph: period must be positive";
+  if t.deadline <= 0 then invalid_arg "Graph: deadline must be positive";
+  ignore (topological_order t)
+
+let make ?deadline ~name ~tasks ~channels ~period ~criticality () =
+  let deadline = match deadline with Some d -> d | None -> period in
+  let t = { name; tasks; channels; period; deadline; criticality } in
+  validate t;
+  t
+
+let sources t =
+  let deg = in_degree t in
+  let acc = ref [] in
+  for v = n_tasks t - 1 downto 0 do
+    if deg.(v) = 0 then acc := v :: !acc
+  done;
+  !acc
+
+let sinks t =
+  let out = Array.make (n_tasks t) 0 in
+  Array.iter (fun (c : Channel.t) -> out.(c.Channel.src) <- out.(c.Channel.src) + 1)
+    t.channels;
+  let acc = ref [] in
+  for v = n_tasks t - 1 downto 0 do
+    if out.(v) = 0 then acc := v :: !acc
+  done;
+  !acc
+
+let depth t =
+  let d = Array.make (n_tasks t) 0 in
+  Array.iter
+    (fun v ->
+      List.iter (fun (p, _) -> d.(v) <- max d.(v) (d.(p) + 1)) (preds t v))
+    (topological_order t);
+  d
+
+let is_droppable t = Criticality.is_droppable t.criticality
+
+let total_wcet t =
+  Array.fold_left (fun acc (task : Task.t) -> acc + task.Task.wcet) 0 t.tasks
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>graph %s: pr=%d dl=%d %a, %d tasks, %d channels@]"
+    t.name t.period t.deadline Criticality.pp t.criticality (n_tasks t)
+    (Array.length t.channels)

@@ -1,0 +1,54 @@
+(** A task graph [t = (V_t, E_t, pr_t, f_t, sv_t)] (paper §2.1): a DAG of
+    tasks released every [pr_t] time units, with an implicit or explicit
+    relative deadline and a criticality attribute. *)
+
+type t = private {
+  name : string;
+  tasks : Task.t array;  (** task [i] has [Task.id = i] *)
+  channels : Channel.t array;
+  period : int;  (** pr_t *)
+  deadline : int;  (** relative deadline; defaults to the period *)
+  criticality : Criticality.t;
+}
+
+val make :
+  ?deadline:int ->
+  name:string ->
+  tasks:Task.t array ->
+  channels:Channel.t array ->
+  period:int ->
+  criticality:Criticality.t ->
+  unit ->
+  t
+(** Validates the graph: contiguous task ids, channel endpoints in range,
+    no duplicate channels, acyclicity, positive period, deadline > 0.
+    @raise Invalid_argument with a descriptive message otherwise. *)
+
+val n_tasks : t -> int
+
+val task : t -> int -> Task.t
+
+val preds : t -> int -> (int * Channel.t) list
+(** Predecessors of a task with the connecting channel. *)
+
+val succs : t -> int -> (int * Channel.t) list
+
+val sources : t -> int list
+(** Tasks with no predecessor, in id order. *)
+
+val sinks : t -> int list
+(** Tasks with no successor, in id order. *)
+
+val topological_order : t -> int array
+(** A topological order of task ids (deterministic: Kahn's algorithm with
+    smallest-id-first tie-breaking). *)
+
+val depth : t -> int array
+(** [depth.(v)] = length of the longest channel-path ending at [v]. *)
+
+val is_droppable : t -> bool
+
+val total_wcet : t -> int
+(** Sum of task WCETs — a coarse load measure. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,46 @@
+(** Processing elements of the MPSoC architecture (paper §2.1).
+
+    Each processor [p] carries a type, leakage power [stat_p], dynamic power
+    [dyn_p], and a constant transient-fault rate [lambda_p] per time unit.
+    A per-processor speed factor models heterogeneity of execution times; a
+    scheduling policy says how tasks mapped onto it are served locally. *)
+
+type policy =
+  | Preemptive_fp  (** fixed-priority, preemptive *)
+  | Non_preemptive_fp  (** fixed-priority, run-to-completion *)
+
+type t = {
+  id : int;  (** index into the architecture's processor array *)
+  name : string;
+  proc_type : string;  (** e.g. "RISC", "DSP" — informational *)
+  static_power : float;  (** leakage power, consumed while allocated *)
+  dynamic_power : float;  (** power at 100 % utilisation *)
+  fault_rate : float;  (** lambda_p: transient faults per time unit *)
+  speed : float;  (** execution-time multiplier; 1.0 = reference speed *)
+  policy : policy;
+}
+
+val make :
+  ?proc_type:string ->
+  ?static_power:float ->
+  ?dynamic_power:float ->
+  ?fault_rate:float ->
+  ?speed:float ->
+  ?policy:policy ->
+  id:int ->
+  name:string ->
+  unit ->
+  t
+(** Defaults: type ["RISC"], static 0.1, dynamic 1.0, fault rate 1e-6,
+    speed 1.0, preemptive fixed-priority. *)
+
+val scale_time : t -> int -> int
+(** [scale_time p c] is [c] scaled by the processor's speed factor, rounded
+    up (slower processor => larger execution time), at least [c > 0 => 1]. *)
+
+val fault_probability : t -> int -> float
+(** [fault_probability p duration] is the probability that at least one
+    transient fault strikes an execution of the given duration on [p]:
+    [1 - exp (-lambda_p * duration)]. *)
+
+val pp : Format.formatter -> t -> unit

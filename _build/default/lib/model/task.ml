@@ -1,0 +1,22 @@
+type t = {
+  id : int;
+  name : string;
+  bcet : int;
+  wcet : int;
+  voting_overhead : int;
+  detection_overhead : int;
+}
+
+let make ?bcet ?(voting_overhead = 0) ?(detection_overhead = 0) ~id ~name
+    ~wcet () =
+  let bcet = match bcet with Some b -> b | None -> wcet in
+  if wcet <= 0 then invalid_arg "Task.make: wcet must be positive";
+  if bcet < 0 || bcet > wcet then
+    invalid_arg "Task.make: need 0 <= bcet <= wcet";
+  if voting_overhead < 0 || detection_overhead < 0 then
+    invalid_arg "Task.make: negative overhead";
+  { id; name; bcet; wcet; voting_overhead; detection_overhead }
+
+let pp ppf t =
+  Format.fprintf ppf "%s#%d[%d,%d](ve=%d,dt=%d)" t.name t.id t.bcet t.wcet
+    t.voting_overhead t.detection_overhead

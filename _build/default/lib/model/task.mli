@@ -1,0 +1,29 @@
+(** A task [v] of a task graph (paper §2.1): characterised by
+    [(bcet_v, wcet_v, ve_v, dt_v)] — best/worst-case execution time, voting
+    overhead (incurred by replication voters) and detection overhead
+    (fault detection + context save/restore + roll-back, incurred by
+    re-execution). *)
+
+type t = {
+  id : int;  (** index within its graph's task array *)
+  name : string;
+  bcet : int;
+  wcet : int;
+  voting_overhead : int;  (** ve_v *)
+  detection_overhead : int;  (** dt_v *)
+}
+
+val make :
+  ?bcet:int ->
+  ?voting_overhead:int ->
+  ?detection_overhead:int ->
+  id:int ->
+  name:string ->
+  wcet:int ->
+  unit ->
+  t
+(** Defaults: [bcet = wcet], overheads 0.
+    @raise Invalid_argument unless [0 <= bcet <= wcet], [wcet > 0] and
+    overheads are non-negative. *)
+
+val pp : Format.formatter -> t -> unit

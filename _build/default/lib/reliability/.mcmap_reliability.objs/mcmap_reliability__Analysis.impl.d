@@ -1,0 +1,1 @@
+lib/reliability/analysis.ml: Array Fault_model Format List Mcmap_hardening Mcmap_model

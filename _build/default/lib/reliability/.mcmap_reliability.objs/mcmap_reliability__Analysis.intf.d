@@ -1,0 +1,1 @@
+lib/reliability/analysis.mli: Format Mcmap_hardening Mcmap_model

@@ -1,0 +1,1 @@
+lib/reliability/fault_model.ml: Array Mcmap_model Mcmap_util

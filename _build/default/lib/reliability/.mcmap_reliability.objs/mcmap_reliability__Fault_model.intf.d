@@ -1,0 +1,1 @@
+lib/reliability/fault_model.mli: Mcmap_model

@@ -1,0 +1,71 @@
+module Arch = Mcmap_model.Arch
+module Appset = Mcmap_model.Appset
+module Graph = Mcmap_model.Graph
+module Proc = Mcmap_model.Proc
+module Task = Mcmap_model.Task
+module Criticality = Mcmap_model.Criticality
+module Plan = Mcmap_hardening.Plan
+module Technique = Mcmap_hardening.Technique
+
+type violation = { graph : int; failure_rate : float; bound : float }
+
+let scaled_duration arch proc c = Proc.scale_time (Arch.proc arch proc) c
+
+let task_failure_probability arch apps plan ~graph ~task =
+  let g = Appset.graph apps graph in
+  let t = Graph.task g task in
+  let d = Plan.decision plan ~graph ~task in
+  let exec_failure proc extra =
+    let duration = scaled_duration arch proc t.Task.wcet + extra in
+    Fault_model.execution_failure arch ~proc ~duration in
+  match d.Plan.technique with
+  | Technique.No_hardening -> exec_failure d.Plan.primary_proc 0
+  | Technique.Re_execution k ->
+    let dt = scaled_duration arch d.Plan.primary_proc
+        t.Task.detection_overhead in
+    let per_attempt = exec_failure d.Plan.primary_proc dt in
+    Fault_model.re_execution_failure ~per_attempt ~k
+  | Technique.Checkpointing (segments, k) ->
+    (* tolerates up to k faults over the whole (checkpoint-extended)
+       execution; more than k faults in one instance are fatal *)
+    let proc = d.Plan.primary_proc in
+    let dt = scaled_duration arch proc t.Task.detection_overhead in
+    let duration = scaled_duration arch proc t.Task.wcet + (segments * dt) in
+    let rate = (Mcmap_model.Arch.proc arch proc).Mcmap_model.Proc.fault_rate in
+    Fault_model.poisson_more_than ~rate ~duration ~k
+  | Technique.Active_replication _ ->
+    let procs = d.Plan.primary_proc :: Array.to_list d.Plan.replica_procs in
+    let probs = Array.of_list (List.map (fun p -> exec_failure p 0) procs) in
+    Fault_model.majority_failure probs
+  | Technique.Passive_replication _ ->
+    let all = d.Plan.primary_proc :: Array.to_list d.Plan.replica_procs in
+    let probs = Array.of_list (List.map (fun p -> exec_failure p 0) all) in
+    let active = Array.sub probs 0 2 in
+    let spares = Array.sub probs 2 (Array.length probs - 2) in
+    Fault_model.passive_failure ~active ~spares
+
+let graph_failure_rate arch apps plan ~graph =
+  let g = Appset.graph apps graph in
+  let survive = ref 1. in
+  for task = 0 to Graph.n_tasks g - 1 do
+    let p = task_failure_probability arch apps plan ~graph ~task in
+    survive := !survive *. (1. -. p)
+  done;
+  (1. -. !survive) /. float_of_int g.Graph.period
+
+let violations arch apps plan =
+  let acc = ref [] in
+  for gi = Appset.n_graphs apps - 1 downto 0 do
+    let g = Appset.graph apps gi in
+    match Criticality.max_failure_rate g.Graph.criticality with
+    | None -> ()
+    | Some bound ->
+      let failure_rate = graph_failure_rate arch apps plan ~graph:gi in
+      if failure_rate > bound then
+        acc := { graph = gi; failure_rate; bound } :: !acc
+  done;
+  !acc
+
+let pp_violation ppf v =
+  Format.fprintf ppf "graph %d: failure rate %.3e exceeds bound %.3e"
+    v.graph v.failure_rate v.bound

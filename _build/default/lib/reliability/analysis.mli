@@ -1,0 +1,42 @@
+(** Reliability constraint checking (paper §2.3).
+
+    A non-droppable graph [t] with reliability constraint [f_t] must have
+    an unsafe-execution probability per time unit below [f_t]. An instance
+    of the graph fails when any of its tasks delivers an undetected or
+    uncorrected wrong result; tasks fail independently (series system),
+    so per instance [p_t = 1 - prod_v (1 - p_v)] and the failure rate is
+    [p_t / pr_t]. *)
+
+type violation = {
+  graph : int;
+  failure_rate : float;  (** failures per time unit achieved by the plan *)
+  bound : float;  (** the graph's [f_t] *)
+}
+
+val task_failure_probability :
+  Mcmap_model.Arch.t ->
+  Mcmap_model.Appset.t ->
+  Mcmap_hardening.Plan.t ->
+  graph:int ->
+  task:int ->
+  float
+(** Failure probability of one task instance under its hardening decision
+    and placement. *)
+
+val graph_failure_rate :
+  Mcmap_model.Arch.t ->
+  Mcmap_model.Appset.t ->
+  Mcmap_hardening.Plan.t ->
+  graph:int ->
+  float
+(** Failures per time unit of the graph under the plan. *)
+
+val violations :
+  Mcmap_model.Arch.t ->
+  Mcmap_model.Appset.t ->
+  Mcmap_hardening.Plan.t ->
+  violation list
+(** All non-droppable graphs whose constraint is not met by the plan.
+    Empty list = reliability-feasible. *)
+
+val pp_violation : Format.formatter -> violation -> unit

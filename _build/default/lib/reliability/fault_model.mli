@@ -1,0 +1,37 @@
+(** Transient-fault probabilities under the hardening techniques.
+
+    Faults arrive as a Poisson process with per-processor rate [lambda_p]
+    (paper §2.1, after refs [11, 12]); an execution of duration [c] on
+    processor [p] is hit with probability [1 - exp (-lambda_p * c)].
+    Voters and the detection logic are assumed fault-free, the standard
+    assumption in the lineage of papers ([2], [6]) this work builds on. *)
+
+val execution_failure :
+  Mcmap_model.Arch.t -> proc:int -> duration:int -> float
+(** Probability that a single execution of the given duration on the given
+    processor suffers at least one fault. *)
+
+val re_execution_failure : per_attempt:float -> k:int -> float
+(** A re-executed task fails only if the original attempt and all [k]
+    re-executions fail: [per_attempt ^ (k + 1)]. *)
+
+val majority_failure : float array -> float
+(** [majority_failure probs] — probability that majority voting over
+    replicas with the given (heterogeneous) failure probabilities cannot
+    produce a correct result: at least [floor (n/2) + 1] replicas fail.
+    For [n = 2] (duplication) a single failure is fatal (detection
+    without correction). Computed exactly by dynamic programming. *)
+
+val passive_failure : active:float array -> spares:float array -> float
+(** Passive replication with 2 active replicas and [m] spares fails when
+    fewer than 2 of the [2 + m] potential executions are correct, i.e. at
+    least [m + 1] fail. Exact DP over heterogeneous probabilities. *)
+
+val at_least_k_failures : float array -> int -> float
+(** [at_least_k_failures probs k] — probability that at least [k] of the
+    independent events (each failing with its own probability) fail. *)
+
+val poisson_more_than : rate:float -> duration:int -> k:int -> float
+(** Probability that a Poisson fault process with the given per-time-unit
+    rate strikes more than [k] times during the duration — the failure
+    model of checkpointing, which tolerates up to [k] rollbacks. *)

@@ -1,0 +1,1 @@
+lib/sched/bounds.ml: Array Bytes Job Jobset List Mcmap_hardening Mcmap_model

@@ -1,0 +1,1 @@
+lib/sched/bounds.mli: Job Jobset

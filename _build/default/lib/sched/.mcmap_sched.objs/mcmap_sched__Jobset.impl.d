@@ -1,0 +1,1 @@
+lib/sched/jobset.ml: Array Format Job List Mcmap_hardening Mcmap_model Priority

@@ -1,0 +1,1 @@
+lib/sched/jobset.mli: Format Job Mcmap_hardening Priority

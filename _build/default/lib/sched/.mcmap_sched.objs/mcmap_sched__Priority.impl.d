@@ -1,0 +1,1 @@
+lib/sched/priority.ml: Array List Mcmap_hardening

@@ -1,0 +1,1 @@
+lib/sched/static_schedule.ml: Array Job Jobset List Mcmap_hardening Mcmap_model

@@ -1,0 +1,1 @@
+lib/sched/static_schedule.mli: Job Jobset

@@ -1,0 +1,26 @@
+type t = {
+  id : int;
+  graph : int;
+  task : int;
+  instance : int;
+  release : int;
+  abs_deadline : int;
+  proc : int;
+  priority : int;
+  bcet : int;
+  wcet : int;
+  critical_wcet : int;
+  reexec_k : int;
+  recovery : int;
+  passive : bool;
+  voter : bool;
+  origin : int;
+  droppable : bool;
+  in_dropped_set : bool;
+}
+
+let response t ~finish = finish - t.release
+
+let pp ppf t =
+  Format.fprintf ppf "j%d(g%d.t%d#%d rel=%d p%d prio=%d [%d,%d])" t.id
+    t.graph t.task t.instance t.release t.proc t.priority t.bcet t.wcet

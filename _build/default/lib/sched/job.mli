@@ -1,0 +1,29 @@
+(** Job instances: one activation of a hardened task inside the
+    hyperperiod. The analysis and the simulator both operate on jobs. *)
+
+type t = {
+  id : int;  (** dense global job id *)
+  graph : int;  (** hardened graph index *)
+  task : int;  (** hardened task id within the graph *)
+  instance : int;  (** activation number within the hyperperiod *)
+  release : int;  (** absolute release time *)
+  abs_deadline : int;  (** release + graph deadline *)
+  proc : int;
+  priority : int;  (** smaller = more urgent *)
+  bcet : int;  (** nominal best-case execution time *)
+  wcet : int;  (** nominal worst-case execution time *)
+  critical_wcet : int;
+      (** Eq. (1)-style bound (= wcet unless rollback-hardened) *)
+  reexec_k : int;  (** maximum rollbacks *)
+  recovery : int;  (** execution time of one rollback (0 if none) *)
+  passive : bool;  (** passive spare *)
+  voter : bool;
+  origin : int;  (** original task id in the source graph *)
+  droppable : bool;  (** graph is droppable (could enter T_d) *)
+  in_dropped_set : bool;  (** graph is in the plan's T_d *)
+}
+
+val response : t -> finish:int -> int
+(** Response time relative to the job's release. *)
+
+val pp : Format.formatter -> t -> unit

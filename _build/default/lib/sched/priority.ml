@@ -1,0 +1,33 @@
+module Happ = Mcmap_hardening.Happ
+
+type order = Rate_monotonic | Criticality_first
+
+let assign ?(order = Rate_monotonic) happ =
+  let keys = ref [] in
+  for gi = Happ.n_graphs happ - 1 downto 0 do
+    let hg = Happ.graph happ gi in
+    let period = Happ.period hg in
+    let crit_class =
+      match order with
+      | Rate_monotonic -> 0
+      | Criticality_first -> if Happ.graph_droppable happ gi then 1 else 0
+    in
+    (* Depth within the hardened DAG, from the stored topological order. *)
+    let n = Array.length hg.Happ.tasks in
+    let depth = Array.make n 0 in
+    Array.iter
+      (fun v ->
+        Array.iter
+          (fun (p, _) -> depth.(v) <- max depth.(v) (depth.(p) + 1))
+          hg.Happ.preds.(v))
+      hg.Happ.topo;
+    for ti = n - 1 downto 0 do
+      keys := ((crit_class, period, depth.(ti), gi, ti), (gi, ti)) :: !keys
+    done
+  done;
+  let sorted = List.sort compare !keys in
+  let prio =
+    Array.init (Happ.n_graphs happ) (fun gi ->
+        Array.make (Array.length (Happ.graph happ gi).Happ.tasks) 0) in
+  List.iteri (fun rank (_, (gi, ti)) -> prio.(gi).(ti) <- rank) sorted;
+  prio

@@ -1,0 +1,27 @@
+(** Deterministic fixed-priority assignment for hardened tasks.
+
+    Once hardening and mapping are fixed, tasks are scheduled locally on
+    each processor by fixed priorities (paper §1: "static
+    hardening-mapping / dynamic scheduling"). Priorities are global and
+    deterministic so analyses and simulations agree. Two orders are
+    provided:
+
+    - {!Rate_monotonic} (the default): shorter period first, then
+      topological depth, then a stable (graph, task) index. Priorities
+      are deliberately criticality-agnostic — in the paper's design the
+      protection of critical applications comes from run-time task
+      dropping, not from priority segregation; low-criticality tasks can
+      and do delay critical ones until they are dropped (Fig. 1).
+    - {!Criticality_first}: non-droppable graphs outrank droppable ones,
+      ties broken rate-monotonically. Provided as an ablation: under
+      this order droppable tasks can never delay critical ones on
+      preemptive processors, and task dropping loses its purpose.
+
+    Smaller number = higher priority. *)
+
+type order = Rate_monotonic | Criticality_first
+
+val assign : ?order:order -> Mcmap_hardening.Happ.t -> int array array
+(** [assign happ] returns [prio.(graph).(task)] for every hardened task.
+    Priorities are dense in [0, n_tasks). Default order:
+    {!Rate_monotonic}. *)

@@ -1,0 +1,73 @@
+module Happ = Mcmap_hardening.Happ
+module Arch = Mcmap_model.Arch
+
+type t = {
+  start : int array;
+  finish : int array;
+  makespan : int;
+  graph_response : int array;
+}
+
+let list_schedule js ~exec =
+  let n = Jobset.n_jobs js in
+  let arch = js.Jobset.happ.Happ.arch in
+  let start = Array.make n (-1) and finish = Array.make n (-1) in
+  let proc_free = Array.make (Arch.n_procs arch) 0 in
+  let pending = Array.init n (fun j -> Array.length js.Jobset.preds.(j)) in
+  let data_ready = Array.init n (fun j -> (Jobset.job js j).Job.release) in
+  let scheduled = Array.make n false in
+  (* Greedy list scheduling: repeatedly place the highest-priority job
+     among those whose predecessors are scheduled, at the earliest slot
+     its data and processor allow. *)
+  for _ = 1 to n do
+    let best = ref (-1) in
+    for j = 0 to n - 1 do
+      if (not scheduled.(j)) && pending.(j) = 0 then begin
+        match !best with
+        | -1 -> best := j
+        | b ->
+          let jb = Jobset.job js b and jj = Jobset.job js j in
+          let key (x : Job.t) ready = (ready, x.Job.priority, x.Job.id) in
+          if key jj data_ready.(j) < key jb data_ready.(b) then best := j
+      end
+    done;
+    let j = !best in
+    assert (j >= 0);
+    let job = Jobset.job js j in
+    let s = max data_ready.(j) proc_free.(job.Job.proc) in
+    let c = exec job in
+    start.(j) <- s;
+    finish.(j) <- s + c;
+    proc_free.(job.Job.proc) <- s + c;
+    scheduled.(j) <- true;
+    Array.iter
+      (fun (succ, delay) ->
+        pending.(succ) <- pending.(succ) - 1;
+        data_ready.(succ) <- max data_ready.(succ) (finish.(j) + delay))
+      js.Jobset.succs.(j)
+  done;
+  let makespan = Array.fold_left max 0 finish in
+  let n_graphs = Happ.n_graphs js.Jobset.happ in
+  let graph_response =
+    Array.init n_graphs (fun graph ->
+        List.fold_left
+          (fun acc (j : Job.t) ->
+            max acc (Job.response j ~finish:finish.(j.Job.id)))
+          0
+          (Jobset.response_jobs js ~graph)) in
+  { start; finish; makespan; graph_response }
+
+let worst_case js =
+  list_schedule js ~exec:(fun j -> j.Job.critical_wcet)
+
+let nominal js =
+  list_schedule js ~exec:(fun (j : Job.t) ->
+      if j.Job.passive then 0 else j.Job.wcet)
+
+let scenario_count js =
+  Array.fold_left
+    (fun acc (j : Job.t) ->
+      if j.Job.reexec_k > 0 then acc *. float_of_int (j.Job.reexec_k + 1)
+      else if j.Job.passive then acc *. 2.
+      else acc)
+    1. js.Jobset.jobs

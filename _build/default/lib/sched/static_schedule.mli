@@ -1,0 +1,39 @@
+(** A static (time-triggered) list scheduler — the baseline scheduling
+    style of the static fault-tolerant mapping approaches the paper
+    compares against (Table 1, refs [2, 3]).
+
+    A static schedule fixes every start time offline, so it must be
+    synthesized for the worst case (every re-executable task at its
+    Eq. (1) budget, every passive spare active) and, to react to faults
+    at all, one schedule per fault scenario must be precomputed — the
+    paper quotes 19 schedules for a 5-task application of ref [2]. The
+    {!scenario_count} of the benchmarks makes that blow-up concrete,
+    and {!worst_case} quantifies the rigidity (resource usage) of the
+    all-worst-case single schedule. *)
+
+type t = {
+  start : int array;  (** per job *)
+  finish : int array;  (** per job *)
+  makespan : int;
+  graph_response : int array;  (** worst response per source graph *)
+}
+
+val list_schedule : Jobset.t -> exec:(Job.t -> int) -> t
+(** Priority-ordered, non-preemptive list scheduling of the job set with
+    the given fixed execution times: each job starts at the earliest
+    instant at or after its release when its predecessors' data has
+    arrived and its processor is free, ties broken by priority. *)
+
+val worst_case : Jobset.t -> t
+(** The schedule a static fault-tolerant approach must certify: every
+    job at its critical-state budget (Eq. (1) for re-executables, full
+    execution for passive spares). *)
+
+val nominal : Jobset.t -> t
+(** The fault-free static schedule (nominal WCETs, spares silent). *)
+
+val scenario_count : Jobset.t -> float
+(** How many distinct fault scenarios a per-scenario static approach
+    must precompute for this job set: the product of [(k + 1)] over
+    re-executable jobs and [2] per passive spare (invoked or not).
+    Returned as a float — it overflows quickly, which is the point. *)

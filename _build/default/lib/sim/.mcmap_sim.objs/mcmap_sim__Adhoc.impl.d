@@ -1,0 +1,1 @@
+lib/sim/adhoc.ml: Engine Fault_profile

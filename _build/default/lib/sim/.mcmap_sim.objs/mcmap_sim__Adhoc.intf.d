@@ -1,0 +1,1 @@
+lib/sim/adhoc.mli: Mcmap_sched

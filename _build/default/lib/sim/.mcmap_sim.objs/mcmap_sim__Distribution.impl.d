@@ -1,0 +1,1 @@
+lib/sim/distribution.ml: Array Engine Fault_profile Format Mcmap_hardening Mcmap_model Mcmap_sched Mcmap_util

@@ -1,0 +1,1 @@
+lib/sim/distribution.mli: Mcmap_sched

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Fault_profile List Mcmap_hardening Mcmap_model Mcmap_sched Mcmap_util

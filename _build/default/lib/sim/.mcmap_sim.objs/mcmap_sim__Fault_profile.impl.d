@@ -1,0 +1,1 @@
+lib/sim/fault_profile.ml: Mcmap_hardening Mcmap_model Mcmap_sched Mcmap_util

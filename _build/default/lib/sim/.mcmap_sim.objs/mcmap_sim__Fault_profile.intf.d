@@ -1,0 +1,1 @@
+lib/sim/fault_profile.mli: Mcmap_sched

@@ -1,0 +1,1 @@
+lib/sim/gantt.ml: Array Buffer Bytes Engine Format Hashtbl List Mcmap_hardening Mcmap_model Mcmap_sched Mcmap_util String

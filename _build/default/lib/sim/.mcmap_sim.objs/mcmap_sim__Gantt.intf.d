@@ -1,0 +1,1 @@
+lib/sim/gantt.mli: Engine Mcmap_sched

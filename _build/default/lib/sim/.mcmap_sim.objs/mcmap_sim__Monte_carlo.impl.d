@@ -1,0 +1,1 @@
+lib/sim/monte_carlo.ml: Array Engine Fault_profile Mcmap_hardening Mcmap_sched

@@ -1,0 +1,1 @@
+lib/sim/monte_carlo.mli: Mcmap_sched

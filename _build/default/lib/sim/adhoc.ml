@@ -1,0 +1,4 @@
+let run js =
+  let outcome =
+    Engine.run ~start_critical:true js ~profile:Fault_profile.all in
+  outcome.Engine.graph_response

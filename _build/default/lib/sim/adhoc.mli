@@ -1,0 +1,11 @@
+(** The Adhoc baseline of paper §5.1: a single hand-built worst-case
+    trace that enters the critical state at the very beginning of the
+    hyperperiod, maximally re-executes every re-executable task, makes
+    every replica faulty (so all spares fire) and drops every dropped-set
+    task from time zero. Because of scheduling anomalies this trace does
+    {e not} always dominate the true worst case — exactly the point
+    Table 2 makes. *)
+
+val run : Mcmap_sched.Jobset.t -> int option array
+(** Per graph: response time observed in the adhoc trace ([None] for
+    graphs dropped from the start or otherwise undelivered). *)

@@ -1,0 +1,84 @@
+module Jobset = Mcmap_sched.Jobset
+module Happ = Mcmap_hardening.Happ
+module Stats = Mcmap_util.Stats
+
+type graph_stats = {
+  samples : int;
+  mean : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  maximum : float;
+  deadline_miss_pct : float;
+  dropped_pct : float;
+}
+
+type t = {
+  per_graph : graph_stats array;
+  runs : int;
+  critical_runs : int;
+}
+
+let run ?(runs = 1000) ?(seed = 42) js =
+  let happ = js.Jobset.happ in
+  let n_graphs = Happ.n_graphs happ in
+  let responses = Array.make n_graphs [] in
+  let misses = Array.make n_graphs 0 in
+  let dropped_runs = Array.make n_graphs 0 in
+  let criticals = ref 0 in
+  for r = 0 to runs - 1 do
+    let profile = Fault_profile.realistic ~seed:(seed + r) js in
+    let o =
+      Engine.run ~mode:(Engine.Random_durations (seed + r)) js ~profile in
+    if o.Engine.critical_at <> None then incr criticals;
+    for g = 0 to n_graphs - 1 do
+      (match o.Engine.graph_response.(g) with
+       | Some resp -> responses.(g) <- float_of_int resp :: responses.(g)
+       | None -> ());
+      if not o.Engine.graph_deadline_ok.(g) then misses.(g) <- misses.(g) + 1;
+      if not o.Engine.graph_complete.(g) then
+        dropped_runs.(g) <- dropped_runs.(g) + 1
+    done
+  done;
+  let per_graph =
+    Array.init n_graphs (fun g ->
+        let samples = responses.(g) in
+        let summary = Stats.summarize samples in
+        let pct p =
+          match samples with
+          | [] -> 0.
+          | _ :: _ -> Stats.percentile samples p in
+        { samples = summary.Stats.count;
+          mean = summary.Stats.mean;
+          p50 = pct 50.;
+          p95 = pct 95.;
+          p99 = pct 99.;
+          maximum = summary.Stats.maximum;
+          deadline_miss_pct = Stats.ratio_pct misses.(g) runs;
+          dropped_pct = Stats.ratio_pct dropped_runs.(g) runs }) in
+  { per_graph; runs; critical_runs = !criticals }
+
+let render js t =
+  let happ = js.Jobset.happ in
+  let table =
+    Mcmap_util.Texttable.create
+      ~header:
+        [ "Graph"; "Runs"; "Mean"; "p50"; "p95"; "p99"; "Max";
+          "Miss %"; "Dropped %" ] in
+  Array.iteri
+    (fun g (s : graph_stats) ->
+      let hg = Happ.graph happ g in
+      Mcmap_util.Texttable.add_row table
+        [ hg.Happ.source.Mcmap_model.Graph.name;
+          string_of_int s.samples;
+          Format.asprintf "%.1f" s.mean;
+          Format.asprintf "%.0f" s.p50;
+          Format.asprintf "%.0f" s.p95;
+          Format.asprintf "%.0f" s.p99;
+          Format.asprintf "%.0f" s.maximum;
+          Format.asprintf "%.2f" s.deadline_miss_pct;
+          Format.asprintf "%.2f" s.dropped_pct ])
+    t.per_graph;
+  Mcmap_util.Texttable.render table
+  ^ Format.asprintf "(%d of %d runs entered the critical state)\n"
+      t.critical_runs t.runs

@@ -1,0 +1,37 @@
+(** Probabilistic response-time analysis by Monte-Carlo — the analysis
+    style of the paper's Table 1 baseline ref [5] (Axer et al.):
+    instead of a worst-case bound, estimate the response-time
+    distribution and the deadline-miss probability under the physical
+    fault rates.
+
+    Unlike {!Monte_carlo} (which searches for the worst case with a
+    biased fault profile), this module samples {e realistic} profiles
+    (faults at the processors' [lambda_p] rates) and random execution
+    times, so its percentiles estimate what a deployed system would
+    see — and its maximum systematically underestimates the certified
+    worst case, which is exactly the paper's argument for a safe
+    analysis. *)
+
+type graph_stats = {
+  samples : int;  (** delivered instances observed *)
+  mean : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  maximum : float;
+  deadline_miss_pct : float;
+      (** share of delivered instances past the deadline *)
+  dropped_pct : float;  (** share of instances lost to dropping *)
+}
+
+type t = {
+  per_graph : graph_stats array;
+  runs : int;
+  critical_runs : int;  (** runs that entered the critical state *)
+}
+
+val run : ?runs:int -> ?seed:int -> Mcmap_sched.Jobset.t -> t
+(** Default: 1,000 runs with random execution durations and
+    physical-rate fault profiles. *)
+
+val render : Mcmap_sched.Jobset.t -> t -> string

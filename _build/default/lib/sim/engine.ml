@@ -1,0 +1,351 @@
+module Job = Mcmap_sched.Job
+module Jobset = Mcmap_sched.Jobset
+module Arch = Mcmap_model.Arch
+module Proc = Mcmap_model.Proc
+module Happ = Mcmap_hardening.Happ
+module Prng = Mcmap_util.Prng
+
+type exec_mode = Worst_case | Best_case | Random_durations of int
+
+type segment = {
+  job : int;
+  proc : int;
+  start : int;
+  stop : int;
+  attempt : int;
+}
+
+type outcome = {
+  finish : int option array;
+  dropped : bool array;
+  critical_at : int option;
+  critical_windows : (int * int) list;
+  segments : segment list;
+  graph_response : int option array;
+  graph_complete : bool array;
+  graph_deadline_ok : bool array;
+}
+
+type job_state =
+  | Pending  (** waiting for predecessors / release *)
+  | Queued  (** in its processor's ready queue *)
+  | Running
+  | Finished of int
+  | Dropped
+  | Skipped  (** passive spare never invoked *)
+
+type event_kind = Ready of int | Complete of int * int  (* proc, token *)
+
+module Event_heap = Mcmap_util.Heap.Make (struct
+  type t = int * int * event_kind (* time, seq, kind *)
+
+  let compare (t1, s1, _) (t2, s2, _) = compare (t1, s1) (t2, s2)
+end)
+
+module Ready_queue = Mcmap_util.Heap.Make (struct
+  type t = int * int (* priority, job id *)
+
+  let compare = compare
+end)
+
+type proc_state = {
+  queue : Ready_queue.t;
+  mutable running : (int * int) option;  (* job id, token *)
+  mutable completion : int;
+  mutable started_at : int;  (* when the current segment began *)
+  mutable token : int;
+  preemptive : bool;
+}
+
+let durations js mode =
+  let n = Jobset.n_jobs js in
+  match mode with
+  | Worst_case -> Array.init n (fun i -> (Jobset.job js i).Job.wcet)
+  | Best_case -> Array.init n (fun i -> (Jobset.job js i).Job.bcet)
+  | Random_durations seed ->
+    let rng = Prng.create seed in
+    Array.init n (fun i ->
+        let j = Jobset.job js i in
+        if j.Job.wcet = j.Job.bcet then j.Job.wcet
+        else Prng.int_in rng j.Job.bcet j.Job.wcet)
+
+let run ?(mode = Worst_case) ?(start_critical = false) js
+    ~(profile : Fault_profile.t) =
+  let n = Jobset.n_jobs js in
+  let arch = js.Jobset.happ.Happ.arch in
+  let state = Array.make n Pending in
+  let pending = Array.init n (fun j -> Array.length js.Jobset.preds.(j)) in
+  let ready_time = Array.init n (fun j -> (Jobset.job js j).Job.release) in
+  let started = Array.make n false in
+  let attempt = Array.make n 0 in
+  let duration = durations js mode in
+  let remaining = Array.copy duration in
+  let critical_windows = ref [] in
+  let critical_until = ref min_int in
+  let base = js.Jobset.base_hyperperiod in
+  let events = Event_heap.create () in
+  let seq = ref 0 in
+  let push time kind =
+    incr seq;
+    Event_heap.add events (time, !seq, kind) in
+  let procs =
+    Array.init (Arch.n_procs arch) (fun p ->
+        { queue = Ready_queue.create (); running = None; completion = 0;
+          started_at = 0; token = 0;
+          preemptive =
+            (match (Arch.proc arch p).Proc.policy with
+             | Proc.Preemptive_fp -> true
+             | Proc.Non_preemptive_fp -> false) }) in
+  let now = ref 0 in
+  let segments = ref [] in
+  let record p j =
+    let ps = procs.(p) in
+    if !now > ps.started_at then
+      segments :=
+        { job = j; proc = p; start = ps.started_at; stop = !now;
+          attempt = attempt.(j) }
+        :: !segments in
+
+  let rec service p =
+    let ps = procs.(p) in
+    match ps.running with
+    | Some _ -> ()
+    | None ->
+      (match Ready_queue.pop ps.queue with
+       | None -> ()
+       | Some (_, j) ->
+         if state.(j) = Queued then begin
+           state.(j) <- Running;
+           started.(j) <- true;
+           ps.token <- ps.token + 1;
+           ps.running <- Some (j, ps.token);
+           ps.completion <- !now + remaining.(j);
+           ps.started_at <- !now;
+           push ps.completion (Complete (p, ps.token))
+         end
+         else service p (* stale entry *))
+  in
+
+  let enqueue j =
+    if state.(j) = Pending then begin
+      state.(j) <- Queued;
+      let job = Jobset.job js j in
+      let p = job.Job.proc in
+      let ps = procs.(p) in
+      Ready_queue.add ps.queue (job.Job.priority, j);
+      (match ps.running with
+       | Some (r, _)
+         when ps.preemptive
+              && job.Job.priority < (Jobset.job js r).Job.priority
+              && ps.completion > !now
+              (* a victim completing exactly now has already finished:
+                 its Complete event at this timestamp must win the tie *)
+         ->
+         (* Preempt: bank the remaining work and re-queue the victim. *)
+         record p r;
+         remaining.(r) <- ps.completion - !now;
+         state.(r) <- Queued;
+         Ready_queue.add ps.queue ((Jobset.job js r).Job.priority, r);
+         ps.token <- ps.token + 1;
+         (* invalidates its completion *)
+         ps.running <- None
+       | Some _ | None -> ());
+      service p
+    end
+  in
+
+  (* Did any active replica of the spare's origin deliver a wrong value?
+     The spare sees their results (it has channels from both actives) and
+     self-activates on a mismatch. *)
+  let spare_mismatch s =
+    let job = Jobset.job js s in
+    Array.exists
+      (fun (p, _) ->
+        let pred = Jobset.job js p in
+        pred.Job.origin = job.Job.origin
+        && (not pred.Job.passive)
+        && profile.Fault_profile.replica_fault pred)
+      js.Jobset.preds.(s)
+  in
+
+  (* All predecessors of [s'] accounted for: it either arms (spares) or
+     becomes ready. A skipped spare releases its successors without
+     contributing data. *)
+  let rec job_unblocked s' =
+    let job = Jobset.job js s' in
+    if job.Job.passive then begin
+      if spare_mismatch s' then
+        (* invocation; the critical transition fires when it starts *)
+        push (max !now ready_time.(s')) (Ready s')
+      else begin
+        state.(s') <- Skipped;
+        release_successors s'
+      end
+    end
+    else push (max !now ready_time.(s')) (Ready s')
+
+  and release_successors s =
+    Array.iter
+      (fun (s', _) ->
+        match state.(s') with
+        | Dropped | Skipped | Finished _ -> ()
+        | Pending | Queued | Running ->
+          pending.(s') <- pending.(s') - 1;
+          if pending.(s') = 0 then job_unblocked s')
+      js.Jobset.succs.(s)
+  in
+
+  let propagate j t =
+    Array.iter
+      (fun (s, delay) ->
+        match state.(s) with
+        | Dropped | Skipped | Finished _ -> ()
+        | Pending | Queued | Running ->
+          ready_time.(s) <- max ready_time.(s) (t + delay);
+          pending.(s) <- pending.(s) - 1;
+          if pending.(s) = 0 then job_unblocked s)
+      js.Jobset.succs.(j)
+  in
+
+  (* The critical state lasts until the end of the current application
+     hyperperiod; dropping abandons every not-yet-started dropped-set
+     job released before that boundary (later releases belong to the
+     restored normal state). Dropped jobs still release their
+     successors — in particular the next hyperperiod's instances, which
+     the restoration brings back. *)
+  let trigger_critical t =
+    if t >= !critical_until then begin
+      let boundary = ((t / base) + 1) * base in
+      critical_until := boundary;
+      critical_windows := (t, boundary) :: !critical_windows;
+      let newly_dropped = ref [] in
+      for j = 0 to n - 1 do
+        let job = Jobset.job js j in
+        if job.Job.in_dropped_set && (not started.(j))
+           && job.Job.release < boundary then begin
+          match state.(j) with
+          | Pending | Queued ->
+            state.(j) <- Dropped;
+            newly_dropped := j :: !newly_dropped
+          | Running | Finished _ | Dropped | Skipped -> ()
+        end
+      done;
+      Array.iter
+        (fun ps ->
+          Ready_queue.filter_in_place ps.queue (fun (_, j) ->
+              state.(j) = Queued))
+        procs;
+      List.iter release_successors !newly_dropped
+    end
+  in
+
+  let handle_complete p token =
+    let ps = procs.(p) in
+    match ps.running with
+    | Some (j, tk) when tk = token ->
+      let job = Jobset.job js j in
+      let a = attempt.(j) in
+      if job.Job.reexec_k > 0
+         && profile.Fault_profile.reexec_fault job ~attempt:a
+         && a < job.Job.reexec_k then begin
+        (* Fault detected at the end of the attempt: roll back, signal
+           the mode change, and re-enter the scheduler — the end of an
+           attempt is a scheduling point, so a queued higher-priority
+           job runs first. *)
+        trigger_critical !now;
+        record p j;
+        attempt.(j) <- a + 1;
+        (* full re-run for re-execution, one segment for checkpointing *)
+        remaining.(j) <- min job.Job.recovery duration.(j);
+        state.(j) <- Queued;
+        Ready_queue.add ps.queue (job.Job.priority, j);
+        ps.running <- None;
+        service p
+      end
+      else begin
+        record p j;
+        state.(j) <- Finished !now;
+        ps.running <- None;
+        propagate j !now;
+        service p
+      end
+    | Some _ | None -> () (* stale completion *)
+  in
+
+  (* Seed: jobs without predecessors become ready at their release. *)
+  for j = 0 to n - 1 do
+    if pending.(j) = 0 then push ready_time.(j) (Ready j)
+  done;
+  if start_critical then trigger_critical 0;
+
+  let rec loop () =
+    match Event_heap.pop events with
+    | None -> ()
+    | Some (t, _, kind) ->
+      now := t;
+      (match kind with
+       | Ready j ->
+         (match state.(j) with
+          | Pending ->
+            if (Jobset.job js j).Job.passive then
+              (* a spare only reaches here when invoked *)
+              trigger_critical !now;
+            enqueue j
+          | Queued | Running | Finished _ | Dropped | Skipped -> ())
+       | Complete (p, token) -> handle_complete p token);
+      loop () in
+  loop ();
+
+  (* Collect per-graph responses from delivered instances. *)
+  let happ = js.Jobset.happ in
+  let n_graphs = Happ.n_graphs happ in
+  let graph_response = Array.make n_graphs None in
+  let graph_complete = Array.make n_graphs true in
+  let graph_deadline_ok = Array.make n_graphs true in
+  for g = 0 to n_graphs - 1 do
+    let hg = Happ.graph happ g in
+    let deadline = Happ.deadline hg in
+    let period = Happ.period hg in
+    let instances = js.Jobset.hyperperiod / period in
+    let response_jobs = Jobset.response_jobs js ~graph:g in
+    for inst = 0 to instances - 1 do
+      let of_instance =
+        List.filter
+          (fun (j : Job.t) -> j.Job.instance = inst)
+          response_jobs in
+      let finished =
+        List.for_all
+          (fun (j : Job.t) ->
+            match state.(j.Job.id) with
+            | Finished _ -> true
+            | Pending | Queued | Running | Dropped | Skipped -> false)
+          of_instance in
+      if finished then begin
+        let response =
+          List.fold_left
+            (fun acc (j : Job.t) ->
+              match state.(j.Job.id) with
+              | Finished t -> max acc (Job.response j ~finish:t)
+              | Pending | Queued | Running | Dropped | Skipped -> acc)
+            0 of_instance in
+        (match graph_response.(g) with
+         | Some r when r >= response -> ()
+         | Some _ | None -> graph_response.(g) <- Some response);
+        if response > deadline then graph_deadline_ok.(g) <- false
+      end
+      else graph_complete.(g) <- false
+    done
+  done;
+  let finish =
+    Array.init n (fun j ->
+        match state.(j) with
+        | Finished t -> Some t
+        | Pending | Queued | Running | Dropped | Skipped -> None) in
+  let dropped = Array.init n (fun j -> state.(j) = Dropped) in
+  let critical_windows = List.rev !critical_windows in
+  { finish; dropped;
+    critical_at =
+      (match critical_windows with (t, _) :: _ -> Some t | [] -> None);
+    critical_windows;
+    segments = List.rev !segments; graph_response; graph_complete;
+    graph_deadline_ok }

@@ -1,0 +1,65 @@
+(** Discrete-event simulation of one hyperperiod of a hardened
+    application set under a failure profile.
+
+    The engine implements the run-time behaviour the paper's analysis
+    must bound (§3):
+
+    - per-processor fixed-priority scheduling (preemptive or
+      non-preemptive, per the processor's policy);
+    - re-execution: a fault detected at the end of an attempt re-runs
+      the task, up to its [k] budget, and moves the system to the
+      {e critical} state;
+    - passive replication: when the two active replicas disagree, the
+      voter instantiates spares one at a time (also entering the
+      critical state); active replication masks faults silently;
+    - task dropping: on entry to the critical state, every job of a
+      dropped-set ([T_d]) graph that has not yet started is abandoned
+      (including jobs released later inside the critical window);
+      already-running jobs complete. The system stays critical until
+      the end of the current application hyperperiod, where the normal
+      state is restored and dropped applications run again (paper §3) —
+      observable when the jobset spans several hyperperiods. *)
+
+type exec_mode =
+  | Worst_case  (** every attempt runs for its WCET *)
+  | Best_case  (** every attempt runs for its BCET *)
+  | Random_durations of int
+      (** per-job durations drawn uniformly from [[bcet, wcet]] with the
+          given seed *)
+
+type segment = {
+  job : int;  (** job id *)
+  proc : int;
+  start : int;
+  stop : int;  (** exclusive *)
+  attempt : int;  (** 0-based execution attempt the cycles belong to *)
+}
+(** A maximal interval during which a job occupied a processor —
+    preemptions and re-executions split a job into several segments. *)
+
+type outcome = {
+  finish : int option array;  (** per job: final completion time *)
+  dropped : bool array;  (** per job: abandoned by the drop *)
+  critical_at : int option;  (** when the system first turned critical *)
+  critical_windows : (int * int) list;
+      (** chronological [(entry, restore)] critical intervals; the
+          restore instant is the next hyperperiod boundary *)
+  segments : segment list;  (** execution trace, chronological *)
+  graph_response : int option array;
+      (** per graph: worst observed response time over instances that
+          delivered their outputs *)
+  graph_complete : bool array;
+      (** per graph: every instance delivered its outputs *)
+  graph_deadline_ok : bool array;
+      (** per graph: every delivered instance met the deadline *)
+}
+
+val run :
+  ?mode:exec_mode ->
+  ?start_critical:bool ->
+  Mcmap_sched.Jobset.t ->
+  profile:Fault_profile.t ->
+  outcome
+(** Simulate one hyperperiod. [start_critical] (default false) enters the
+    critical state at time 0 — used by the Adhoc baseline. Default mode:
+    {!Worst_case}. *)

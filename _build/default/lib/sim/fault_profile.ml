@@ -1,0 +1,42 @@
+module Job = Mcmap_sched.Job
+module Jobset = Mcmap_sched.Jobset
+module Arch = Mcmap_model.Arch
+module Proc = Mcmap_model.Proc
+module Prng = Mcmap_util.Prng
+
+type t = {
+  reexec_fault : Job.t -> attempt:int -> bool;
+  replica_fault : Job.t -> bool;
+}
+
+let none =
+  { reexec_fault = (fun _ ~attempt:_ -> false);
+    replica_fault = (fun _ -> false) }
+
+let all =
+  { reexec_fault = (fun _ ~attempt:_ -> true);
+    replica_fault = (fun _ -> true) }
+
+(* A pure keyed coin: hash (seed, job, attempt) into a fresh generator so
+   the outcome does not depend on how often or in which order the engine
+   asks. *)
+let keyed_coin ~seed ~job_id ~attempt p =
+  let key = (seed * 1_000_003) + (job_id * 8191) + attempt in
+  Prng.bernoulli (Prng.create key) p
+
+let with_probability ~seed probability_of =
+  { reexec_fault =
+      (fun j ~attempt ->
+        keyed_coin ~seed ~job_id:j.Job.id ~attempt (probability_of j));
+    replica_fault =
+      (fun j ->
+        keyed_coin ~seed ~job_id:j.Job.id ~attempt:999_983
+          (probability_of j)) }
+
+let random ~seed ?(bias = 0.3) _js = with_probability ~seed (fun _ -> bias)
+
+let realistic ~seed js =
+  let arch = js.Jobset.happ.Mcmap_hardening.Happ.arch in
+  let probability_of (j : Job.t) =
+    Proc.fault_probability (Arch.proc arch j.Job.proc) j.Job.wcet in
+  with_probability ~seed probability_of

@@ -1,0 +1,32 @@
+(** A failure profile: which fault events strike during one simulated
+    hyperperiod. Profiles answer two questions posed by the engine:
+    does attempt [i] of a re-executable job fail, and does a replica
+    deliver a wrong value (forcing the voter to call in passive spares).
+
+    Profiles are pure functions of the job and attempt, so a simulation
+    run is reproducible and independent of event ordering. *)
+
+type t = {
+  reexec_fault : Mcmap_sched.Job.t -> attempt:int -> bool;
+      (** attempt [i] (0-based) of the job is hit by a fault *)
+  replica_fault : Mcmap_sched.Job.t -> bool;
+      (** the replica job delivers a wrong value *)
+}
+
+val none : t
+(** Fault-free execution. *)
+
+val all : t
+(** Every fault opportunity fires: maximal re-execution everywhere,
+    every replica wrong (the Adhoc stress profile). *)
+
+val random : seed:int -> ?bias:float -> Mcmap_sched.Jobset.t -> t
+(** A random profile for worst-case search (the paper's WC-Sim runs
+    10,000 of these). Each fault opportunity fires independently with
+    probability [bias] (default 0.3). WC-Sim explores the space of fault
+    scenarios, so the bias is a search knob, not the physical rate. *)
+
+val realistic : seed:int -> Mcmap_sched.Jobset.t -> t
+(** Faults fire with their physical probability
+    [1 - exp (-lambda_p * wcet)] derived from the bound processor's fault
+    rate — for reliability-flavoured studies. *)

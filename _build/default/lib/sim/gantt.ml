@@ -1,0 +1,76 @@
+module Jobset = Mcmap_sched.Jobset
+module Job = Mcmap_sched.Job
+module Happ = Mcmap_hardening.Happ
+module Arch = Mcmap_model.Arch
+
+let letters = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz"
+
+let label_of i = letters.[i mod String.length letters]
+
+let render ?(width = 72) js (outcome : Engine.outcome) =
+  let happ = js.Jobset.happ in
+  let n_procs = Arch.n_procs happ.Happ.arch in
+  let horizon = max 1 js.Jobset.hyperperiod in
+  let col t = Mcmap_util.Mathx.clamp ~lo:0 ~hi:(width - 1) (t * width / horizon) in
+  let rows = Array.init n_procs (fun _ -> Bytes.make width '.') in
+  (* jobs that actually executed get a stable letter, in id order *)
+  let executed =
+    List.sort_uniq compare
+      (List.map (fun (s : Engine.segment) -> s.Engine.job) outcome.Engine.segments)
+  in
+  let letter_of_job = Hashtbl.create 16 in
+  List.iteri (fun i j -> Hashtbl.add letter_of_job j (label_of i)) executed;
+  List.iter
+    (fun (s : Engine.segment) ->
+      let c = Hashtbl.find letter_of_job s.Engine.job in
+      let first = col s.Engine.start in
+      let last = max first (col (s.Engine.stop - 1)) in
+      for x = first to last do
+        Bytes.set rows.(s.Engine.proc) x c
+      done)
+    outcome.Engine.segments;
+  (match outcome.Engine.critical_at with
+   | Some t ->
+     let x = col t in
+     Array.iter
+       (fun row -> if Bytes.get row x = '.' then Bytes.set row x '!')
+       rows
+   | None -> ());
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Format.asprintf "time 0..%d (%d columns)\n" horizon width);
+  Array.iteri
+    (fun p row ->
+      Buffer.add_string buf
+        (Format.asprintf "%-6s|%s|\n"
+           (Arch.proc happ.Happ.arch p).Mcmap_model.Proc.name
+           (Bytes.to_string row)))
+    rows;
+  (match outcome.Engine.critical_at with
+   | Some t ->
+     Buffer.add_string buf
+       (Format.asprintf "('!' marks the critical-state switch at t=%d)\n" t)
+   | None -> ());
+  Buffer.add_string buf "legend:";
+  List.iter
+    (fun jid ->
+      let j = Jobset.job js jid in
+      let ht = (Happ.graph happ j.Job.graph).Happ.tasks.(j.Job.task) in
+      Buffer.add_string buf
+        (Format.asprintf " %c=%s#%d"
+           (Hashtbl.find letter_of_job jid)
+           ht.Happ.name j.Job.instance))
+    executed;
+  let not_run =
+    Array.to_list js.Jobset.jobs
+    |> List.filter_map (fun (j : Job.t) ->
+           if outcome.Engine.dropped.(j.Job.id) then
+             let ht =
+               (Happ.graph happ j.Job.graph).Happ.tasks.(j.Job.task) in
+             Some (Format.asprintf "%s#%d" ht.Happ.name j.Job.instance)
+           else None) in
+  if not_run <> [] then
+    Buffer.add_string buf
+      (Format.asprintf "\ndropped: %s" (String.concat ", " not_run));
+  Buffer.add_char buf '\n';
+  Buffer.contents buf

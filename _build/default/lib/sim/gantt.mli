@@ -1,0 +1,12 @@
+(** ASCII Gantt rendering of simulation traces — the form in which the
+    paper's Figure 1 presents its schedules.
+
+    One row per processor; each execution segment is drawn with the
+    letter assigned to its job (see the legend below the chart), ['.']
+    is idle time. A ['!'] marks the instant the system entered the
+    critical state. *)
+
+val render :
+  ?width:int -> Mcmap_sched.Jobset.t -> Engine.outcome -> string
+(** [render js outcome] draws the trace over one hyperperiod. [width]
+    (default 72) is the number of time columns. *)

@@ -1,0 +1,27 @@
+module Jobset = Mcmap_sched.Jobset
+module Happ = Mcmap_hardening.Happ
+
+type result = {
+  graph_wcrt : int option array;
+  profiles : int;
+  criticals : int;
+}
+
+let run ?(profiles = 1000) ?(bias = 0.3) ?(seed = 42) js =
+  let n_graphs = Happ.n_graphs js.Jobset.happ in
+  let graph_wcrt = Array.make n_graphs None in
+  let criticals = ref 0 in
+  for p = 0 to profiles - 1 do
+    let profile = Fault_profile.random ~seed:(seed + p) ~bias js in
+    let outcome = Engine.run js ~profile in
+    if outcome.Engine.critical_at <> None then incr criticals;
+    for g = 0 to n_graphs - 1 do
+      match outcome.Engine.graph_response.(g) with
+      | None -> ()
+      | Some r ->
+        (match graph_wcrt.(g) with
+         | Some best when best >= r -> ()
+         | Some _ | None -> graph_wcrt.(g) <- Some r)
+    done
+  done;
+  { graph_wcrt; profiles; criticals = !criticals }

@@ -1,0 +1,20 @@
+(** The WC-Sim baseline of paper §5.1: Monte-Carlo search for the worst
+    observed response times over many random failure profiles (the paper
+    uses 10,000). *)
+
+type result = {
+  graph_wcrt : int option array;
+      (** per graph: maximum response observed over all profiles (among
+          delivered instances); [None] if no instance ever delivered *)
+  profiles : int;
+  criticals : int;  (** how many profiles entered the critical state *)
+}
+
+val run :
+  ?profiles:int ->
+  ?bias:float ->
+  ?seed:int ->
+  Mcmap_sched.Jobset.t ->
+  result
+(** Defaults: 1,000 profiles, fault bias 0.3, seed 42. Executions run at
+    worst case; only the fault pattern varies across profiles. *)

@@ -1,0 +1,1 @@
+lib/spec/spec.ml: Array Format Hashtbl List Mcmap_hardening Mcmap_model Mcmap_util Option Result String

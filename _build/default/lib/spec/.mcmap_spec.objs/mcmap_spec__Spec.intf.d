@@ -1,0 +1,1 @@
+lib/spec/spec.mli: Mcmap_hardening Mcmap_model

@@ -1,0 +1,446 @@
+module Sexp = Mcmap_util.Sexp
+module Proc = Mcmap_model.Proc
+module Arch = Mcmap_model.Arch
+module Criticality = Mcmap_model.Criticality
+module Task = Mcmap_model.Task
+module Channel = Mcmap_model.Channel
+module Graph = Mcmap_model.Graph
+module Appset = Mcmap_model.Appset
+module Plan = Mcmap_hardening.Plan
+module Technique = Mcmap_hardening.Technique
+
+type system = {
+  arch : Arch.t;
+  apps : Appset.t;
+}
+
+let ( let* ) = Result.bind
+
+let rec collect f = function
+  | [] -> Ok []
+  | x :: rest ->
+    let* y = f x in
+    let* ys = collect f rest in
+    Ok (y :: ys)
+
+let protect_invalid f =
+  try Ok (f ()) with Invalid_argument msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Reading *)
+
+let read_processor id fields =
+  let* name = Sexp.assoc_atom "name" fields in
+  let* proc_type = Sexp.assoc_atom_opt "type" fields in
+  let* static_power = Sexp.assoc_float_opt "static" fields in
+  let* dynamic_power = Sexp.assoc_float_opt "dynamic" fields in
+  let* fault_rate = Sexp.assoc_float_opt "fault-rate" fields in
+  let* speed = Sexp.assoc_float_opt "speed" fields in
+  let* policy_name = Sexp.assoc_atom_opt "policy" fields in
+  let* policy =
+    match policy_name with
+    | None | Some "preemptive" -> Ok Proc.Preemptive_fp
+    | Some "non-preemptive" -> Ok Proc.Non_preemptive_fp
+    | Some other ->
+      Error
+        (Format.asprintf
+           "processor %s: unknown policy %s (expected preemptive or \
+            non-preemptive)"
+           name other) in
+  protect_invalid (fun () ->
+      Proc.make ?proc_type ?static_power ?dynamic_power ?fault_rate ?speed
+        ~policy ~id ~name ())
+
+let read_architecture fields =
+  let bus = Option.value ~default:[] (Sexp.assoc "bus" fields) in
+  let* bus_bandwidth = Sexp.assoc_int_opt "bandwidth" bus in
+  let* bus_latency = Sexp.assoc_int_opt "latency" bus in
+  let proc_fields = Sexp.fields "processor" fields in
+  if proc_fields = [] then Error "architecture: no processors"
+  else begin
+    let* procs =
+      collect
+        (fun (id, f) -> read_processor id f)
+        (List.mapi (fun id f -> (id, f)) proc_fields) in
+    protect_invalid (fun () ->
+        Arch.make ?bus_bandwidth ?bus_latency (Array.of_list procs))
+  end
+
+let read_task id fields =
+  let* name = Sexp.assoc_atom "name" fields in
+  let* wcet = Sexp.assoc_int "wcet" fields in
+  let* bcet = Sexp.assoc_int_opt "bcet" fields in
+  let* detect = Sexp.assoc_int_opt "detect" fields in
+  let* vote = Sexp.assoc_int_opt "vote" fields in
+  protect_invalid (fun () ->
+      Task.make ?bcet
+        ?detection_overhead:detect ?voting_overhead:vote ~id ~name ~wcet ())
+
+let read_channel ~task_index fields =
+  let* from_name = Sexp.assoc_atom "from" fields in
+  let* to_name = Sexp.assoc_atom "to" fields in
+  let* size = Sexp.assoc_int_opt "size" fields in
+  let resolve name =
+    match Hashtbl.find_opt task_index name with
+    | Some id -> Ok id
+    | None -> Error (Format.asprintf "channel: unknown task %s" name) in
+  let* src = resolve from_name in
+  let* dst = resolve to_name in
+  protect_invalid (fun () -> Channel.make ?size ~src ~dst ())
+
+let read_application fields =
+  let* name = Sexp.assoc_atom "name" fields in
+  let* period = Sexp.assoc_int "period" fields in
+  let* deadline = Sexp.assoc_int_opt "deadline" fields in
+  let* critical = Sexp.assoc_float_opt "critical" fields in
+  let* droppable = Sexp.assoc_float_opt "droppable" fields in
+  let* criticality =
+    match critical, droppable with
+    | Some f, None -> protect_invalid (fun () -> Criticality.critical f)
+    | None, Some sv -> protect_invalid (fun () -> Criticality.droppable sv)
+    | Some _, Some _ ->
+      Error
+        (Format.asprintf
+           "application %s: both (critical ...) and (droppable ...)" name)
+    | None, None ->
+      Error
+        (Format.asprintf
+           "application %s: needs (critical <rate>) or (droppable <sv>)"
+           name) in
+  let* tasks =
+    collect
+      (fun (id, f) -> read_task id f)
+      (List.mapi (fun id f -> (id, f)) (Sexp.fields "task" fields)) in
+  let task_index = Hashtbl.create 16 in
+  let* () =
+    let rec register = function
+      | [] -> Ok ()
+      | (t : Task.t) :: rest ->
+        if Hashtbl.mem task_index t.Task.name then
+          Error
+            (Format.asprintf "application %s: duplicate task %s" name
+               t.Task.name)
+        else begin
+          Hashtbl.add task_index t.Task.name t.Task.id;
+          register rest
+        end in
+    register tasks in
+  let* channels =
+    collect (read_channel ~task_index) (Sexp.fields "channel" fields) in
+  protect_invalid (fun () ->
+      Graph.make ?deadline ~name ~tasks:(Array.of_list tasks)
+        ~channels:(Array.of_list channels) ~period ~criticality ())
+
+let read_system input =
+  let* exprs = Sexp.parse input in
+  let tops =
+    List.filter_map
+      (function Sexp.List l -> Some l | Sexp.Atom _ -> None)
+      exprs in
+  let arch_fields =
+    List.filter_map
+      (function
+        | Sexp.Atom "architecture" :: rest -> Some rest
+        | _ -> None)
+      tops in
+  let* arch =
+    match arch_fields with
+    | [ fields ] -> read_architecture fields
+    | [] -> Error "missing (architecture ...)"
+    | _ :: _ :: _ -> Error "more than one (architecture ...)" in
+  let app_fields =
+    List.filter_map
+      (function
+        | Sexp.Atom "application" :: rest -> Some rest
+        | _ -> None)
+      tops in
+  if app_fields = [] then Error "no (application ...) blocks"
+  else begin
+    let* graphs = collect read_application app_fields in
+    let* apps =
+      protect_invalid (fun () -> Appset.make (Array.of_list graphs)) in
+    Ok { arch; apps }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Plans *)
+
+let proc_id_of_name { arch; _ } name =
+  let n = Arch.n_procs arch in
+  let rec find i =
+    if i >= n then Error (Format.asprintf "unknown processor %s" name)
+    else if (Arch.proc arch i).Proc.name = name then Ok i
+    else find (i + 1) in
+  find 0
+
+let graph_id_of_name { apps; _ } name =
+  match Appset.graph_index apps name with
+  | i -> Ok i
+  | exception Not_found ->
+    Error (Format.asprintf "unknown application %s" name)
+
+let task_id_of_name { apps; _ } gi name =
+  let g = Appset.graph apps gi in
+  let n = Graph.n_tasks g in
+  let rec find i =
+    if i >= n then
+      Error
+        (Format.asprintf "unknown task %s in application %s" name
+           g.Graph.name)
+    else if (Graph.task g i).Task.name = name then Ok i
+    else find (i + 1) in
+  find 0
+
+let read_harden fields =
+  match Sexp.assoc "harden" fields with
+  | None -> Ok Technique.No_hardening
+  | Some [ Sexp.List [ Sexp.Atom "reexec"; Sexp.Atom k ] ] ->
+    (match int_of_string_opt k with
+     | Some k -> protect_invalid (fun () -> Technique.re_execution k)
+     | None -> Error "harden: (reexec <k>) expects an integer")
+  | Some [ Sexp.List [ Sexp.Atom "checkpoint"; Sexp.Atom n; Sexp.Atom k ] ]
+    ->
+    (match int_of_string_opt n, int_of_string_opt k with
+     | Some segments, Some k ->
+       protect_invalid (fun () -> Technique.checkpointing ~segments ~k)
+     | _, _ -> Error "harden: (checkpoint <n> <k>) expects two integers")
+  | Some [ Sexp.List [ Sexp.Atom "active"; Sexp.Atom n ] ] ->
+    (match int_of_string_opt n with
+     | Some n -> protect_invalid (fun () -> Technique.active_replication n)
+     | None -> Error "harden: (active <n>) expects an integer")
+  | Some [ Sexp.List [ Sexp.Atom "passive"; Sexp.Atom m ] ] ->
+    (match int_of_string_opt m with
+     | Some m -> protect_invalid (fun () -> Technique.passive_replication m)
+     | None -> Error "harden: (passive <m>) expects an integer")
+  | Some _ ->
+    Error
+      "harden: expected (reexec <k>), (checkpoint <n> <k>), (active <n>) \
+       or (passive <m>)"
+
+let read_bind system fields =
+  let* app_name = Sexp.assoc_atom "app" fields in
+  let* task_name = Sexp.assoc_atom "task" fields in
+  let* proc_name = Sexp.assoc_atom "proc" fields in
+  let* gi = graph_id_of_name system app_name in
+  let* ti = task_id_of_name system gi task_name in
+  let* primary = proc_id_of_name system proc_name in
+  let* technique = read_harden fields in
+  let* replicas =
+    match Sexp.assoc "replicas" fields with
+    | None -> Ok [||]
+    | Some items ->
+      let* names = collect Sexp.atom items in
+      let* ids = collect (proc_id_of_name system) names in
+      Ok (Array.of_list ids) in
+  let* voter =
+    match Sexp.assoc "voter" fields with
+    | None -> Ok primary
+    | Some [ Sexp.Atom name ] -> proc_id_of_name system name
+    | Some _ -> Error "voter: expected one processor name" in
+  let expected = Technique.replica_count technique - 1 in
+  if Array.length replicas <> expected then
+    Error
+      (Format.asprintf
+         "bind %s.%s: technique needs %d replica processors, got %d"
+         app_name task_name expected (Array.length replicas))
+  else
+    Ok
+      (gi, ti,
+       { Plan.technique; primary_proc = primary; replica_procs = replicas;
+         voter_proc = voter })
+
+let read_plan system input =
+  let* exprs = Sexp.parse input in
+  let* fields =
+    match exprs with
+    | [ Sexp.List (Sexp.Atom "plan" :: rest) ] -> Ok rest
+    | _ -> Error "expected a single (plan ...) expression" in
+  let* dropped_names =
+    match Sexp.assoc "dropped" fields with
+    | None -> Ok []
+    | Some items -> collect Sexp.atom items in
+  let* dropped_ids = collect (graph_id_of_name system) dropped_names in
+  let apps = system.apps in
+  let dropped = Array.make (Appset.n_graphs apps) false in
+  List.iter (fun gi -> dropped.(gi) <- true) dropped_ids;
+  let decisions =
+    Array.init (Appset.n_graphs apps) (fun gi ->
+        Array.make (Graph.n_tasks (Appset.graph apps gi)) None) in
+  let* binds = collect (read_bind system) (Sexp.fields "bind" fields) in
+  let* () =
+    let rec apply = function
+      | [] -> Ok ()
+      | (gi, ti, d) :: rest ->
+        if decisions.(gi).(ti) <> None then
+          Error
+            (Format.asprintf "task %s.%s bound twice"
+               (Appset.graph apps gi).Graph.name
+               (Graph.task (Appset.graph apps gi) ti).Task.name)
+        else begin
+          decisions.(gi).(ti) <- Some d;
+          apply rest
+        end in
+    apply binds in
+  let missing = ref [] in
+  Array.iteri
+    (fun gi row ->
+      Array.iteri
+        (fun ti d ->
+          if d = None then
+            missing :=
+              Format.asprintf "%s.%s"
+                (Appset.graph apps gi).Graph.name
+                (Graph.task (Appset.graph apps gi) ti).Task.name
+              :: !missing)
+        row)
+    decisions;
+  match !missing with
+  | _ :: _ ->
+    Error
+      (Format.asprintf "unbound tasks: %s"
+         (String.concat ", " (List.rev !missing)))
+  | [] ->
+    let decisions = Array.map (Array.map Option.get) decisions in
+    protect_invalid (fun () -> Plan.make apps ~decisions ~dropped)
+
+(* ------------------------------------------------------------------ *)
+(* Writing *)
+
+let atomf fmt = Format.kasprintf (fun s -> Sexp.Atom s) fmt
+
+let field name values = Sexp.List (Sexp.Atom name :: values)
+
+let field1 name value = field name [ Sexp.Atom value ]
+
+let write_float x =
+  (* shortest representation that round-trips *)
+  let s = Format.asprintf "%.12g" x in
+  s
+
+let write_processor (p : Proc.t) =
+  field "processor"
+    [ field1 "name" p.Proc.name;
+      field1 "type" p.Proc.proc_type;
+      field1 "static" (write_float p.Proc.static_power);
+      field1 "dynamic" (write_float p.Proc.dynamic_power);
+      field1 "fault-rate" (write_float p.Proc.fault_rate);
+      field1 "speed" (write_float p.Proc.speed);
+      field1 "policy"
+        (match p.Proc.policy with
+         | Proc.Preemptive_fp -> "preemptive"
+         | Proc.Non_preemptive_fp -> "non-preemptive") ]
+
+let write_architecture (arch : Arch.t) =
+  field "architecture"
+    (field "bus"
+       [ field1 "bandwidth" (string_of_int arch.Arch.bus_bandwidth);
+         field1 "latency" (string_of_int arch.Arch.bus_latency) ]
+     :: List.map write_processor (Array.to_list arch.Arch.procs))
+
+let write_task (t : Task.t) =
+  field "task"
+    [ field1 "name" t.Task.name;
+      field1 "wcet" (string_of_int t.Task.wcet);
+      field1 "bcet" (string_of_int t.Task.bcet);
+      field1 "detect" (string_of_int t.Task.detection_overhead);
+      field1 "vote" (string_of_int t.Task.voting_overhead) ]
+
+let write_channel (g : Graph.t) (c : Channel.t) =
+  field "channel"
+    [ field1 "from" (Graph.task g c.Channel.src).Task.name;
+      field1 "to" (Graph.task g c.Channel.dst).Task.name;
+      field1 "size" (string_of_int c.Channel.size) ]
+
+let write_application (g : Graph.t) =
+  field "application"
+    ([ field1 "name" g.Graph.name;
+       field1 "period" (string_of_int g.Graph.period);
+       field1 "deadline" (string_of_int g.Graph.deadline) ]
+     @ (match g.Graph.criticality with
+        | Criticality.Critical f ->
+          [ field1 "critical" (write_float f) ]
+        | Criticality.Droppable sv ->
+          [ field1 "droppable" (write_float sv) ])
+     @ List.map write_task (Array.to_list g.Graph.tasks)
+     @ List.map (write_channel g) (Array.to_list g.Graph.channels))
+
+let write_system { arch; apps } =
+  String.concat "\n\n"
+    (Sexp.to_string (write_architecture arch)
+     :: List.map
+          (fun g -> Sexp.to_string (write_application g))
+          (Array.to_list apps.Appset.graphs))
+  ^ "\n"
+
+let write_plan system (plan : Plan.t) =
+  let apps = system.apps in
+  let proc_name p = (Arch.proc system.arch p).Proc.name in
+  let dropped =
+    List.map
+      (fun gi -> Sexp.Atom (Appset.graph apps gi).Graph.name)
+      (Plan.dropped_graphs plan) in
+  let binds = ref [] in
+  Array.iteri
+    (fun gi row ->
+      let g = Appset.graph apps gi in
+      Array.iteri
+        (fun ti (d : Plan.decision) ->
+          let base =
+            [ field1 "app" g.Graph.name;
+              field1 "task" (Graph.task g ti).Task.name;
+              field1 "proc" (proc_name d.Plan.primary_proc) ] in
+          let harden =
+            match d.Plan.technique with
+            | Technique.No_hardening -> []
+            | Technique.Re_execution k ->
+              [ field "harden" [ field1 "reexec" (string_of_int k) ] ]
+            | Technique.Checkpointing (n, k) ->
+              [ field "harden"
+                  [ field "checkpoint"
+                      [ Sexp.Atom (string_of_int n);
+                        Sexp.Atom (string_of_int k) ] ] ]
+            | Technique.Active_replication n ->
+              [ field "harden" [ field1 "active" (string_of_int n) ] ]
+            | Technique.Passive_replication m ->
+              [ field "harden" [ field1 "passive" (string_of_int m) ] ] in
+          let replicas =
+            if Array.length d.Plan.replica_procs = 0 then []
+            else
+              [ field "replicas"
+                  (Array.to_list
+                     (Array.map
+                        (fun p -> Sexp.Atom (proc_name p))
+                        d.Plan.replica_procs)) ] in
+          (* always written: semantically ignored without a voter, but
+             keeps write/read a strict round-trip *)
+          let voter =
+            [ field "voter" [ atomf "%s" (proc_name d.Plan.voter_proc) ] ]
+          in
+          binds := field "bind" (base @ harden @ replicas @ voter) :: !binds)
+        row)
+    plan.Plan.decisions;
+  Sexp.to_string
+    (field "plan"
+       ((if dropped = [] then [] else [ field "dropped" dropped ])
+        @ List.rev !binds))
+  ^ "\n"
+
+(* ------------------------------------------------------------------ *)
+(* Files *)
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let content = really_input_string ic n in
+    close_in ic;
+    Ok content
+  with Sys_error msg -> Error msg
+
+let load_system path =
+  let* content = read_file path in
+  read_system content
+
+let load_plan system path =
+  let* content = read_file path in
+  read_plan system content

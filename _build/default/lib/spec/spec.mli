@@ -1,0 +1,58 @@
+(** Textual system-description files.
+
+    mcmap systems (architecture + applications) and plans
+    (hardening/binding/dropping decisions) can be read from and written
+    to a small S-expression format, so the CLI can analyse user-provided
+    designs. Example:
+
+    {v
+    (architecture
+      (bus (bandwidth 2) (latency 1))
+      (processor (name cpu0) (fault-rate 1e-5))
+      (processor (name cpu1) (policy non-preemptive) (speed 1.25)))
+
+    (application (name control) (period 100) (deadline 90)
+      (critical 1e-4)
+      (task (name sense) (wcet 10) (bcet 6) (detect 1))
+      (task (name act) (wcet 8))
+      (channel (from sense) (to act) (size 4)))
+
+    (application (name logging) (period 100) (droppable 1.0)
+      (task (name log) (wcet 12)))
+    v}
+
+    and the corresponding plan:
+
+    {v
+    (plan
+      (dropped logging)
+      (bind (app control) (task sense) (proc cpu0) (harden (reexec 1)))
+      (bind (app control) (task act) (proc cpu1))
+      (bind (app logging) (task log) (proc cpu1)))
+    v}
+
+    Replicated tasks additionally take [(replicas <proc> ...)] and
+    [(voter <proc>)]. Writing then re-reading a system or plan yields an
+    equal value (round-trip property, tested). *)
+
+type system = {
+  arch : Mcmap_model.Arch.t;
+  apps : Mcmap_model.Appset.t;
+}
+
+val read_system : string -> (system, string) result
+(** Parse a system from the textual format. Errors are human-readable
+    and carry positions or the offending name. *)
+
+val write_system : system -> string
+
+val read_plan : system -> string -> (Mcmap_hardening.Plan.t, string) result
+(** Parse a plan against a system (names are resolved; every task must
+    be bound exactly once). *)
+
+val write_plan : system -> Mcmap_hardening.Plan.t -> string
+
+val load_system : string -> (system, string) result
+(** [load_system path] reads and parses a file. *)
+
+val load_plan : system -> string -> (Mcmap_hardening.Plan.t, string) result

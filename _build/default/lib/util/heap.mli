@@ -1,0 +1,36 @@
+(** Imperative binary min-heap, used by the discrete-event simulator and the
+    scheduling backend. *)
+
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module Make (Elt : ORDERED) : sig
+  type t
+
+  val create : unit -> t
+
+  val is_empty : t -> bool
+
+  val size : t -> int
+
+  val add : t -> Elt.t -> unit
+
+  val peek : t -> Elt.t option
+
+  val pop : t -> Elt.t option
+  (** Remove and return the minimum element, if any. *)
+
+  val pop_exn : t -> Elt.t
+  (** @raise Invalid_argument on an empty heap. *)
+
+  val to_list : t -> Elt.t list
+  (** Elements in unspecified order; the heap is unchanged. *)
+
+  val clear : t -> unit
+
+  val filter_in_place : t -> (Elt.t -> bool) -> unit
+  (** Keep only elements satisfying the predicate (re-heapifies). *)
+end

@@ -1,0 +1,23 @@
+type t = { lo : int; hi : int }
+
+let make lo hi =
+  if lo > hi then invalid_arg "Interval.make: lo > hi";
+  { lo; hi }
+
+let point x = { lo = x; hi = x }
+
+let length t = t.hi - t.lo
+
+let overlaps a b = a.lo <= b.hi && b.lo <= a.hi
+
+let contains t x = t.lo <= x && x <= t.hi
+
+let hull a b = { lo = min a.lo b.lo; hi = max a.hi b.hi }
+
+let shift t d = { lo = t.lo + d; hi = t.hi + d }
+
+let inter a b =
+  let lo = max a.lo b.lo and hi = min a.hi b.hi in
+  if lo <= hi then Some { lo; hi } else None
+
+let pp ppf t = Format.fprintf ppf "[%d, %d]" t.lo t.hi

@@ -1,0 +1,31 @@
+(** Closed integer time intervals [\[lo, hi\]].
+
+    The scheduling backend reasons about earliest/latest start and finish
+    windows; overlap tests between such windows decide interference. *)
+
+type t = { lo : int; hi : int }
+
+val make : int -> int -> t
+(** [make lo hi] requires [lo <= hi]. *)
+
+val point : int -> t
+(** Degenerate interval [\[x, x\]]. *)
+
+val length : t -> int
+(** [hi - lo]. *)
+
+val overlaps : t -> t -> bool
+(** Closed-interval intersection test. *)
+
+val contains : t -> int -> bool
+
+val hull : t -> t -> t
+(** Smallest interval containing both. *)
+
+val shift : t -> int -> t
+(** Translate both bounds. *)
+
+val inter : t -> t -> t option
+(** Intersection, if non-empty. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,25 @@
+let map_array ~domains f arr =
+  if domains < 1 then invalid_arg "Parallel.map_array: domains < 1";
+  let n = Array.length arr in
+  if domains = 1 || n <= 1 then Array.map f arr
+  else begin
+    let out = Array.make n None in
+    let stripe d () =
+      let i = ref d in
+      while !i < n do
+        out.(!i) <- Some (f arr.(!i));
+        i := !i + domains
+      done in
+    let workers =
+      List.init (min domains n - 1) (fun d -> Domain.spawn (stripe (d + 1)))
+    in
+    stripe 0 ();
+    List.iter Domain.join workers;
+    Array.map
+      (function
+        | Some x -> x
+        | None -> assert false)
+      out
+  end
+
+let recommended_domains () = min 8 (Domain.recommended_domain_count ())

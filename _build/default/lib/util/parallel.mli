@@ -1,0 +1,16 @@
+(** Deterministic data parallelism over OCaml 5 domains.
+
+    [map_array ~domains f arr] equals [Array.map f arr] for every pure
+    [f]; with [domains > 1] the elements are processed by that many
+    domains in stripes. Used to parallelise candidate evaluation in the
+    design-space exploration (the paper evaluates candidates with
+    multiple threads); determinism is preserved because every element's
+    result is independent of processing order. *)
+
+val map_array : domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** @raise Invalid_argument if [domains < 1]. Exceptions raised by [f]
+    in a worker domain are re-raised in the caller. *)
+
+val recommended_domains : unit -> int
+(** A reasonable domain count for this machine
+    ([Domain.recommended_domain_count], capped at 8). *)

@@ -1,0 +1,77 @@
+let dominates a b =
+  let n = Array.length a in
+  if n <> Array.length b then invalid_arg "Pareto.dominates: arity mismatch";
+  let no_worse = ref true and better = ref false in
+  for i = 0 to n - 1 do
+    if a.(i) > b.(i) then no_worse := false;
+    if a.(i) < b.(i) then better := true
+  done;
+  !no_worse && !better
+
+let non_dominated entries =
+  let arr = Array.of_list entries in
+  let n = Array.length arr in
+  let keep = Array.make n true in
+  for i = 0 to n - 1 do
+    if keep.(i) then
+      for j = 0 to n - 1 do
+        if i <> j && keep.(i) then begin
+          let _, oi = arr.(i) and _, oj = arr.(j) in
+          if dominates oj oi then keep.(i) <- false
+          else if oi = oj && j < i then keep.(i) <- false
+        end
+      done
+  done;
+  let out = ref [] in
+  for i = n - 1 downto 0 do
+    if keep.(i) then out := arr.(i) :: !out
+  done;
+  !out
+
+let front_2d entries =
+  let front = non_dominated entries in
+  List.sort (fun (_, a) (_, b) -> compare a.(0) b.(0)) front
+
+let crowding_sort entries =
+  match entries with
+  | [] | [ _ ] -> entries
+  | _ :: _ :: _ ->
+    let arr = Array.of_list entries in
+    let n = Array.length arr in
+    let m = Array.length (snd arr.(0)) in
+    let dist = Array.make n 0. in
+    for obj = 0 to m - 1 do
+      let idx = Array.init n (fun i -> i) in
+      Array.sort (fun i j -> compare (snd arr.(i)).(obj) (snd arr.(j)).(obj))
+        idx;
+      let lo = (snd arr.(idx.(0))).(obj)
+      and hi = (snd arr.(idx.(n - 1))).(obj) in
+      let range = hi -. lo in
+      dist.(idx.(0)) <- infinity;
+      dist.(idx.(n - 1)) <- infinity;
+      if range > 0. then
+        for k = 1 to n - 2 do
+          let prev = (snd arr.(idx.(k - 1))).(obj)
+          and next = (snd arr.(idx.(k + 1))).(obj) in
+          dist.(idx.(k)) <- dist.(idx.(k)) +. ((next -. prev) /. range)
+        done
+    done;
+    let order = Array.init n (fun i -> i) in
+    Array.sort (fun i j -> compare dist.(j) dist.(i)) order;
+    Array.to_list (Array.map (fun i -> arr.(i)) order)
+
+let hypervolume_2d ~reference entries =
+  let rx, ry = reference in
+  let front =
+    front_2d entries
+    |> List.filter_map (fun (_, o) ->
+           if o.(0) >= rx || o.(1) >= ry then None
+           else Some (o.(0), o.(1))) in
+  (* front is sorted by the first objective ascending, hence the second
+     objective descends along it *)
+  let rec area acc = function
+    | [] -> acc
+    | (x, y) :: rest ->
+      let next_x = match rest with (x', _) :: _ -> x' | [] -> rx in
+      area (acc +. ((next_x -. x) *. (ry -. y))) rest in
+  area 0. front

@@ -1,0 +1,27 @@
+(** Pareto dominance over minimisation objective vectors.
+
+    Every objective is minimised; callers negate "maximise" objectives
+    (e.g. service) before entering this module. *)
+
+val dominates : float array -> float array -> bool
+(** [dominates a b] iff [a] is no worse in every objective and strictly
+    better in at least one. Vectors must have equal length. *)
+
+val non_dominated : ('a * float array) list -> ('a * float array) list
+(** Keep exactly the non-dominated entries (first occurrence wins among
+    duplicates of the same vector). Order of survivors is preserved. *)
+
+val front_2d : ('a * float array) list -> ('a * float array) list
+(** Non-dominated subset sorted by the first objective ascending; input
+    vectors must be 2-dimensional. *)
+
+val crowding_sort : ('a * float array) list -> ('a * float array) list
+(** Sort by descending crowding distance (NSGA-II style); useful for
+    truncating fronts while keeping spread. *)
+
+val hypervolume_2d :
+  reference:float * float -> ('a * float array) list -> float
+(** Hypervolume (area) dominated by the 2-objective minimisation front
+    within the box bounded by the reference point (which should be worse
+    than every point in both objectives). Points outside the box are
+    clamped; a larger value means a better front. *)

@@ -1,0 +1,63 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+
+let copy t = { state = t.state }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t = { state = mix64 (bits64 t) }
+
+let int t bound =
+  assert (bound > 0);
+  let mask = Int64.shift_right_logical (bits64 t) 1 in
+  Int64.to_int (Int64.rem mask (Int64.of_int bound))
+
+let int_in t lo hi =
+  assert (hi >= lo);
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  (* 53 uniform bits mapped into [0, bound). *)
+  let bits = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float bits /. 9007199254740992. *. bound
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let bernoulli t p =
+  if p <= 0. then false
+  else if p >= 1. then true
+  else float t 1. < p
+
+let exponential t rate =
+  assert (rate > 0.);
+  let u = 1. -. float t 1. in
+  -.log u /. rate
+
+let pick t a =
+  assert (Array.length a > 0);
+  a.(int t (Array.length a))
+
+let pick_list t l =
+  match l with
+  | [] -> invalid_arg "Prng.pick_list: empty list"
+  | _ :: _ -> List.nth l (int t (List.length l))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

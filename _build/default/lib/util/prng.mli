@@ -1,0 +1,50 @@
+(** Deterministic pseudo-random number generation.
+
+    All stochastic parts of mcmap (synthetic benchmark generation,
+    Monte-Carlo fault profiles, genetic operators) draw from this splittable
+    SplitMix64 generator so that a single seed reproduces a whole experiment
+    bit-for-bit, independently of evaluation order. *)
+
+type t
+(** A mutable generator state. *)
+
+val create : int -> t
+(** [create seed] builds a generator from a 63-bit seed. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator with the same current state. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a statistically independent child
+    generator; used to give sub-systems their own streams. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] (inclusive). *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p]. *)
+
+val exponential : t -> float -> float
+(** [exponential t rate] samples an exponential distribution with the given
+    rate (mean [1. /. rate]). [rate] must be positive. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform choice from a non-empty array. *)
+
+val pick_list : t -> 'a list -> 'a
+(** Uniform choice from a non-empty list. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

@@ -1,0 +1,42 @@
+(** A minimal S-expression reader/writer — the substrate of the mcmap
+    system-description files (see [Mcmap_spec]).
+
+    Grammar: atoms are runs of non-whitespace, non-parenthesis
+    characters; lists are parenthesised; [;] starts a comment to end of
+    line. No quoting — mcmap identifiers never need it. *)
+
+type t = Atom of string | List of t list
+
+val parse : string -> (t list, string) result
+(** Parse every top-level expression in the input. Errors carry a
+    line/column position. *)
+
+val parse_one : string -> (t, string) result
+(** Parse exactly one expression (and nothing else but whitespace). *)
+
+val to_string : ?indent:int -> t -> string
+(** Pretty-print with the given indentation width (default 2). *)
+
+val atom : t -> (string, string) result
+(** Expect an atom. *)
+
+val assoc : string -> t list -> t list option
+(** [assoc key items] finds the first [List (Atom key :: rest)] among
+    [items] and returns [rest]. *)
+
+val assoc_atom : string -> t list -> (string, string) result
+(** The single-atom field [(key value)]. *)
+
+val assoc_int : string -> t list -> (int, string) result
+
+val assoc_float : string -> t list -> (float, string) result
+
+val assoc_int_opt : string -> t list -> (int option, string) result
+
+val assoc_float_opt : string -> t list -> (float option, string) result
+
+val assoc_atom_opt : string -> t list -> (string option, string) result
+
+val fields : string -> t list -> t list list
+(** All [(key ...)] entries with the given key, each stripped of the
+    key. *)

@@ -1,0 +1,44 @@
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  minimum : float;
+  maximum : float;
+}
+
+let summarize samples =
+  (* Welford's online algorithm: numerically stable single pass. *)
+  let step (n, mean, m2, mn, mx) x =
+    let n = n + 1 in
+    let delta = x -. mean in
+    let mean = mean +. (delta /. float_of_int n) in
+    let m2 = m2 +. (delta *. (x -. mean)) in
+    (n, mean, m2, min mn x, max mx x) in
+  match samples with
+  | [] -> { count = 0; mean = 0.; stddev = 0.; minimum = 0.; maximum = 0. }
+  | _ :: _ ->
+    let n, mean, m2, minimum, maximum =
+      List.fold_left step (0, 0., 0., infinity, neg_infinity) samples in
+    let variance = if n > 1 then m2 /. float_of_int (n - 1) else 0. in
+    { count = n; mean; stddev = sqrt variance; minimum; maximum }
+
+let mean samples = (summarize samples).mean
+
+let percentile samples p =
+  match samples with
+  | [] -> invalid_arg "Stats.percentile: empty sample list"
+  | _ :: _ ->
+    let a = Array.of_list samples in
+    Array.sort compare a;
+    let n = Array.length a in
+    let rank =
+      int_of_float (ceil (p /. 100. *. float_of_int n)) in
+    let idx = Mathx.clamp ~lo:0 ~hi:(n - 1) (rank - 1) in
+    a.(idx)
+
+let ratio_pct num den =
+  if den = 0 then 0. else 100. *. float_of_int num /. float_of_int den
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d mean=%.3f sd=%.3f min=%.3f max=%.3f" s.count
+    s.mean s.stddev s.minimum s.maximum

@@ -1,0 +1,23 @@
+(** Descriptive statistics over float samples (experiment reporting). *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  minimum : float;
+  maximum : float;
+}
+
+val summarize : float list -> summary
+(** Single-pass Welford summary. Empty input yields zeros. *)
+
+val mean : float list -> float
+
+val percentile : float list -> float -> float
+(** [percentile samples p] with [p] in [\[0, 100\]], nearest-rank method.
+    @raise Invalid_argument on an empty list. *)
+
+val ratio_pct : int -> int -> float
+(** [ratio_pct num den] is [100 * num / den] as float; 0 when [den = 0]. *)
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,45 @@
+type t = { header : string array; mutable rows : string array list }
+
+let create ~header = { header = Array.of_list header; rows = [] }
+
+let add_row t cells =
+  let width = Array.length t.header in
+  if List.length cells > width then
+    invalid_arg "Texttable.add_row: more cells than columns";
+  let row = Array.make width "" in
+  List.iteri (fun i c -> row.(i) <- c) cells;
+  t.rows <- row :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let width = Array.length t.header in
+  let col_width i =
+    List.fold_left
+      (fun acc row -> max acc (String.length row.(i)))
+      (String.length t.header.(i))
+      rows in
+  let widths = Array.init width col_width in
+  let buf = Buffer.create 256 in
+  let pad s w =
+    let s = s ^ String.make (max 0 (w - String.length s)) ' ' in
+    s in
+  let emit_row row =
+    Array.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (pad cell widths.(i)))
+      row;
+    Buffer.add_char buf '\n' in
+  emit_row t.header;
+  Array.iteri
+    (fun i w ->
+      if i > 0 then Buffer.add_string buf "  ";
+      Buffer.add_string buf (String.make w '-'))
+    widths;
+  Buffer.add_char buf '\n';
+  List.iter emit_row rows;
+  Buffer.contents buf
+
+let print t =
+  print_string (render t);
+  flush stdout

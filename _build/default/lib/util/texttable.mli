@@ -1,0 +1,16 @@
+(** Minimal plain-text table rendering for experiment reports. *)
+
+type t
+
+val create : header:string list -> t
+(** A table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Rows shorter than the header are right-padded with empty cells; longer
+    rows raise [Invalid_argument]. *)
+
+val render : t -> string
+(** ASCII rendering with aligned columns and a header separator. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a newline flush. *)

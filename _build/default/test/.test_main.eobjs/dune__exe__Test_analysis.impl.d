@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Array List Mcmap_analysis Mcmap_hardening Mcmap_model Mcmap_sched Mcmap_sim QCheck QCheck_alcotest Test_gen

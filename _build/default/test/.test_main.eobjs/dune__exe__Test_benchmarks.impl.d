@@ -1,0 +1,1 @@
+test/test_benchmarks.ml: Alcotest Array List Mcmap_benchmarks Mcmap_hardening Mcmap_model

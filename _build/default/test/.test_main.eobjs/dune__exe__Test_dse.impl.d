@@ -1,0 +1,1 @@
+test/test_dse.ml: Alcotest Array Format List Mcmap_dse Mcmap_hardening Mcmap_model Mcmap_reliability Mcmap_util QCheck QCheck_alcotest Test_gen

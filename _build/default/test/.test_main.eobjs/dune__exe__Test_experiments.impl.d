@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Format List Mcmap_analysis Mcmap_dse Mcmap_experiments Mcmap_hardening String

@@ -1,0 +1,1 @@
+test/test_gen.ml: Array Format Mcmap_benchmarks Mcmap_hardening Mcmap_model Mcmap_util

@@ -1,0 +1,1 @@
+test/test_hardening.ml: Alcotest Array Format List Mcmap_hardening Mcmap_model

@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Array Format List Mcmap_model

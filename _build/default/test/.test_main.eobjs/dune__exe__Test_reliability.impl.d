@@ -1,0 +1,1 @@
+test/test_reliability.ml: Alcotest Array Format Gen List Mcmap_hardening Mcmap_model Mcmap_reliability QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Array Format List Mcmap_hardening Mcmap_model Mcmap_sched Option QCheck QCheck_alcotest Test_gen

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Format List Mcmap_analysis Mcmap_hardening Mcmap_model Mcmap_sched Mcmap_sim Printf QCheck QCheck_alcotest String Test_gen

@@ -1,0 +1,1 @@
+test/test_spec.ml: Alcotest Array List Mcmap_benchmarks Mcmap_hardening Mcmap_model Mcmap_spec Mcmap_util Printf QCheck QCheck_alcotest Result String Sys Test_gen

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Gen Int List Mcmap_util Option Printf QCheck QCheck_alcotest String

@@ -1,0 +1,169 @@
+(* Tests for the benchmark suite: structure, determinism, and fidelity
+   to the paper's descriptions. *)
+
+module B = Mcmap_benchmarks
+module Arch = Mcmap_model.Arch
+module Appset = Mcmap_model.Appset
+module Graph = Mcmap_model.Graph
+module Criticality = Mcmap_model.Criticality
+module Plan = Mcmap_hardening.Plan
+module Happ = Mcmap_hardening.Happ
+
+let check = Alcotest.check
+
+let test_registry () =
+  check (Alcotest.list Alcotest.string) "names"
+    [ "cruise"; "dt-med"; "dt-large"; "synth-1"; "synth-2" ]
+    B.Registry.names;
+  check Alcotest.bool "find unknown" true (B.Registry.find "nope" = None);
+  check Alcotest.int "all returns every benchmark" 5
+    (List.length (B.Registry.all ()));
+  Alcotest.check_raises "find_exn"
+    (Invalid_argument "Registry.find_exn: unknown benchmark nope")
+    (fun () -> ignore (B.Registry.find_exn "nope"))
+
+let test_every_benchmark_valid () =
+  List.iter
+    (fun (b : B.Benchmark.t) ->
+      check Alcotest.bool "has processors" true
+        (Arch.n_procs b.B.Benchmark.arch >= 2);
+      check Alcotest.bool "has graphs" true
+        (Appset.n_graphs b.B.Benchmark.apps >= 2);
+      check Alcotest.bool "hyperperiod positive" true
+        (Appset.hyperperiod b.B.Benchmark.apps > 0))
+    (B.Registry.all ())
+
+let test_cruise_structure () =
+  let b = B.Cruise.benchmark () in
+  let apps = b.B.Benchmark.apps in
+  (* the paper's Table 2 reports exactly two critical applications *)
+  check Alcotest.int "two critical graphs" 2
+    (List.length (B.Cruise.critical_graphs b));
+  (* plus the three synthetic droppable applications added per §5 *)
+  check Alcotest.int "three droppable graphs" 3
+    (List.length (Appset.droppable_graphs apps));
+  check Alcotest.int "hyperperiod" 1000 (Appset.hyperperiod apps)
+
+let test_cruise_sample_plans () =
+  let b = B.Cruise.benchmark () in
+  let plans = B.Cruise.sample_plans b in
+  check Alcotest.int "three mappings" 3 (List.length plans);
+  List.iter
+    (fun plan ->
+      check (Alcotest.list Alcotest.string) "placement-feasible" []
+        (Plan.errors b.B.Benchmark.arch b.B.Benchmark.apps plan);
+      (* every droppable application is in the dropped set *)
+      check Alcotest.int "dropped set = droppables" 3
+        (List.length (Plan.dropped_graphs plan));
+      (* hardened mappings must transform cleanly *)
+      ignore (Happ.build b.B.Benchmark.arch b.B.Benchmark.apps plan))
+    plans
+
+let test_dt_structure () =
+  let med = B.Dt.dt_med () in
+  let med_names =
+    Array.to_list med.B.Benchmark.apps.Appset.graphs
+    |> List.map (fun g -> g.Graph.name) in
+  (* Figure 5 explores dropping over exactly t1, t2, t3 *)
+  check Alcotest.bool "t1 t2 t3 present" true
+    (List.for_all (fun t -> List.mem t med_names) [ "t1"; "t2"; "t3" ]);
+  check Alcotest.int "dt-med criticals" 2
+    (List.length (Appset.critical_graphs med.B.Benchmark.apps));
+  let large = B.Dt.dt_large () in
+  check Alcotest.int "dt-large criticals" 4
+    (List.length (Appset.critical_graphs large.B.Benchmark.apps));
+  check Alcotest.int "dt-large droppables" 5
+    (List.length (Appset.droppable_graphs large.B.Benchmark.apps));
+  (* DT runs non-preemptively in the paper *)
+  Array.iter
+    (fun p ->
+      check Alcotest.bool "non-preemptive" true
+        (p.Mcmap_model.Proc.policy = Mcmap_model.Proc.Non_preemptive_fp))
+    med.B.Benchmark.arch.Arch.procs
+
+let test_synth_determinism () =
+  let a = B.Synth.generate ~seed:99 B.Synth.default_spec in
+  let b = B.Synth.generate ~seed:99 B.Synth.default_spec in
+  check Alcotest.int "same size" (Appset.total_tasks a)
+    (Appset.total_tasks b);
+  Array.iteri
+    (fun gi g ->
+      let g' = Appset.graph b gi in
+      check Alcotest.int "same tasks" (Graph.n_tasks g) (Graph.n_tasks g');
+      check Alcotest.int "same period" g.Graph.period g'.Graph.period)
+    a.Appset.graphs;
+  let c = B.Synth.generate ~seed:100 B.Synth.default_spec in
+  check Alcotest.bool "different seed differs" true
+    (Appset.total_tasks a <> Appset.total_tasks c
+     || Array.exists2
+          (fun (x : Graph.t) (y : Graph.t) ->
+            x.Graph.period <> y.Graph.period
+            || Graph.total_wcet x <> Graph.total_wcet y)
+          a.Appset.graphs c.Appset.graphs)
+
+let test_synth_always_has_critical () =
+  for seed = 0 to 20 do
+    let apps =
+      B.Synth.generate ~seed
+        { B.Synth.default_spec with B.Synth.droppable_ratio = 1.0 } in
+    check Alcotest.bool "at least one critical graph" true
+      (Appset.critical_graphs apps <> [])
+  done
+
+let test_sampler_plans_valid () =
+  for seed = 0 to 10 do
+    List.iter
+      (fun (b : B.Benchmark.t) ->
+        let plan =
+          B.Sampler.plan ~seed b.B.Benchmark.arch b.B.Benchmark.apps in
+        check (Alcotest.list Alcotest.string) "random plan placement" []
+          (Plan.errors b.B.Benchmark.arch b.B.Benchmark.apps plan);
+        let balanced =
+          B.Sampler.balanced_plan ~seed b.B.Benchmark.arch
+            b.B.Benchmark.apps in
+        check (Alcotest.list Alcotest.string) "balanced plan placement" []
+          (Plan.errors b.B.Benchmark.arch b.B.Benchmark.apps balanced))
+      [ B.Cruise.benchmark (); B.Synth.synth1 () ]
+  done
+
+let test_builder_derivations () =
+  let t = B.Builder.task ~id:0 ~name:"x" ~wcet:100 () in
+  check Alcotest.int "bcet 3/5" 60 t.Mcmap_model.Task.bcet;
+  check Alcotest.int "detection wcet/10" 10
+    t.Mcmap_model.Task.detection_overhead;
+  check Alcotest.int "voting wcet/20" 5 t.Mcmap_model.Task.voting_overhead;
+  let g =
+    B.Builder.chain ~name:"c" ~period:100
+      ~criticality:(Criticality.droppable 1.)
+      [ ("a", 10); ("b", 20); ("c", 30) ] in
+  check Alcotest.int "chain tasks" 3 (Graph.n_tasks g);
+  check Alcotest.int "chain channels" 2 (Array.length g.Graph.channels)
+
+let test_platforms () =
+  let q = B.Platforms.quad () in
+  check Alcotest.int "quad" 4 (Arch.n_procs q);
+  let h = B.Platforms.hexa () in
+  check Alcotest.int "hexa" 6 (Arch.n_procs h);
+  (* heterogeneous fault rates: the lockstep core is the most reliable *)
+  let rates =
+    Array.to_list h.Arch.procs
+    |> List.map (fun p -> p.Mcmap_model.Proc.fault_rate) in
+  check Alcotest.bool "lockstep lowest rate" true
+    (List.for_all (fun r -> r >= 1e-6) rates && List.mem 1e-6 rates)
+
+let suite =
+  [ Alcotest.test_case "registry" `Quick test_registry;
+    Alcotest.test_case "all benchmarks valid" `Quick
+      test_every_benchmark_valid;
+    Alcotest.test_case "cruise: structure" `Quick test_cruise_structure;
+    Alcotest.test_case "cruise: sample plans" `Quick
+      test_cruise_sample_plans;
+    Alcotest.test_case "dt: structure" `Quick test_dt_structure;
+    Alcotest.test_case "synth: determinism" `Quick test_synth_determinism;
+    Alcotest.test_case "synth: critical guarantee" `Quick
+      test_synth_always_has_critical;
+    Alcotest.test_case "sampler: valid plans" `Quick
+      test_sampler_plans_valid;
+    Alcotest.test_case "builder: derivations" `Quick
+      test_builder_derivations;
+    Alcotest.test_case "platforms" `Quick test_platforms ]

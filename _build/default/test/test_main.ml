@@ -1,0 +1,13 @@
+let () =
+  Alcotest.run "mcmap"
+    [ ("util", Test_util.suite);
+      ("model", Test_model.suite);
+      ("hardening", Test_hardening.suite);
+      ("reliability", Test_reliability.suite);
+      ("sched", Test_sched.suite);
+      ("analysis", Test_analysis.suite);
+      ("sim", Test_sim.suite);
+      ("dse", Test_dse.suite);
+      ("benchmarks", Test_benchmarks.suite);
+      ("spec", Test_spec.suite);
+      ("experiments", Test_experiments.suite) ]

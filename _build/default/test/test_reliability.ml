@@ -1,0 +1,234 @@
+(* Unit and property tests for mcmap.reliability. *)
+
+module Proc = Mcmap_model.Proc
+module Arch = Mcmap_model.Arch
+module Criticality = Mcmap_model.Criticality
+module Task = Mcmap_model.Task
+module Graph = Mcmap_model.Graph
+module Appset = Mcmap_model.Appset
+module Technique = Mcmap_hardening.Technique
+module Plan = Mcmap_hardening.Plan
+module Fault_model = Mcmap_reliability.Fault_model
+module Analysis = Mcmap_reliability.Analysis
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+let checkf = check (Alcotest.float 1e-9)
+
+let arch ?(fault_rate = 1e-4) () =
+  Arch.make
+    (Array.init 4 (fun id ->
+         Proc.make ~id ~name:(Format.asprintf "p%d" id) ~fault_rate ()))
+
+let single_task_apps ?(criticality = Criticality.critical 1e-6)
+    ?(wcet = 50) () =
+  Appset.make
+    [| Graph.make ~name:"g"
+         ~tasks:
+           [| Task.make ~id:0 ~name:"t" ~wcet ~detection_overhead:5 () |]
+         ~channels:[||] ~period:1000 ~criticality () |]
+
+let decision ?(technique = Technique.No_hardening) ?(replicas = [||])
+    ?(voter = 0) primary =
+  { Plan.technique; primary_proc = primary; replica_procs = replicas;
+    voter_proc = voter }
+
+(* ------------------------------------------------------------------ *)
+(* Fault model *)
+
+let test_execution_failure () =
+  let a = arch () in
+  let q = Fault_model.execution_failure a ~proc:0 ~duration:100 in
+  checkf "closed form" (1. -. exp (-0.01)) q;
+  checkf "zero duration" 0.
+    (Fault_model.execution_failure a ~proc:0 ~duration:0)
+
+let test_re_execution_failure () =
+  checkf "k=0 is single attempt" 0.1
+    (Fault_model.re_execution_failure ~per_attempt:0.1 ~k:0);
+  checkf "k=1 squares" 0.01
+    (Fault_model.re_execution_failure ~per_attempt:0.1 ~k:1);
+  checkf "k=2 cubes" 0.001
+    (Fault_model.re_execution_failure ~per_attempt:0.1 ~k:2)
+
+let test_majority_homogeneous () =
+  (* TMR closed form: 3 q^2 (1-q) + q^3 *)
+  let q = 0.1 in
+  let expected = (3. *. q *. q *. (1. -. q)) +. (q ** 3.) in
+  checkf "TMR closed form" expected
+    (Fault_model.majority_failure [| q; q; q |]);
+  (* duplication detects but cannot correct *)
+  checkf "duplication" (1. -. (0.9 *. 0.9))
+    (Fault_model.majority_failure [| q; q |]);
+  checkf "single replica" q (Fault_model.majority_failure [| q |])
+
+let test_at_least_k () =
+  checkf "k=0 is certain" 1.
+    (Fault_model.at_least_k_failures [| 0.5; 0.5 |] 0);
+  checkf "k beyond n impossible" 0.
+    (Fault_model.at_least_k_failures [| 0.5; 0.5 |] 3);
+  checkf "both fail" 0.25 (Fault_model.at_least_k_failures [| 0.5; 0.5 |] 2);
+  checkf "at least one" 0.75
+    (Fault_model.at_least_k_failures [| 0.5; 0.5 |] 1)
+
+let test_passive_failure () =
+  (* 2 actives + 1 spare fails when >= 2 of the 3 fail *)
+  let q = 0.1 in
+  let expected = (3. *. q *. q *. (1. -. q)) +. (q ** 3.) in
+  checkf "2+1 equals TMR count" expected
+    (Fault_model.passive_failure ~active:[| q; q |] ~spares:[| q |]);
+  Alcotest.check_raises "needs exactly two actives"
+    (Invalid_argument "Fault_model.passive_failure: exactly 2 active replicas")
+    (fun () ->
+      ignore (Fault_model.passive_failure ~active:[| q |] ~spares:[| q |]))
+
+let prop_majority_beats_single =
+  QCheck.Test.make ~name:"TMR beats a single replica for q < 1/2"
+    ~count:200
+    QCheck.(float_range 0.001 0.49)
+    (fun q ->
+      Fault_model.majority_failure [| q; q; q |] <= q +. 1e-12)
+
+let prop_more_re_executions_help =
+  QCheck.Test.make ~name:"re-execution failure decreases with k" ~count:200
+    QCheck.(pair (float_range 0.01 0.9) (int_range 0 5))
+    (fun (q, k) ->
+      Fault_model.re_execution_failure ~per_attempt:q ~k:(k + 1)
+      <= Fault_model.re_execution_failure ~per_attempt:q ~k +. 1e-12)
+
+let prop_failure_counts_probability =
+  QCheck.Test.make ~name:"at_least_k is a decreasing probability"
+    ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 6) (float_range 0. 1.))
+    (fun qs ->
+      let probs = Array.of_list qs in
+      let n = Array.length probs in
+      let ok = ref true in
+      let prev = ref 1. in
+      for k = 0 to n do
+        let p = Fault_model.at_least_k_failures probs k in
+        if p < -1e-9 || p > 1. +. 1e-9 || p > !prev +. 1e-9 then ok := false;
+        prev := p
+      done;
+      !ok)
+
+let test_poisson_more_than () =
+  (* k = 0: P(>0 faults) = 1 - e^{-m} *)
+  let m = 1e-4 *. 100. in
+  checkf "k=0 closed form" (1. -. exp (-.m))
+    (Fault_model.poisson_more_than ~rate:1e-4 ~duration:100 ~k:0);
+  check Alcotest.bool "monotone decreasing in k" true
+    (Fault_model.poisson_more_than ~rate:1e-2 ~duration:100 ~k:2
+     < Fault_model.poisson_more_than ~rate:1e-2 ~duration:100 ~k:1);
+  checkf "zero duration" 0.
+    (Fault_model.poisson_more_than ~rate:1e-2 ~duration:0 ~k:0)
+
+let test_checkpointing_reliability () =
+  let a = arch () in
+  let apps = single_task_apps () in
+  let prob technique =
+    let plan =
+      Plan.make apps
+        ~decisions:[| [| decision ~technique 0 |] |]
+        ~dropped:[| false |] in
+    Analysis.task_failure_probability a apps plan ~graph:0 ~task:0 in
+  let bare = prob Technique.No_hardening in
+  let cp1 = prob (Technique.checkpointing ~segments:2 ~k:1) in
+  let cp2 = prob (Technique.checkpointing ~segments:2 ~k:2) in
+  check Alcotest.bool "checkpointing improves" true (cp1 < bare);
+  check Alcotest.bool "more tolerated faults improve" true (cp2 < cp1)
+
+(* ------------------------------------------------------------------ *)
+(* Analysis *)
+
+let test_task_failure_techniques () =
+  let a = arch () in
+  let apps = single_task_apps () in
+  let prob technique replicas =
+    let plan =
+      Plan.make apps
+        ~decisions:[| [| decision ~technique ~replicas ~voter:3 0 |] |]
+        ~dropped:[| false |] in
+    Analysis.task_failure_probability a apps plan ~graph:0 ~task:0 in
+  let bare = prob Technique.No_hardening [||] in
+  let reexec = prob (Technique.re_execution 1) [||] in
+  let tmr = prob (Technique.active_replication 3) [| 1; 2 |] in
+  let passive = prob (Technique.passive_replication 1) [| 1; 2 |] in
+  check Alcotest.bool "re-execution improves" true (reexec < bare);
+  check Alcotest.bool "TMR improves" true (tmr < bare);
+  check Alcotest.bool "passive improves" true (passive < bare);
+  check Alcotest.bool "bare positive" true (bare > 0.)
+
+let test_graph_failure_rate () =
+  let a = arch () in
+  let apps = single_task_apps () in
+  let plan = Plan.unhardened apps in
+  let rate = Analysis.graph_failure_rate a apps plan ~graph:0 in
+  (* one task: rate = q / period *)
+  let q = Fault_model.execution_failure a ~proc:0 ~duration:50 in
+  checkf "rate = q / period" (q /. 1000.) rate
+
+let test_violations () =
+  let a = arch () in
+  (* tight bound: unhardened must violate, k=2 re-execution must pass *)
+  let apps = single_task_apps ~criticality:(Criticality.critical 1e-9) () in
+  let bare = Plan.unhardened apps in
+  check Alcotest.int "unhardened violates" 1
+    (List.length (Analysis.violations a apps bare));
+  let hardened =
+    Plan.make apps
+      ~decisions:
+        [| [| decision ~technique:(Technique.re_execution 2) 0 |] |]
+      ~dropped:[| false |] in
+  check Alcotest.int "hardened passes" 0
+    (List.length (Analysis.violations a apps hardened))
+
+let test_droppable_unconstrained () =
+  let a = arch ~fault_rate:0.5 () in
+  let apps =
+    single_task_apps ~criticality:(Criticality.droppable 1.0) () in
+  let plan = Plan.unhardened apps in
+  check Alcotest.int "droppable graphs have no constraint" 0
+    (List.length (Analysis.violations a apps plan))
+
+let prop_hardening_never_hurts =
+  QCheck.Test.make
+    ~name:"any hardening lowers the task failure probability" ~count:100
+    QCheck.(pair (int_range 1 3) (int_range 20 200))
+    (fun (k, wcet) ->
+      let a = arch () in
+      let apps = single_task_apps ~wcet () in
+      let bare =
+        Analysis.task_failure_probability a apps (Plan.unhardened apps)
+          ~graph:0 ~task:0 in
+      let plan =
+        Plan.make apps
+          ~decisions:
+            [| [| decision ~technique:(Technique.re_execution k) 0 |] |]
+          ~dropped:[| false |] in
+      Analysis.task_failure_probability a apps plan ~graph:0 ~task:0
+      <= bare +. 1e-12)
+
+let suite =
+  [ Alcotest.test_case "fault: execution failure" `Quick
+      test_execution_failure;
+    Alcotest.test_case "fault: re-execution" `Quick
+      test_re_execution_failure;
+    Alcotest.test_case "fault: majority closed forms" `Quick
+      test_majority_homogeneous;
+    Alcotest.test_case "fault: at_least_k" `Quick test_at_least_k;
+    Alcotest.test_case "fault: passive" `Quick test_passive_failure;
+    qtest prop_majority_beats_single;
+    qtest prop_more_re_executions_help;
+    qtest prop_failure_counts_probability;
+    Alcotest.test_case "fault: poisson tail" `Quick test_poisson_more_than;
+    Alcotest.test_case "analysis: checkpointing" `Quick
+      test_checkpointing_reliability;
+    Alcotest.test_case "analysis: techniques compared" `Quick
+      test_task_failure_techniques;
+    Alcotest.test_case "analysis: graph rate" `Quick
+      test_graph_failure_rate;
+    Alcotest.test_case "analysis: violations" `Quick test_violations;
+    Alcotest.test_case "analysis: droppable unconstrained" `Quick
+      test_droppable_unconstrained;
+    qtest prop_hardening_never_hurts ]

@@ -1,0 +1,425 @@
+(* Unit and property tests for mcmap.util. *)
+
+module Prng = Mcmap_util.Prng
+module Mathx = Mcmap_util.Mathx
+module Interval = Mcmap_util.Interval
+module Stats = Mcmap_util.Stats
+module Pareto = Mcmap_util.Pareto
+module Texttable = Mcmap_util.Texttable
+module Heap = Mcmap_util.Heap
+
+module Int_heap = Heap.Make (Int)
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Prng *)
+
+let test_prng_deterministic () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.bits64 a = Prng.bits64 b then incr same
+  done;
+  check Alcotest.bool "streams differ" true (!same < 4)
+
+let test_prng_split_independent () =
+  let parent = Prng.create 7 in
+  let child = Prng.split parent in
+  let c1 = Prng.bits64 child in
+  let p1 = Prng.bits64 parent in
+  check Alcotest.bool "child differs from parent" true (c1 <> p1)
+
+let test_prng_copy () =
+  let a = Prng.create 5 in
+  ignore (Prng.bits64 a);
+  let b = Prng.copy a in
+  check Alcotest.int64 "copy continues identically" (Prng.bits64 a)
+    (Prng.bits64 b)
+
+let prop_int_bounds =
+  QCheck.Test.make ~name:"Prng.int stays within bounds" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let rng = Prng.create seed in
+      let x = Prng.int rng bound in
+      0 <= x && x < bound)
+
+let prop_int_in_bounds =
+  QCheck.Test.make ~name:"Prng.int_in is inclusive" ~count:500
+    QCheck.(triple small_int (int_range (-50) 50) (int_range 0 100))
+    (fun (seed, lo, span) ->
+      let rng = Prng.create seed in
+      let x = Prng.int_in rng lo (lo + span) in
+      lo <= x && x <= lo + span)
+
+let prop_float_bounds =
+  QCheck.Test.make ~name:"Prng.float stays within bounds" ~count:500
+    QCheck.small_int
+    (fun seed ->
+      let rng = Prng.create seed in
+      let x = Prng.float rng 10. in
+      0. <= x && x < 10.)
+
+let prop_shuffle_permutation =
+  QCheck.Test.make ~name:"Prng.shuffle permutes" ~count:200
+    QCheck.(pair small_int (list_of_size (Gen.int_range 0 30) int))
+    (fun (seed, l) ->
+      let rng = Prng.create seed in
+      let a = Array.of_list l in
+      Prng.shuffle rng a;
+      List.sort compare (Array.to_list a) = List.sort compare l)
+
+let test_bernoulli_extremes () =
+  let rng = Prng.create 3 in
+  for _ = 1 to 50 do
+    check Alcotest.bool "p=0 never" false (Prng.bernoulli rng 0.);
+    check Alcotest.bool "p=1 always" true (Prng.bernoulli rng 1.)
+  done
+
+let test_bernoulli_rate () =
+  let rng = Prng.create 11 in
+  let hits = ref 0 in
+  let n = 10000 in
+  for _ = 1 to n do
+    if Prng.bernoulli rng 0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  check Alcotest.bool "close to 0.3" true (abs_float (rate -. 0.3) < 0.03)
+
+let test_exponential_mean () =
+  let rng = Prng.create 13 in
+  let acc = ref 0. in
+  let n = 20000 in
+  for _ = 1 to n do
+    acc := !acc +. Prng.exponential rng 2.
+  done;
+  let mean = !acc /. float_of_int n in
+  check Alcotest.bool "mean close to 1/rate" true
+    (abs_float (mean -. 0.5) < 0.03)
+
+let test_pick () =
+  let rng = Prng.create 17 in
+  for _ = 1 to 100 do
+    let x = Prng.pick rng [| 1; 2; 3 |] in
+    check Alcotest.bool "picked element" true (List.mem x [ 1; 2; 3 ])
+  done;
+  check Alcotest.bool "pick_list element" true
+    (List.mem (Prng.pick_list rng [ "a"; "b" ]) [ "a"; "b" ])
+
+(* ------------------------------------------------------------------ *)
+(* Mathx *)
+
+let test_gcd_lcm () =
+  check Alcotest.int "gcd 12 18" 6 (Mathx.gcd 12 18);
+  check Alcotest.int "gcd 0 5" 5 (Mathx.gcd 0 5);
+  check Alcotest.int "gcd 5 0" 5 (Mathx.gcd 5 0);
+  check Alcotest.int "lcm 4 6" 12 (Mathx.lcm 4 6);
+  check Alcotest.int "lcm 0 6" 0 (Mathx.lcm 0 6);
+  check Alcotest.int "lcm_list" 60 (Mathx.lcm_list [ 4; 6; 10 ]);
+  check Alcotest.int "lcm_list empty" 1 (Mathx.lcm_list [])
+
+let prop_gcd_divides =
+  QCheck.Test.make ~name:"gcd divides both" ~count:300
+    QCheck.(pair (int_range 0 10000) (int_range 1 10000))
+    (fun (a, b) ->
+      let g = Mathx.gcd a b in
+      g > 0 && a mod g = 0 && b mod g = 0)
+
+let prop_lcm_multiple =
+  QCheck.Test.make ~name:"lcm is a common multiple" ~count:300
+    QCheck.(pair (int_range 1 1000) (int_range 1 1000))
+    (fun (a, b) ->
+      let m = Mathx.lcm a b in
+      m mod a = 0 && m mod b = 0 && m <= a * b)
+
+let test_ceil_div () =
+  check Alcotest.int "7/2" 4 (Mathx.ceil_div 7 2);
+  check Alcotest.int "8/2" 4 (Mathx.ceil_div 8 2);
+  check Alcotest.int "0/5" 0 (Mathx.ceil_div 0 5);
+  check Alcotest.int "1/5" 1 (Mathx.ceil_div 1 5)
+
+let test_clamp () =
+  check Alcotest.int "below" 2 (Mathx.clamp ~lo:2 ~hi:8 0);
+  check Alcotest.int "above" 8 (Mathx.clamp ~lo:2 ~hi:8 99);
+  check Alcotest.int "inside" 5 (Mathx.clamp ~lo:2 ~hi:8 5);
+  check (Alcotest.float 1e-9) "float clamp" 1.5
+    (Mathx.clamp_f ~lo:0. ~hi:1.5 7.)
+
+let test_sums () =
+  check Alcotest.int "sum_by" 6 (Mathx.sum_by (fun x -> x) [ 1; 2; 3 ]);
+  check (Alcotest.float 1e-9) "sum_by_f" 6.
+    (Mathx.sum_by_f float_of_int [ 1; 2; 3 ])
+
+(* ------------------------------------------------------------------ *)
+(* Heap *)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap pops in sorted order" ~count:300
+    QCheck.(list_of_size (Gen.int_range 0 50) int)
+    (fun l ->
+      let h = Int_heap.create () in
+      List.iter (Int_heap.add h) l;
+      let rec drain acc =
+        match Int_heap.pop h with
+        | Some x -> drain (x :: acc)
+        | None -> List.rev acc in
+      drain [] = List.sort compare l)
+
+let test_heap_basics () =
+  let h = Int_heap.create () in
+  check Alcotest.bool "empty" true (Int_heap.is_empty h);
+  check (Alcotest.option Alcotest.int) "peek empty" None (Int_heap.peek h);
+  check (Alcotest.option Alcotest.int) "pop empty" None (Int_heap.pop h);
+  Int_heap.add h 5;
+  Int_heap.add h 1;
+  Int_heap.add h 3;
+  check Alcotest.int "size" 3 (Int_heap.size h);
+  check (Alcotest.option Alcotest.int) "peek min" (Some 1)
+    (Int_heap.peek h);
+  check Alcotest.int "pop_exn" 1 (Int_heap.pop_exn h);
+  Int_heap.clear h;
+  check Alcotest.bool "cleared" true (Int_heap.is_empty h)
+
+let test_heap_filter () =
+  let h = Int_heap.create () in
+  List.iter (Int_heap.add h) [ 5; 2; 8; 1; 9 ];
+  Int_heap.filter_in_place h (fun x -> x mod 2 = 1);
+  let rec drain acc =
+    match Int_heap.pop h with
+    | Some x -> drain (x :: acc)
+    | None -> List.rev acc in
+  check (Alcotest.list Alcotest.int) "odd survivors" [ 1; 5; 9 ] (drain [])
+
+let test_heap_pop_exn_empty () =
+  let h = Int_heap.create () in
+  Alcotest.check_raises "pop_exn raises"
+    (Invalid_argument "Heap.pop_exn: empty heap") (fun () ->
+      ignore (Int_heap.pop_exn h))
+
+(* ------------------------------------------------------------------ *)
+(* Interval *)
+
+let test_interval_basics () =
+  let i = Interval.make 2 8 in
+  check Alcotest.int "length" 6 (Interval.length i);
+  check Alcotest.bool "contains" true (Interval.contains i 5);
+  check Alcotest.bool "not contains" false (Interval.contains i 9);
+  check Alcotest.bool "overlaps" true
+    (Interval.overlaps i (Interval.make 8 12));
+  check Alcotest.bool "disjoint" false
+    (Interval.overlaps i (Interval.make 9 12));
+  Alcotest.check_raises "bad bounds"
+    (Invalid_argument "Interval.make: lo > hi") (fun () ->
+      ignore (Interval.make 3 2))
+
+let test_interval_ops () =
+  let a = Interval.make 0 5 and b = Interval.make 3 10 in
+  let h = Interval.hull a b in
+  check Alcotest.int "hull lo" 0 h.Interval.lo;
+  check Alcotest.int "hull hi" 10 h.Interval.hi;
+  (match Interval.inter a b with
+   | Some i ->
+     check Alcotest.int "inter lo" 3 i.Interval.lo;
+     check Alcotest.int "inter hi" 5 i.Interval.hi
+   | None -> Alcotest.fail "expected intersection");
+  check (Alcotest.option Alcotest.unit) "disjoint inter" None
+    (Option.map (fun _ -> ()) (Interval.inter a (Interval.make 6 9)));
+  let s = Interval.shift a 10 in
+  check Alcotest.int "shift" 10 s.Interval.lo
+
+let prop_overlap_symmetric =
+  QCheck.Test.make ~name:"interval overlap is symmetric" ~count:300
+    QCheck.(quad (int_range 0 50) (int_range 0 50) (int_range 0 50)
+              (int_range 0 50))
+    (fun (a, b, c, d) ->
+      let i = Interval.make (min a b) (max a b) in
+      let j = Interval.make (min c d) (max c d) in
+      Interval.overlaps i j = Interval.overlaps j i)
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let test_summary () =
+  let s = Stats.summarize [ 1.; 2.; 3.; 4. ] in
+  check Alcotest.int "count" 4 s.Stats.count;
+  check (Alcotest.float 1e-9) "mean" 2.5 s.Stats.mean;
+  check (Alcotest.float 1e-9) "min" 1. s.Stats.minimum;
+  check (Alcotest.float 1e-9) "max" 4. s.Stats.maximum;
+  check (Alcotest.float 1e-6) "stddev" 1.2909944487 s.Stats.stddev;
+  let empty = Stats.summarize [] in
+  check Alcotest.int "empty count" 0 empty.Stats.count
+
+let test_percentile () =
+  let samples = [ 5.; 1.; 3.; 2.; 4. ] in
+  check (Alcotest.float 1e-9) "p50" 3. (Stats.percentile samples 50.);
+  check (Alcotest.float 1e-9) "p100" 5. (Stats.percentile samples 100.);
+  check (Alcotest.float 1e-9) "p1" 1. (Stats.percentile samples 1.)
+
+let test_ratio_pct () =
+  check (Alcotest.float 1e-9) "ratio" 25. (Stats.ratio_pct 1 4);
+  check (Alcotest.float 1e-9) "zero denominator" 0. (Stats.ratio_pct 1 0)
+
+let prop_mean_within_bounds =
+  QCheck.Test.make ~name:"mean between min and max" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 50) (float_range (-100.) 100.))
+    (fun l ->
+      let s = Stats.summarize l in
+      s.Stats.minimum -. 1e-9 <= s.Stats.mean
+      && s.Stats.mean <= s.Stats.maximum +. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Pareto *)
+
+let test_dominates () =
+  check Alcotest.bool "strict" true (Pareto.dominates [| 1.; 1. |] [| 2.; 2. |]);
+  check Alcotest.bool "partial" true (Pareto.dominates [| 1.; 2. |] [| 2.; 2. |]);
+  check Alcotest.bool "equal" false (Pareto.dominates [| 1.; 1. |] [| 1.; 1. |]);
+  check Alcotest.bool "incomparable" false
+    (Pareto.dominates [| 1.; 3. |] [| 2.; 2. |])
+
+let test_non_dominated () =
+  let entries =
+    [ ("a", [| 1.; 3. |]); ("b", [| 2.; 2. |]); ("c", [| 3.; 1. |]);
+      ("d", [| 3.; 3. |]) ] in
+  let front = List.map fst (Pareto.non_dominated entries) in
+  check (Alcotest.list Alcotest.string) "front" [ "a"; "b"; "c" ] front
+
+let test_front_2d_sorted () =
+  let entries =
+    [ ("c", [| 3.; 1. |]); ("a", [| 1.; 3. |]); ("b", [| 2.; 2. |]) ] in
+  let front = List.map fst (Pareto.front_2d entries) in
+  check (Alcotest.list Alcotest.string) "sorted by first objective"
+    [ "a"; "b"; "c" ] front
+
+let prop_front_members_undominated =
+  QCheck.Test.make ~name:"no front member dominated by any input"
+    ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 20)
+              (pair (float_range 0. 10.) (float_range 0. 10.)))
+    (fun pts ->
+      let entries = List.mapi (fun i (x, y) -> (i, [| x; y |])) pts in
+      let front = Pareto.non_dominated entries in
+      List.for_all
+        (fun (_, f) ->
+          List.for_all (fun (_, e) -> not (Pareto.dominates e f)) entries)
+        front)
+
+let test_crowding_extremes_first () =
+  let entries =
+    [ ("mid", [| 2.; 2. |]); ("lo", [| 1.; 3. |]); ("hi", [| 3.; 1. |]) ]
+  in
+  match Pareto.crowding_sort entries with
+  | (first, _) :: (second, _) :: _ ->
+    check Alcotest.bool "extremes lead" true
+      (List.mem first [ "lo"; "hi" ] && List.mem second [ "lo"; "hi" ])
+  | _ -> Alcotest.fail "expected 3 results"
+
+let test_hypervolume () =
+  let entries =
+    [ ("a", [| 1.; 3. |]); ("b", [| 2.; 2. |]); ("c", [| 3.; 1. |]) ] in
+  (* ref (4,4): area = (2-1)*(4-3) + (3-2)*(4-2) + (4-3)*(4-1) = 6 *)
+  check (Alcotest.float 1e-9) "three-point front" 6.
+    (Pareto.hypervolume_2d ~reference:(4., 4.) entries);
+  check (Alcotest.float 1e-9) "empty" 0.
+    (Pareto.hypervolume_2d ~reference:(4., 4.) []);
+  check (Alcotest.float 1e-9) "points outside the box ignored" 0.
+    (Pareto.hypervolume_2d ~reference:(1., 1.) entries);
+  (* dominated points do not change the volume *)
+  check (Alcotest.float 1e-9) "dominated ignored" 6.
+    (Pareto.hypervolume_2d ~reference:(4., 4.)
+       (("d", [| 3.; 3. |]) :: entries))
+
+(* ------------------------------------------------------------------ *)
+(* Parallel *)
+
+let test_parallel_matches_sequential () =
+  let arr = Array.init 100 (fun i -> i) in
+  let f x = (x * x) + 1 in
+  for domains = 1 to 4 do
+    check (Alcotest.array Alcotest.int)
+      (Printf.sprintf "%d domains" domains)
+      (Array.map f arr)
+      (Mcmap_util.Parallel.map_array ~domains f arr)
+  done
+
+let test_parallel_edge_cases () =
+  check (Alcotest.array Alcotest.int) "empty" [||]
+    (Mcmap_util.Parallel.map_array ~domains:4 (fun x -> x) [||]);
+  check (Alcotest.array Alcotest.int) "singleton" [| 2 |]
+    (Mcmap_util.Parallel.map_array ~domains:4 (fun x -> x + 1) [| 1 |]);
+  Alcotest.check_raises "zero domains"
+    (Invalid_argument "Parallel.map_array: domains < 1") (fun () ->
+      ignore (Mcmap_util.Parallel.map_array ~domains:0 (fun x -> x) [| 1 |]));
+  check Alcotest.bool "recommended positive" true
+    (Mcmap_util.Parallel.recommended_domains () >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* Texttable *)
+
+let test_texttable () =
+  let t = Texttable.create ~header:[ "a"; "bb" ] in
+  Texttable.add_row t [ "x" ];
+  Texttable.add_row t [ "long"; "y" ];
+  let rendered = Texttable.render t in
+  check Alcotest.bool "contains header" true
+    (String.length rendered > 0
+     && String.sub rendered 0 1 = "a");
+  Alcotest.check_raises "too many cells"
+    (Invalid_argument "Texttable.add_row: more cells than columns")
+    (fun () -> Texttable.add_row t [ "1"; "2"; "3" ])
+
+let suite =
+  [ Alcotest.test_case "prng: deterministic" `Quick test_prng_deterministic;
+    Alcotest.test_case "prng: seed sensitivity" `Quick
+      test_prng_seed_sensitivity;
+    Alcotest.test_case "prng: split" `Quick test_prng_split_independent;
+    Alcotest.test_case "prng: copy" `Quick test_prng_copy;
+    Alcotest.test_case "prng: bernoulli extremes" `Quick
+      test_bernoulli_extremes;
+    Alcotest.test_case "prng: bernoulli rate" `Quick test_bernoulli_rate;
+    Alcotest.test_case "prng: exponential mean" `Quick
+      test_exponential_mean;
+    Alcotest.test_case "prng: pick" `Quick test_pick;
+    qtest prop_int_bounds;
+    qtest prop_int_in_bounds;
+    qtest prop_float_bounds;
+    qtest prop_shuffle_permutation;
+    Alcotest.test_case "mathx: gcd/lcm" `Quick test_gcd_lcm;
+    Alcotest.test_case "mathx: ceil_div" `Quick test_ceil_div;
+    Alcotest.test_case "mathx: clamp" `Quick test_clamp;
+    Alcotest.test_case "mathx: sums" `Quick test_sums;
+    qtest prop_gcd_divides;
+    qtest prop_lcm_multiple;
+    Alcotest.test_case "heap: basics" `Quick test_heap_basics;
+    Alcotest.test_case "heap: filter" `Quick test_heap_filter;
+    Alcotest.test_case "heap: pop_exn on empty" `Quick
+      test_heap_pop_exn_empty;
+    qtest prop_heap_sorts;
+    Alcotest.test_case "interval: basics" `Quick test_interval_basics;
+    Alcotest.test_case "interval: ops" `Quick test_interval_ops;
+    qtest prop_overlap_symmetric;
+    Alcotest.test_case "stats: summary" `Quick test_summary;
+    Alcotest.test_case "stats: percentile" `Quick test_percentile;
+    Alcotest.test_case "stats: ratio" `Quick test_ratio_pct;
+    qtest prop_mean_within_bounds;
+    Alcotest.test_case "pareto: dominates" `Quick test_dominates;
+    Alcotest.test_case "pareto: non_dominated" `Quick test_non_dominated;
+    Alcotest.test_case "pareto: front_2d sorted" `Quick
+      test_front_2d_sorted;
+    Alcotest.test_case "pareto: crowding extremes" `Quick
+      test_crowding_extremes_first;
+    qtest prop_front_members_undominated;
+    Alcotest.test_case "pareto: hypervolume" `Quick test_hypervolume;
+    Alcotest.test_case "parallel: matches sequential" `Quick
+      test_parallel_matches_sequential;
+    Alcotest.test_case "parallel: edge cases" `Quick
+      test_parallel_edge_cases;
+    Alcotest.test_case "texttable: render" `Quick test_texttable ]
