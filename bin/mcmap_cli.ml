@@ -1,5 +1,5 @@
 (* mcmap command-line interface: analyze | simulate | explore |
-   experiments | list. *)
+   experiments | check | list. *)
 
 module B = Mcmap_benchmarks
 module H = Mcmap_hardening
@@ -293,12 +293,63 @@ let experiments_cmd =
     Term.(const experiments_run $ only_arg $ profiles_arg $ population_arg
           $ offspring_arg $ generations_arg $ seed_arg)
 
+let check_run count seed oracle corpus =
+  let module C = Mcmap_check in
+  let oracles =
+    match oracle with
+    | None -> Ok C.Oracles.all
+    | Some name ->
+      (match C.Oracles.find name with
+       | Some o -> Ok [ o ]
+       | None ->
+         Error
+           (Format.asprintf "unknown oracle %s (expected one of: %s)" name
+              (String.concat ", "
+                 (List.map
+                    (fun (o : C.Oracles.t) -> o.C.Oracles.name)
+                    C.Oracles.all)))) in
+  match oracles with
+  | Error e -> prerr_endline e; 1
+  | Ok oracles ->
+    List.iter
+      (fun (o : C.Oracles.t) ->
+        Format.printf "oracle %-22s %s@." o.C.Oracles.name o.C.Oracles.doc)
+      oracles;
+    let on_failure f =
+      Format.printf "@.%a@." C.Runner.pp_failure f;
+      match corpus with
+      | None -> ()
+      | Some path ->
+        if C.Runner.append_corpus path f then
+          Format.printf "recorded seed %d in %s@." f.C.Runner.seed path in
+    let report = C.Runner.run ~oracles ~on_failure ~seed ~count () in
+    Format.printf "@.%a@." C.Runner.pp_report report;
+    if C.Runner.ok report then 0 else 1
+
+let check_cmd =
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Cross-validate the WCRT analysis, the simulator and the \
+          reliability model on random systems; failures are shrunk to \
+          minimal counterexamples")
+    Term.(const check_run
+          $ Arg.(value & opt int 100
+                 & info [ "count" ] ~doc:"Number of random systems.")
+          $ seed_arg
+          $ Arg.(value & opt (some string) None
+                 & info [ "oracle" ] ~doc:"Run only the named oracle.")
+          $ Arg.(value & opt (some string) None
+                 & info [ "corpus" ]
+                     ~doc:"Append failing seeds to this regression corpus \
+                           file (see test/corpus/seeds.txt)."))
+
 let main_cmd =
   let doc =
     "Static mapping of mixed-critical applications for fault-tolerant \
      MPSoCs (Kang et al., DAC 2014)" in
   Cmd.group (Cmd.info "mcmap" ~version:"1.0.0" ~doc)
     [ list_cmd; analyze_cmd; simulate_cmd; gantt_cmd; explore_cmd;
-      experiments_cmd ]
+      experiments_cmd; check_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -3,53 +3,48 @@ module S = Mcmap_sched
 module A = Mcmap_analysis
 module Sim = Mcmap_sim
 module Happ = Mcmap_hardening.Happ
-open Gen_common
+module Gen = Mcmap_gen.Gen
+module Spec = Mcmap_spec.Spec
 
 let main () =
-  let seed = int_of_string Sys.argv.(1) in
-  let arch, apps, plan = random_system seed in
-  Format.printf "%a@." Mcmap_model.Appset.pp apps;
-  Format.printf "%a@." Mcmap_model.Arch.pp arch;
-  Format.printf "%a@." Mcmap_hardening.Plan.pp plan;
-  let happ = Happ.build arch apps plan in
+  let sys_file = Sys.argv.(1) and plan_file = Sys.argv.(2) in
+  let system = Result.get_ok (Spec.load_system sys_file) in
+  let plan = Result.get_ok (Spec.load_plan system plan_file) in
+  let happ = Happ.build system.Spec.arch system.Spec.apps plan in
   let js = S.Jobset.build happ in
   let ctx = S.Bounds.make js in
-  let report = A.Wcrt.analyze ctx in
-  (* find a violating profile *)
-  let found = ref false in
-  for p = 0 to 7 do
-    if not !found then begin
-      let profile = Sim.Fault_profile.random ~seed:(seed * 100 + p) ~bias:0.5 js in
-      List.iter
-        (fun (label, o) ->
-          Array.iteri
-            (fun g resp ->
-              match resp, report.A.Wcrt.wcrt.(g) with
-              | Some r, A.Verdict.Finite b when r > b && not !found ->
-                found := true;
-                Printf.printf "profile %d (%s): g%d sim=%d bound=%d\n" p label g r b;
-                Array.iter
-                  (fun (j : S.Job.t) ->
-                    let ht = (Happ.graph happ j.S.Job.graph).Happ.tasks.(j.S.Job.task) in
-                    Printf.printf
-                      "  j%d g%d.%s#%d rel=%d proc=%d prio=%d [%d,%d] cw=%d k=%d pas=%b drop=%b: sim=%s\n"
-                      j.S.Job.id j.S.Job.graph ht.Happ.name j.S.Job.instance
-                      j.S.Job.release j.S.Job.proc j.S.Job.priority
-                      j.S.Job.bcet j.S.Job.wcet j.S.Job.critical_wcet
-                      j.S.Job.reexec_k j.S.Job.passive j.S.Job.in_dropped_set
-                      (match o.Sim.Engine.finish.(j.S.Job.id) with
-                       | Some t -> string_of_int t
-                       | None -> "-"))
-                  js.S.Jobset.jobs;
-                (match o.Sim.Engine.critical_at with
-                 | Some t -> Printf.printf "  critical at %d\n" t
-                 | None -> Printf.printf "  stayed normal\n")
-              | _ -> ())
-            o.Sim.Engine.graph_response)
-        [ ("wc", Sim.Engine.run js ~profile);
-          ("rd", Sim.Engine.run ~mode:(Sim.Engine.Random_durations (seed + p)) js ~profile) ]
-    end
-  done;
-  if not !found then print_endline "no violation reproduced"
+  let normal = S.Bounds.analyze ctx ~exec:S.Bounds.nominal_exec in
+  Printf.printf "converged: %b\n" normal.S.Bounds.converged;
+  let o = Sim.Engine.run js ~profile:Sim.Fault_profile.none in
+  Array.iter
+    (fun (j : S.Job.t) ->
+      let b = normal.S.Bounds.bounds.(j.S.Job.id) in
+      let simf =
+        match o.Sim.Engine.finish.(j.S.Job.id) with
+        | Some t -> string_of_int t
+        | None -> "-" in
+      Printf.printf
+        "j%-2d g%d.t%d#%d proc=%d prio=%-3d rel=%-3d [%d,%d] ana:ms=%-3d \
+         mf=%-3d Ms=%-3d Mf=%-3d sim=%s%s\n"
+        j.S.Job.id j.S.Job.graph j.S.Job.task j.S.Job.instance j.S.Job.proc
+        j.S.Job.priority j.S.Job.release j.S.Job.bcet j.S.Job.wcet
+        b.S.Bounds.min_start b.S.Bounds.min_finish b.S.Bounds.max_start
+        b.S.Bounds.max_finish simf
+        (match o.Sim.Engine.finish.(j.S.Job.id) with
+         | Some t when t > b.S.Bounds.max_finish -> "  <-- VIOLATION"
+         | _ -> ""))
+    js.S.Jobset.jobs;
+  Printf.printf "\nsegments:\n";
+  List.iter
+    (fun (s : Sim.Engine.segment) ->
+      let j = S.Jobset.job js s.Sim.Engine.job in
+      Printf.printf "  p%d [%3d..%3d) j%-2d g%d.t%d#%d\n" s.Sim.Engine.proc
+        s.Sim.Engine.start s.Sim.Engine.stop s.Sim.Engine.job j.S.Job.graph
+        j.S.Job.task j.S.Job.instance)
+    (List.sort
+       (fun (a : Sim.Engine.segment) (b : Sim.Engine.segment) ->
+         compare (a.Sim.Engine.proc, a.Sim.Engine.start)
+           (b.Sim.Engine.proc, b.Sim.Engine.start))
+       o.Sim.Engine.segments)
 
 let () = main ()

@@ -9,7 +9,8 @@ let () =
   let n = int_of_string Sys.argv.(1) in
   let violations = ref 0 in
   for seed = 0 to n - 1 do
-    let arch, apps, plan = Gen_common.random_system seed in
+    let { Mcmap_gen.Gen.arch; apps; plan; _ } =
+      Mcmap_gen.Gen.random_system seed in
     let happ = Happ.build arch apps plan in
     let js = S.Jobset.build ~hyperperiods:(1 + (seed mod 2)) happ in
     let ctx = S.Bounds.make js in

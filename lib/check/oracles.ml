@@ -1,0 +1,489 @@
+(* Differential and metamorphic oracles over random systems.
+
+   Each oracle states a cross-cutting correctness obligation between two
+   independent implementations (analysis vs simulator, closed-form
+   reliability vs event sampling) or a monotonicity law a sound analysis
+   must respect. An oracle is a pure function of the system — reruns are
+   deterministic, which the shrinking runner and the regression corpus
+   rely on. *)
+
+module Gen = Mcmap_gen.Gen
+module Happ = Mcmap_hardening.Happ
+module Plan = Mcmap_hardening.Plan
+module Technique = Mcmap_hardening.Technique
+module Graph = Mcmap_model.Graph
+module Task = Mcmap_model.Task
+module Arch = Mcmap_model.Arch
+module Proc = Mcmap_model.Proc
+module Appset = Mcmap_model.Appset
+module Criticality = Mcmap_model.Criticality
+module Jobset = Mcmap_sched.Jobset
+module Job = Mcmap_sched.Job
+module Bounds = Mcmap_sched.Bounds
+module Wcrt = Mcmap_analysis.Wcrt
+module Verdict = Mcmap_analysis.Verdict
+module Engine = Mcmap_sim.Engine
+module Fault_profile = Mcmap_sim.Fault_profile
+module Monte_carlo = Mcmap_sim.Monte_carlo
+module Reliability = Mcmap_reliability.Analysis
+module Pareto = Mcmap_util.Pareto
+module Stats = Mcmap_util.Stats
+
+type t = {
+  name : string;
+  doc : string;
+  check : Gen.system -> (unit, string) result;
+}
+
+let failf fmt = Format.kasprintf (fun s -> Error s) fmt
+
+let pipeline (sys : Gen.system) =
+  let happ = Happ.build sys.Gen.arch sys.Gen.apps sys.Gen.plan in
+  let js = Jobset.build happ in
+  let ctx = Bounds.make js in
+  (js, ctx)
+
+let analyze sys =
+  let js, ctx = pipeline sys in
+  (js, Wcrt.analyze ctx)
+
+let covers verdict observed =
+  match observed with
+  | None -> true
+  | Some r -> float_of_int r <= Verdict.to_float verdict
+
+(* ------------------------------------------------------------------ *)
+(* (a) Soundness: the analytic WCRT dominates every simulated run. *)
+
+(* The fault profiles a trial exercises: none (normal mode), all faults
+   from t=0 (adhoc critical mode), and seeded random profiles in both
+   worst-case and random-duration execution modes. Seeds are fixed
+   constants so the oracle is a function of the system alone. *)
+let n_random_profiles = 8
+
+let soundness_runs js =
+  let base =
+    [ ("none/wc", Engine.run js ~profile:Fault_profile.none);
+      ("all/wc", Engine.run js ~profile:Fault_profile.all);
+      ("all/critical",
+       Engine.run ~start_critical:true js ~profile:Fault_profile.all) ] in
+  let random =
+    List.concat_map
+      (fun p ->
+        let profile = Fault_profile.random ~seed:(1000 + p) ~bias:0.5 js in
+        [ (Format.asprintf "rand%d/wc" p, Engine.run js ~profile);
+          (Format.asprintf "rand%d/rd" p,
+           Engine.run ~mode:(Engine.Random_durations (2000 + p)) js
+             ~profile) ])
+      (List.init n_random_profiles (fun p -> p)) in
+  base @ random
+
+let check_soundness sys =
+  let js, report = analyze sys in
+  let n_graphs = Happ.n_graphs js.Jobset.happ in
+  let check_run acc (label, (o : Engine.outcome)) =
+    match acc with
+    | Error _ -> acc
+    | Ok () ->
+      let bad = ref (Ok ()) in
+      for g = 0 to n_graphs - 1 do
+        let resp = o.Engine.graph_response.(g) in
+        if not (covers report.Wcrt.wcrt.(g) resp) then
+          bad :=
+            failf
+              "graph %d: simulated response %s exceeds WCRT bound %a \
+               (profile %s)"
+              g
+              (match resp with Some r -> string_of_int r | None -> "-")
+              Verdict.pp report.Wcrt.wcrt.(g) label;
+        (* In a fault-free run the system never leaves the normal mode,
+           so the tighter normal-state bound must already cover it. *)
+        if label = "none/wc"
+           && not (covers report.Wcrt.normal_wcrt.(g) resp) then
+          bad :=
+            failf
+              "graph %d: fault-free response %s exceeds normal-mode \
+               bound %a"
+              g
+              (match resp with Some r -> string_of_int r | None -> "-")
+              Verdict.pp report.Wcrt.normal_wcrt.(g)
+      done;
+      !bad in
+  (* Per-job differential: the fault-free worst-case trace must respect
+     the per-job finish bounds of the normal-state interval analysis. *)
+  let per_job =
+    let ctx = Bounds.make js in
+    let normal = Bounds.analyze ctx ~exec:Bounds.nominal_exec in
+    if not normal.Bounds.converged then Ok ()
+    else begin
+      let o = Engine.run js ~profile:Fault_profile.none in
+      let bad = ref (Ok ()) in
+      Array.iter
+        (fun (j : Job.t) ->
+          match o.Engine.finish.(j.Job.id) with
+          | Some t when t > normal.Bounds.bounds.(j.Job.id).Bounds.max_finish
+            ->
+            bad :=
+              failf
+                "job %d (g%d.t%d#%d): fault-free finish %d exceeds \
+                 analytic max_finish %d"
+                j.Job.id j.Job.graph j.Job.task j.Job.instance t
+                normal.Bounds.bounds.(j.Job.id).Bounds.max_finish
+          | Some _ | None -> ())
+        js.Jobset.jobs;
+      !bad
+    end in
+  match per_job with
+  | Error _ as e -> e
+  | Ok () -> List.fold_left check_run (Ok ()) (soundness_runs js)
+
+(* ------------------------------------------------------------------ *)
+(* (b) Reliability agreement: closed form vs event-level sampling. *)
+
+let mc_trials = 3000
+
+(* z = 4 keeps the acceptance band wide enough (~99.994% interval) that
+   a correct implementation never trips it while a wrong combinator
+   still lands far outside. *)
+let mc_z = 4.
+
+(* Physical fault rates (~1e-4 per time unit) make failure events too
+   rare for 3,000 trials to carry statistical power, so the comparison
+   runs on an amplified architecture: the combinators under test are
+   exact formulas, valid at any rate, and both sides take the
+   architecture as input. *)
+let amplified_fault_rate = 3e-3
+
+let amplify_arch (arch : Arch.t) =
+  Arch.make ~bus_bandwidth:arch.Arch.bus_bandwidth
+    ~bus_latency:arch.Arch.bus_latency
+    (Array.map
+       (fun (p : Proc.t) ->
+         Proc.make ~proc_type:p.Proc.proc_type
+           ~static_power:p.Proc.static_power
+           ~dynamic_power:p.Proc.dynamic_power
+           ~fault_rate:amplified_fault_rate ~speed:p.Proc.speed
+           ~policy:p.Proc.policy ~id:p.Proc.id ~name:p.Proc.name ())
+       arch.Arch.procs)
+
+(* P(X <= obs) for X ~ Poisson(m); only used for small m, where the
+   naive term recursion is accurate. *)
+let poisson_cdf m obs =
+  let rec go i term acc =
+    if i > obs then acc
+    else begin
+      let term =
+        if i = 0 then exp (-.m) else term *. m /. float_of_int i in
+      go (i + 1) term (acc +. term)
+    end in
+  if obs < 0 then 0. else go 0 0. 0.
+
+(* The Wilson interval is an inversion of the normal approximation and
+   collapses when the expected failure count is near zero (observing 1
+   failure against an expectation of 0.05 is a 5% event, yet lands
+   outside even a z=4 interval). Fall back to the exact tail of the
+   count distribution: reject only observations that are genuinely
+   incompatible with the closed-form probability. *)
+let count_plausible ~mean ~obs =
+  let obs_f = float_of_int obs in
+  if mean > 30. then Float.abs (obs_f -. mean) /. sqrt mean <= 6.
+  else if obs_f >= mean then 1. -. poisson_cdf mean (obs - 1) >= 1e-7
+  else poisson_cdf mean obs >= 1e-7
+
+let check_reliability sys =
+  let arch = amplify_arch sys.Gen.arch in
+  let apps = sys.Gen.apps and plan = sys.Gen.plan in
+  let n = Appset.n_graphs apps in
+  let rec per_graph g =
+    if g >= n then Ok ()
+    else begin
+      let grf = Reliability.graph_failure_rate arch apps plan ~graph:g in
+      let period = (Appset.graph apps g).Graph.period in
+      let closed =
+        Mcmap_util.Mathx.clamp_f ~lo:0. ~hi:1.
+          (grf *. float_of_int period) in
+      let est =
+        Monte_carlo.failure_probability ~trials:mc_trials
+          ~seed:(sys.Gen.seed + (g * 7919))
+          arch apps plan ~graph:g in
+      let lo, hi =
+        Stats.wilson_interval ~z:mc_z
+          ~successes:est.Monte_carlo.failures
+          ~trials:est.Monte_carlo.trials () in
+      let mean = closed *. float_of_int est.Monte_carlo.trials in
+      if (closed < lo || closed > hi)
+         && not (count_plausible ~mean ~obs:est.Monte_carlo.failures) then
+        failf
+          "graph %d: closed-form failure probability %.3e outside the \
+           Wilson interval [%.3e, %.3e] of %d event-level trials \
+           (%d failures, %.1f expected)"
+          g closed lo hi est.Monte_carlo.trials est.Monte_carlo.failures
+          mean
+      else per_graph (g + 1)
+    end in
+  per_graph 0
+
+(* ------------------------------------------------------------------ *)
+(* (c) Metamorphic laws. *)
+
+(* Strengthening a time-redundant technique by one more tolerated fault
+   never increases the analytic failure rate. *)
+let check_hardening_monotonic sys =
+  let arch = sys.Gen.arch and apps = sys.Gen.apps and plan = sys.Gen.plan in
+  let stronger (d : Plan.decision) =
+    match d.Plan.technique with
+    | Technique.No_hardening ->
+      Some { d with Plan.technique = Technique.re_execution 1;
+                    replica_procs = [||] }
+    | Technique.Re_execution k ->
+      Some { d with Plan.technique = Technique.re_execution (k + 1) }
+    | Technique.Checkpointing (segments, k) ->
+      Some
+        { d with
+          Plan.technique = Technique.checkpointing ~segments ~k:(k + 1) }
+    | Technique.Active_replication _ | Technique.Passive_replication _ ->
+      (* adding a replica needs a free distinct processor; skip *)
+      None in
+  let bad = ref (Ok ()) in
+  for g = 0 to Appset.n_graphs apps - 1 do
+    for t = 0 to Graph.n_tasks (Appset.graph apps g) - 1 do
+      match !bad with
+      | Error _ -> ()
+      | Ok () ->
+        (match stronger (Plan.decision plan ~graph:g ~task:t) with
+         | None -> ()
+         | Some d' ->
+           let before = Reliability.graph_failure_rate arch apps plan ~graph:g in
+           let plan' = Plan.with_decision plan ~graph:g ~task:t d' in
+           let after =
+             Reliability.graph_failure_rate arch apps plan' ~graph:g in
+           if after > before +. 1e-12 then
+             bad :=
+               failf
+                 "g%d.t%d: strengthening %a raised the failure rate \
+                  %.6e -> %.6e"
+                 g t Technique.pp
+                 (Plan.decision plan ~graph:g ~task:t).Plan.technique
+                 before after)
+    done
+  done;
+  !bad
+
+(* Inflating one task's WCET never shrinks any graph's WCRT bound. *)
+let wcet_inflation = 7
+
+let inflate_task apps ~graph ~task ~by =
+  let graphs =
+    Array.mapi
+      (fun gi (g : Graph.t) ->
+        if gi <> graph then g
+        else begin
+          let tasks =
+            Array.map
+              (fun (tk : Task.t) ->
+                if tk.Task.id <> task then tk
+                else
+                  Task.make ~id:tk.Task.id ~name:tk.Task.name
+                    ~wcet:(tk.Task.wcet + by) ~bcet:tk.Task.bcet
+                    ~detection_overhead:tk.Task.detection_overhead
+                    ~voting_overhead:tk.Task.voting_overhead ())
+              g.Graph.tasks in
+          Graph.make ~deadline:g.Graph.deadline ~name:g.Graph.name ~tasks
+            ~channels:g.Graph.channels ~period:g.Graph.period
+            ~criticality:g.Graph.criticality ()
+        end)
+      apps.Appset.graphs in
+  Appset.make graphs
+
+(* Each graph is checked in isolation: with cross-application
+   interference present the interval analysis is legitimately
+   non-monotone — inflating one task's WCET shifts start/finish
+   windows, which discretely changes charged interferer sets in either
+   direction, sometimes shaving a unit off another (or even its own)
+   graph's bound. Each configuration's bound stays individually sound
+   (the soundness oracle's job); monotonicity is only promised along a
+   single application's own execution chain and self-interference. *)
+let isolate (sys : Gen.system) g =
+  let apps = Appset.make [| Appset.graph sys.Gen.apps g |] in
+  let plan =
+    Plan.make apps
+      ~decisions:[| Array.copy sys.Gen.plan.Plan.decisions.(g) |]
+      ~dropped:[| false |] in
+  { sys with Gen.apps = apps; plan }
+
+let check_wcet_monotonic sys =
+  let bad = ref (Ok ()) in
+  for g = 0 to Appset.n_graphs sys.Gen.apps - 1 do
+    let iso = isolate sys g in
+    let _, report = analyze iso in
+    for t = 0 to Graph.n_tasks (Appset.graph iso.Gen.apps 0) - 1 do
+      match !bad with
+      | Error _ -> ()
+      | Ok () ->
+        let apps' =
+          inflate_task iso.Gen.apps ~graph:0 ~task:t ~by:wcet_inflation in
+        let _, report' = analyze { iso with Gen.apps = apps' } in
+        let old_b = Verdict.to_float report.Wcrt.wcrt.(0)
+        and new_b = Verdict.to_float report'.Wcrt.wcrt.(0) in
+        if new_b < old_b then
+          bad :=
+            failf
+              "inflating g%d.t%d wcet by %d shrank the isolated graph's \
+               bound %a -> %a"
+              g t wcet_inflation Verdict.pp report.Wcrt.wcrt.(0)
+              Verdict.pp report'.Wcrt.wcrt.(0)
+    done
+  done;
+  !bad
+
+(* Laws about growing the dropped set. The intuitive law — dropping a
+   low-criticality application never worsens anyone's critical-state
+   bound — is false for the interval analysis: a dropped job's
+   execution uncertainty widens to [0, wcet] in transition scenarios,
+   which can increase the interference charged to others (the bound
+   stays sound, just less tight). What must hold exactly:
+
+   - the dropped set is a critical-state concept, so normal-state
+     bounds and the fault-free simulation are bit-identical;
+   - the newly dropped graph owes its deadline only while alive, so
+     its own required bound never worsens. *)
+let check_dropping_improves sys =
+  let apps = sys.Gen.apps and plan = sys.Gen.plan in
+  let js, report = analyze sys in
+  let base_run = Engine.run js ~profile:Fault_profile.none in
+  let bad = ref (Ok ()) in
+  for g = 0 to Appset.n_graphs apps - 1 do
+    match !bad with
+    | Error _ -> ()
+    | Ok () ->
+      if Graph.is_droppable (Appset.graph apps g)
+         && not plan.Plan.dropped.(g) then begin
+        let plan' = Plan.with_dropped plan ~graph:g true in
+        let js', report' = analyze { sys with Gen.plan = plan' } in
+        for h = 0 to Appset.n_graphs apps - 1 do
+          if report'.Wcrt.normal_wcrt.(h) <> report.Wcrt.normal_wcrt.(h)
+          then
+            bad :=
+              failf
+                "dropping graph %d changed graph %d's normal-state bound \
+                 %a -> %a"
+                g h Verdict.pp report.Wcrt.normal_wcrt.(h) Verdict.pp
+                report'.Wcrt.normal_wcrt.(h)
+        done;
+        (match !bad with
+         | Error _ -> ()
+         | Ok () ->
+           let run' = Engine.run js' ~profile:Fault_profile.none in
+           if run'.Engine.graph_response <> base_run.Engine.graph_response
+           then
+             bad :=
+               failf
+                 "dropping graph %d changed the fault-free simulation" g
+           else begin
+             let old_b = Verdict.to_float report.Wcrt.required_wcrt.(g)
+             and new_b = Verdict.to_float report'.Wcrt.required_wcrt.(g) in
+             if new_b > old_b then
+               bad :=
+                 failf
+                   "dropping graph %d worsened its own required bound \
+                    %a -> %a"
+                   g Verdict.pp report.Wcrt.required_wcrt.(g) Verdict.pp
+                   report'.Wcrt.required_wcrt.(g)
+           end)
+      end
+  done;
+  !bad
+
+(* ------------------------------------------------------------------ *)
+(* (d) DSE front sanity: archives contain no dominated "front". *)
+
+let ga_config ~selector ~seed =
+  { Mcmap_dse.Ga.default_config with
+    Mcmap_dse.Ga.population = 6; offspring = 6; generations = 3; seed;
+    selector }
+
+let check_pareto_front sys =
+  let arch = sys.Gen.arch and apps = sys.Gen.apps in
+  let run selector label =
+    let config = ga_config ~selector ~seed:sys.Gen.seed in
+    let result = Mcmap_dse.Ga.optimize config arch apps in
+    let entries =
+      Array.to_list
+        (Array.mapi
+           (fun i (_, (e : Mcmap_dse.Evaluate.t)) ->
+             (i, e.Mcmap_dse.Evaluate.objectives))
+           result.Mcmap_dse.Ga.archive) in
+    let front = Pareto.non_dominated entries in
+    (* 1. the front is mutually non-dominated *)
+    let dominated_pair =
+      List.exists
+        (fun (_, a) ->
+          List.exists (fun (_, b) -> Pareto.dominates b a) front)
+        front in
+    (* 2. every archive member outside the front is dominated or a
+       duplicate of a front member's objective vector *)
+    let front_ids = List.map fst front in
+    let unexplained =
+      List.filter
+        (fun (i, o) ->
+          (not (List.mem i front_ids))
+          && (not
+                (List.exists
+                   (fun (_, f) -> Pareto.dominates f o || f = o)
+                   front)))
+        entries in
+    if dominated_pair then
+      failf "%s: archive front contains a dominated point" label
+    else if unexplained <> [] then
+      failf "%s: %d archive points neither on the front nor dominated"
+        label (List.length unexplained)
+    else Ok () in
+  match run Mcmap_dse.Ga.Spea2_selector "spea2" with
+  | Error _ as e -> e
+  | Ok () -> run Mcmap_dse.Ga.Nsga2_selector "nsga2"
+
+(* ------------------------------------------------------------------ *)
+
+let soundness =
+  { name = "wcrt-soundness";
+    doc =
+      "analytic WCRT dominates every fault-injected simulation, per \
+       graph, per job and per criticality mode";
+    check = check_soundness }
+
+let reliability_agreement =
+  { name = "reliability-agreement";
+    doc =
+      "closed-form failure probability lies inside the Wilson interval \
+       of event-level Monte-Carlo estimates";
+    check = check_reliability }
+
+let hardening_monotonic =
+  { name = "hardening-monotonic";
+    doc = "strengthening a hardening technique never lowers reliability";
+    check = check_hardening_monotonic }
+
+let wcet_monotonic =
+  { name = "wcet-monotonic";
+    doc =
+      "inflating a WCET never shrinks the graph's bound (in isolation)";
+    check = check_wcet_monotonic }
+
+let dropping_improves =
+  { name = "dropping-improves";
+    doc =
+      "dropping an application leaves normal-state bounds and the \
+       fault-free simulation unchanged and never worsens its own \
+       required bound";
+    check = check_dropping_improves }
+
+let pareto_front =
+  { name = "pareto-front";
+    doc = "SPEA2/NSGA2 archives contain no dominated Pareto points";
+    check = check_pareto_front }
+
+let all =
+  [ soundness; reliability_agreement; hardening_monotonic; wcet_monotonic;
+    dropping_improves; pareto_front ]
+
+let find name = List.find_opt (fun o -> o.name = name) all

@@ -1,0 +1,158 @@
+(* Seeded property runner: generate random systems, run every oracle,
+   shrink the first failure to a minimal counterexample and record its
+   seed in the regression corpus.
+
+   Trial [i] of a run with base seed [s] checks the system generated
+   from seed [s + i], so a whole run is reproducible from [--seed] and
+   any single failure from its reported seed alone. *)
+
+module Gen = Mcmap_gen.Gen
+module Spec = Mcmap_spec.Spec
+module Appset = Mcmap_model.Appset
+module Graph = Mcmap_model.Graph
+module Arch = Mcmap_model.Arch
+
+type failure = {
+  seed : int;
+  oracle : Oracles.t;
+  message : string;  (* on the generated system *)
+  shrunk : Gen.system;
+  shrunk_message : string;  (* on the minimised system *)
+  shrink_stats : Shrink.stats;
+}
+
+type report = {
+  base_seed : int;
+  count : int;
+  oracle_names : string list;
+  failures : failure list;  (* in trial order *)
+}
+
+let ok report = report.failures = []
+
+(* Oracles are supposed to return [Error], but a crash in the code
+   under test is a finding too — fold it into the same failure path so
+   it gets shrunk and recorded rather than aborting the run. *)
+let check_oracle (o : Oracles.t) sys =
+  match o.Oracles.check sys with
+  | r -> r
+  | exception e ->
+    Error (Format.asprintf "uncaught exception: %s" (Printexc.to_string e))
+
+let first_failure oracles sys =
+  List.find_map
+    (fun o ->
+      match check_oracle o sys with
+      | Ok () -> None
+      | Error message -> Some (o, message))
+    oracles
+
+let shrink_failure ?budget (o : Oracles.t) seed sys message =
+  let failing s = Result.is_error (check_oracle o s) in
+  let shrunk, shrink_stats = Shrink.minimize ?budget ~failing sys in
+  let shrunk_message =
+    match check_oracle o shrunk with
+    | Error m -> m
+    | Ok () -> message (* unreachable: minimize only returns failing *) in
+  { seed; oracle = o; message; shrunk; shrunk_message; shrink_stats }
+
+let check_seed ?(oracles = Oracles.all) ?budget seed =
+  let sys = Gen.random_system seed in
+  match first_failure oracles sys with
+  | None -> None
+  | Some (o, message) -> Some (shrink_failure ?budget o seed sys message)
+
+let run ?(oracles = Oracles.all) ?budget ?on_failure ~seed ~count () =
+  let failures = ref [] in
+  for i = 0 to count - 1 do
+    match check_seed ~oracles ?budget (seed + i) with
+    | None -> ()
+    | Some f ->
+      (match on_failure with Some k -> k f | None -> ());
+      failures := f :: !failures
+  done;
+  { base_seed = seed; count;
+    oracle_names = List.map (fun (o : Oracles.t) -> o.Oracles.name) oracles;
+    failures = List.rev !failures }
+
+(* ------------------------------------------------------------------ *)
+(* Reporting *)
+
+let system_size (sys : Gen.system) =
+  let apps = sys.Gen.apps in
+  let tasks = Appset.total_tasks apps in
+  (Appset.n_graphs apps, tasks, Arch.n_procs sys.Gen.arch)
+
+let pp_failure ppf f =
+  let graphs, tasks, procs = system_size f.shrunk in
+  Format.fprintf ppf
+    "@[<v>oracle %s failed for seed %d:@,  %s@,@,\
+     minimal counterexample (%d graphs, %d tasks, %d procs; %d shrink \
+     steps, %d evaluations):@,  %s@,@,%s@,%s@]"
+    f.oracle.Oracles.name f.seed f.message graphs tasks procs
+    f.shrink_stats.Shrink.steps f.shrink_stats.Shrink.evaluations
+    f.shrunk_message
+    (Spec.write_system
+       { Spec.arch = f.shrunk.Gen.arch; apps = f.shrunk.Gen.apps })
+    (Spec.write_plan
+       { Spec.arch = f.shrunk.Gen.arch; apps = f.shrunk.Gen.apps }
+       f.shrunk.Gen.plan)
+
+let pp_report ppf r =
+  if ok r then
+    Format.fprintf ppf
+      "checked %d systems (seeds %d..%d) against %d oracles: all passed"
+      r.count r.base_seed
+      (r.base_seed + r.count - 1)
+      (List.length r.oracle_names)
+  else
+    Format.fprintf ppf "@[<v>%a@,%d of %d seeds failed@]"
+      (Format.pp_print_list pp_failure)
+      r.failures (List.length r.failures) r.count
+
+(* ------------------------------------------------------------------ *)
+(* Regression corpus: one "seed oracle-name" pair per line. Seeds are
+   appended when a run finds a failure and replayed by the test suite,
+   so once an oracle violation is fixed it stays fixed. *)
+
+let load_corpus path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    let rec read acc =
+      match input_line ic with
+      | line ->
+        let line = String.trim line in
+        if line = "" || line.[0] = '#' then read acc
+        else begin
+          match String.split_on_char ' ' line with
+          | [ seed; oracle ] ->
+            (match int_of_string_opt seed with
+             | Some seed -> read ((seed, oracle) :: acc)
+             | None -> read acc)
+          | _ -> read acc
+        end
+      | exception End_of_file ->
+        close_in ic;
+        List.rev acc in
+    read []
+  end
+
+let append_corpus path f =
+  let entries = load_corpus path in
+  let entry = (f.seed, f.oracle.Oracles.name) in
+  if List.mem entry entries then false
+  else begin
+    let oc =
+      open_out_gen [ Open_append; Open_creat; Open_text ] 0o644 path in
+    Printf.fprintf oc "%d %s\n" f.seed f.oracle.Oracles.name;
+    close_out oc;
+    true
+  end
+
+(* Replay one corpus entry: the named oracle must pass on that seed. *)
+let replay_entry ?(oracles = Oracles.all) (seed, oracle_name) =
+  match List.find_opt (fun (o : Oracles.t) -> o.Oracles.name = oracle_name)
+          oracles with
+  | None -> Error (Format.asprintf "unknown oracle %s" oracle_name)
+  | Some o -> check_oracle o (Gen.random_system seed)

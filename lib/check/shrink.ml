@@ -1,0 +1,366 @@
+(* Greedy structural minimisation of a failing system.
+
+   Given a predicate that holds on the initial system (the oracle
+   failure), repeatedly tries simplifying transformations — drop a
+   graph, drop a task, drop an unused processor, undrop, unharden,
+   weaken a technique, remove a channel, shrink the numbers — and
+   commits the first one that still fails. Stops at a local minimum or
+   when the evaluation budget runs out. Candidate construction reuses
+   the model smart constructors, so every intermediate system satisfies
+   the same invariants as a generated one. *)
+
+module Gen = Mcmap_gen.Gen
+module Arch = Mcmap_model.Arch
+module Proc = Mcmap_model.Proc
+module Appset = Mcmap_model.Appset
+module Graph = Mcmap_model.Graph
+module Task = Mcmap_model.Task
+module Channel = Mcmap_model.Channel
+module Plan = Mcmap_hardening.Plan
+module Technique = Mcmap_hardening.Technique
+
+let try_make f =
+  match f () with s -> Some s | exception Invalid_argument _ -> None
+
+(* Rebuild the plan against a same-shape application set. *)
+let rebuild (sys : Gen.system) apps decisions dropped =
+  try_make (fun () ->
+      let plan = Plan.make apps ~decisions ~dropped in
+      { sys with Gen.apps; plan })
+
+let with_graph (sys : Gen.system) g graph' =
+  try_make (fun () -> Appset.make
+      (Array.mapi
+         (fun i x -> if i = g then graph' else x)
+         sys.Gen.apps.Appset.graphs))
+  |> Option.map (fun apps -> { sys with Gen.apps = apps })
+  |> fun o ->
+  Option.bind o (fun sys' ->
+      rebuild sys' sys'.Gen.apps sys.Gen.plan.Plan.decisions
+        sys.Gen.plan.Plan.dropped)
+
+let with_task sys g t task' =
+  let graph = Appset.graph sys.Gen.apps g in
+  let tasks =
+    Array.mapi
+      (fun i x -> if i = t then task' else x)
+      graph.Graph.tasks in
+  Option.bind
+    (try_make (fun () ->
+         Graph.make ~deadline:graph.Graph.deadline ~name:graph.Graph.name
+           ~tasks ~channels:graph.Graph.channels ~period:graph.Graph.period
+           ~criticality:graph.Graph.criticality ()))
+    (with_graph sys g)
+
+let remake_task (tk : Task.t) ~wcet ~bcet ~detect ~vote =
+  Task.make ~id:tk.Task.id ~name:tk.Task.name ~wcet ~bcet
+    ~detection_overhead:detect ~voting_overhead:vote ()
+
+(* ------------------------------------------------------------------ *)
+(* Big steps *)
+
+let drop_graph (sys : Gen.system) g =
+  let apps = sys.Gen.apps and plan = sys.Gen.plan in
+  let n = Appset.n_graphs apps in
+  if n < 2 then None
+  else begin
+    let keep = List.filter (fun i -> i <> g) (List.init n Fun.id) in
+    Option.bind
+      (try_make (fun () ->
+           Appset.make
+             (Array.of_list (List.map (Appset.graph apps) keep))))
+      (fun apps' ->
+        let pick a = Array.of_list (List.map (Array.get a) keep) in
+        rebuild sys apps'
+          (pick plan.Plan.decisions)
+          (pick plan.Plan.dropped))
+  end
+
+let drop_task (sys : Gen.system) g t =
+  let apps = sys.Gen.apps and plan = sys.Gen.plan in
+  let graph = Appset.graph apps g in
+  let n = Graph.n_tasks graph in
+  if n < 2 then None
+  else begin
+    let remap i = if i < t then i else i - 1 in
+    Option.bind
+      (try_make (fun () ->
+           let tasks =
+             Array.of_list
+               (List.filter_map
+                  (fun (tk : Task.t) ->
+                    if tk.Task.id = t then None
+                    else
+                      Some
+                        (Task.make ~id:(remap tk.Task.id) ~name:tk.Task.name
+                           ~wcet:tk.Task.wcet ~bcet:tk.Task.bcet
+                           ~detection_overhead:tk.Task.detection_overhead
+                           ~voting_overhead:tk.Task.voting_overhead ()))
+                  (Array.to_list graph.Graph.tasks)) in
+           let channels =
+             Array.of_list
+               (List.filter_map
+                  (fun (c : Channel.t) ->
+                    if c.Channel.src = t || c.Channel.dst = t then None
+                    else
+                      Some
+                        (Channel.make ~src:(remap c.Channel.src)
+                           ~dst:(remap c.Channel.dst) ~size:c.Channel.size
+                           ()))
+                  (Array.to_list graph.Graph.channels)) in
+           Graph.make ~deadline:graph.Graph.deadline ~name:graph.Graph.name
+             ~tasks ~channels ~period:graph.Graph.period
+             ~criticality:graph.Graph.criticality ()))
+      (fun graph' ->
+        Option.bind
+          (try_make (fun () ->
+               Appset.make
+                 (Array.mapi
+                    (fun i x -> if i = g then graph' else x)
+                    apps.Appset.graphs)))
+          (fun apps' ->
+            let decisions =
+              Array.mapi
+                (fun gi row ->
+                  if gi <> g then Array.copy row
+                  else
+                    Array.of_list
+                      (List.filteri (fun ti _ -> ti <> t)
+                         (Array.to_list row)))
+                plan.Plan.decisions in
+            rebuild sys apps' decisions (Array.copy plan.Plan.dropped)))
+  end
+
+let proc_used (plan : Plan.t) p =
+  Array.exists
+    (Array.exists (fun (d : Plan.decision) ->
+         d.Plan.primary_proc = p
+         || Array.exists (( = ) p) d.Plan.replica_procs
+         || (Technique.needs_voter d.Plan.technique && d.Plan.voter_proc = p)))
+    plan.Plan.decisions
+
+let drop_proc (sys : Gen.system) p =
+  let arch = sys.Gen.arch and plan = sys.Gen.plan in
+  if Arch.n_procs arch < 2 || proc_used plan p then None
+  else begin
+    let remap q = if q < p then q else q - 1 in
+    Option.bind
+      (try_make (fun () ->
+           let procs =
+             Array.of_list
+               (List.filter_map
+                  (fun (pr : Proc.t) ->
+                    if pr.Proc.id = p then None
+                    else
+                      Some
+                        (Proc.make ~proc_type:pr.Proc.proc_type
+                           ~static_power:pr.Proc.static_power
+                           ~dynamic_power:pr.Proc.dynamic_power
+                           ~fault_rate:pr.Proc.fault_rate
+                           ~speed:pr.Proc.speed ~policy:pr.Proc.policy
+                           ~id:(remap pr.Proc.id) ~name:pr.Proc.name ()))
+                  (Array.to_list arch.Arch.procs)) in
+           Arch.make ~bus_bandwidth:arch.Arch.bus_bandwidth
+             ~bus_latency:arch.Arch.bus_latency procs))
+      (fun arch' ->
+        let decisions =
+          Array.map
+            (Array.map (fun (d : Plan.decision) ->
+                 let primary = remap d.Plan.primary_proc in
+                 { d with
+                   Plan.primary_proc = primary;
+                   replica_procs = Array.map remap d.Plan.replica_procs;
+                   voter_proc =
+                     (if d.Plan.voter_proc = p then primary
+                      else remap d.Plan.voter_proc) }))
+            plan.Plan.decisions in
+        Option.map
+          (fun sys' -> { sys' with Gen.arch = arch' })
+          (rebuild sys sys.Gen.apps decisions
+             (Array.copy plan.Plan.dropped)))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Plan simplifications *)
+
+let undrop (sys : Gen.system) g =
+  if not sys.Gen.plan.Plan.dropped.(g) then None
+  else
+    Some
+      { sys with Gen.plan = Plan.with_dropped sys.Gen.plan ~graph:g false }
+
+let unharden (sys : Gen.system) g t =
+  let d = Plan.decision sys.Gen.plan ~graph:g ~task:t in
+  match d.Plan.technique with
+  | Technique.No_hardening -> None
+  | Technique.Re_execution _ | Technique.Checkpointing _
+  | Technique.Active_replication _ | Technique.Passive_replication _ ->
+    let d' =
+      { Plan.technique = Technique.No_hardening;
+        primary_proc = d.Plan.primary_proc;
+        replica_procs = [||];
+        voter_proc = d.Plan.primary_proc } in
+    Some
+      { sys with
+        Gen.plan = Plan.with_decision sys.Gen.plan ~graph:g ~task:t d' }
+
+let weaken (sys : Gen.system) g t =
+  let d = Plan.decision sys.Gen.plan ~graph:g ~task:t in
+  let set d' =
+    Some
+      { sys with
+        Gen.plan = Plan.with_decision sys.Gen.plan ~graph:g ~task:t d' } in
+  match d.Plan.technique with
+  | Technique.No_hardening -> None
+  | Technique.Re_execution k ->
+    if k <= 1 then None
+    else set { d with Plan.technique = Technique.re_execution (k - 1) }
+  | Technique.Checkpointing (segments, k) ->
+    if k > 1 then
+      set
+        { d with
+          Plan.technique = Technique.checkpointing ~segments ~k:(k - 1) }
+    else if segments > 1 then
+      set
+        { d with
+          Plan.technique = Technique.checkpointing ~segments:(segments - 1)
+              ~k }
+    else None
+  | Technique.Active_replication n ->
+    if n <= 2 then None
+    else
+      set
+        { d with
+          Plan.technique = Technique.active_replication (n - 1);
+          replica_procs = Array.sub d.Plan.replica_procs 0 (n - 2) }
+  | Technique.Passive_replication m ->
+    if m <= 1 then None
+    else
+      set
+        { d with
+          Plan.technique = Technique.passive_replication (m - 1);
+          replica_procs = Array.sub d.Plan.replica_procs 0 m }
+
+(* ------------------------------------------------------------------ *)
+(* Numeric shrinks *)
+
+let shrink_wcet sys g t =
+  let tk = Graph.task (Appset.graph sys.Gen.apps g) t in
+  let target = max tk.Task.bcet (max 1 (tk.Task.wcet / 2)) in
+  if target >= tk.Task.wcet then None
+  else
+    with_task sys g t
+      (remake_task tk ~wcet:target ~bcet:tk.Task.bcet
+         ~detect:tk.Task.detection_overhead ~vote:tk.Task.voting_overhead)
+
+let shrink_bcet sys g t =
+  let tk = Graph.task (Appset.graph sys.Gen.apps g) t in
+  if tk.Task.bcet = 0 then None
+  else
+    with_task sys g t
+      (remake_task tk ~wcet:tk.Task.wcet ~bcet:(tk.Task.bcet / 2)
+         ~detect:tk.Task.detection_overhead ~vote:tk.Task.voting_overhead)
+
+let zero_overheads sys g t =
+  let tk = Graph.task (Appset.graph sys.Gen.apps g) t in
+  if tk.Task.detection_overhead = 0 && tk.Task.voting_overhead = 0 then None
+  else
+    with_task sys g t
+      (remake_task tk ~wcet:tk.Task.wcet ~bcet:tk.Task.bcet ~detect:0
+         ~vote:0)
+
+let remove_channel sys g c =
+  let graph = Appset.graph sys.Gen.apps g in
+  let channels =
+    Array.of_list
+      (List.filteri (fun i _ -> i <> c) (Array.to_list graph.Graph.channels))
+  in
+  Option.bind
+    (try_make (fun () ->
+         Graph.make ~deadline:graph.Graph.deadline ~name:graph.Graph.name
+           ~tasks:graph.Graph.tasks ~channels ~period:graph.Graph.period
+           ~criticality:graph.Graph.criticality ()))
+    (with_graph sys g)
+
+let zero_channel_size sys g c =
+  let graph = Appset.graph sys.Gen.apps g in
+  let ch = graph.Graph.channels.(c) in
+  if ch.Channel.size = 0 then None
+  else begin
+    let channels =
+      Array.mapi
+        (fun i (x : Channel.t) ->
+          if i <> c then x
+          else Channel.make ~src:x.Channel.src ~dst:x.Channel.dst ~size:0 ())
+        graph.Graph.channels in
+    Option.bind
+      (try_make (fun () ->
+           Graph.make ~deadline:graph.Graph.deadline ~name:graph.Graph.name
+             ~tasks:graph.Graph.tasks ~channels ~period:graph.Graph.period
+             ~criticality:graph.Graph.criticality ()))
+      (with_graph sys g)
+  end
+
+let zero_bus_latency (sys : Gen.system) =
+  let arch = sys.Gen.arch in
+  if arch.Arch.bus_latency = 0 then None
+  else
+    Option.map
+      (fun arch' -> { sys with Gen.arch = arch' })
+      (try_make (fun () ->
+           Arch.make ~bus_bandwidth:arch.Arch.bus_bandwidth ~bus_latency:0
+             arch.Arch.procs))
+
+(* ------------------------------------------------------------------ *)
+
+let candidates (sys : Gen.system) =
+  let acc = ref [] in
+  let add o = match o with Some s -> acc := s :: !acc | None -> () in
+  let apps = sys.Gen.apps in
+  let each_graph f =
+    for g = 0 to Appset.n_graphs apps - 1 do f g done in
+  let each_task f =
+    each_graph (fun g ->
+        for t = 0 to Graph.n_tasks (Appset.graph apps g) - 1 do f g t done)
+  in
+  let each_channel f =
+    each_graph (fun g ->
+        let n = Array.length (Appset.graph apps g).Graph.channels in
+        for c = 0 to n - 1 do f g c done) in
+  (* biggest structural steps first, numeric polish last *)
+  each_graph (fun g -> add (drop_graph sys g));
+  each_task (fun g t -> add (drop_task sys g t));
+  for p = 0 to Arch.n_procs sys.Gen.arch - 1 do
+    add (drop_proc sys p)
+  done;
+  each_graph (fun g -> add (undrop sys g));
+  each_task (fun g t -> add (unharden sys g t));
+  each_task (fun g t -> add (weaken sys g t));
+  each_channel (fun g c -> add (remove_channel sys g c));
+  each_task (fun g t -> add (shrink_wcet sys g t));
+  each_task (fun g t -> add (shrink_bcet sys g t));
+  each_task (fun g t -> add (zero_overheads sys g t));
+  each_channel (fun g c -> add (zero_channel_size sys g c));
+  add (zero_bus_latency sys);
+  List.rev !acc
+
+type stats = { evaluations : int; steps : int }
+
+(* [failing] must hold on [sys]; returns a locally-minimal system on
+   which it still holds, and how much work that took. *)
+let minimize ?(budget = 500) ~failing sys =
+  let evaluations = ref 0 and steps = ref 0 in
+  let fails s =
+    !evaluations < budget
+    && begin
+      incr evaluations;
+      match failing s with b -> b | exception _ -> false
+    end in
+  let rec loop sys =
+    match List.find_opt fails (candidates sys) with
+    | Some smaller ->
+      incr steps;
+      loop smaller
+    | None -> sys in
+  let result = loop sys in
+  (result, { evaluations = !evaluations; steps = !steps })

@@ -1,0 +1,80 @@
+(* Shared random-system generator: small architectures, small
+   mixed-criticality application sets, and random hardening/mapping
+   plans. Used by the property tests, the developer fuzzers and the
+   differential checking subsystem ([lib/check]). *)
+
+module Proc = Mcmap_model.Proc
+module Arch = Mcmap_model.Arch
+module Criticality = Mcmap_model.Criticality
+module Task = Mcmap_model.Task
+module Channel = Mcmap_model.Channel
+module Graph = Mcmap_model.Graph
+module Appset = Mcmap_model.Appset
+module Plan = Mcmap_hardening.Plan
+module Prng = Mcmap_util.Prng
+
+type system = {
+  arch : Arch.t;
+  apps : Appset.t;
+  plan : Plan.t;
+  seed : int;
+}
+
+let random_arch rng =
+  let n = Prng.int_in rng 2 3 in
+  let policy =
+    if Prng.bool rng then Proc.Preemptive_fp else Proc.Non_preemptive_fp in
+  Arch.make ~bus_bandwidth:(Prng.int_in rng 1 4)
+    ~bus_latency:(Prng.int_in rng 0 2)
+    (Array.init n (fun id ->
+         Proc.make ~id
+           ~name:(Format.asprintf "p%d" id)
+           ~fault_rate:1e-4
+           ~speed:(if Prng.bool rng then 1.0 else 1.25)
+           ~policy ()))
+
+let random_graph rng ~index =
+  let n = Prng.int_in rng 1 4 in
+  let tasks =
+    Array.init n (fun id ->
+        let wcet = Prng.int_in rng 5 30 in
+        let bcet = Prng.int_in rng 1 wcet in
+        Task.make ~id
+          ~name:(Format.asprintf "g%dt%d" index id)
+          ~wcet ~bcet
+          ~detection_overhead:(Prng.int_in rng 1 3)
+          ~voting_overhead:(Prng.int_in rng 1 2)
+          ()) in
+  (* chain plus occasional forward skip edges *)
+  let edges = ref [] in
+  for v = 1 to n - 1 do
+    edges :=
+      Channel.make ~src:(v - 1) ~dst:v ~size:(Prng.int_in rng 0 6) ()
+      :: !edges;
+    if v >= 2 && Prng.bernoulli rng 0.3 then
+      edges :=
+        Channel.make ~src:(v - 2) ~dst:v ~size:(Prng.int_in rng 0 6) ()
+        :: !edges
+  done;
+  let period = Prng.pick rng [| 50; 100; 200 |] in
+  let criticality =
+    if index > 0 && Prng.bool rng then
+      Criticality.droppable (float_of_int (Prng.int_in rng 1 5))
+    else Criticality.critical 1e-2 in
+  Graph.make
+    ~name:(Format.asprintf "g%d" index)
+    ~tasks
+    ~channels:(Array.of_list !edges)
+    ~period ~criticality ()
+
+let random_system seed =
+  let rng = Prng.create seed in
+  let arch = random_arch rng in
+  let n_graphs = Prng.int_in rng 1 3 in
+  let apps =
+    Appset.make (Array.init n_graphs (fun index -> random_graph rng ~index))
+  in
+  let plan =
+    Mcmap_benchmarks.Sampler.plan ~seed:(Prng.int rng 1_000_000)
+      ~drop_all:(Prng.bool rng) arch apps in
+  { arch; apps; plan; seed }

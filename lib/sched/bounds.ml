@@ -144,12 +144,23 @@ let analyze ?(max_iterations = 64) ctx ~exec =
             min_int js.Jobset.preds.(j) in
         let ready = max job.Job.release data_ready in
         (* Pay-once inheritance is only sound while the busy chain is
-           continuous: when the release strictly dominates every
-           predecessor's completion, the chain restarts and previously
-           charged interferers may spend all their cycles on this job —
-           reset the paid set. *)
+           certainly continuous: if in ANY schedule the predecessors can
+           all complete before the release, the chain may restart there
+           and previously charged interferers can spend all their cycles
+           on this job — reset the paid set. Continuity must therefore be
+           established from the guaranteed (best-case) data-ready time;
+           testing the worst-case data-ready instead is unsound: an
+           interferer charged to a predecessor inflates that worst case
+           without any guarantee its cycles actually ran before the
+           predecessor's real completion. Silent predecessors (wcet' = 0)
+           deliver nothing and cannot sustain the chain. *)
+        let guaranteed_ready =
+          Array.fold_left
+            (fun acc (p, delay) ->
+              if wc.(p) = 0 then acc else max acc (min_finish.(p) + delay))
+            min_int js.Jobset.preds.(j) in
         let pred_sets =
-          if data_ready < job.Job.release then []
+          if guaranteed_ready < job.Job.release then []
           else
             Array.fold_left
               (fun acc (p, _) -> charged.(p) :: acc)

@@ -1,5 +1,13 @@
 module Jobset = Mcmap_sched.Jobset
 module Happ = Mcmap_hardening.Happ
+module Arch = Mcmap_model.Arch
+module Proc = Mcmap_model.Proc
+module Appset = Mcmap_model.Appset
+module Graph = Mcmap_model.Graph
+module Task = Mcmap_model.Task
+module Plan = Mcmap_hardening.Plan
+module Technique = Mcmap_hardening.Technique
+module Prng = Mcmap_util.Prng
 
 type result = {
   graph_wcrt : int option array;
@@ -25,3 +33,88 @@ let run ?(profiles = 1000) ?(bias = 0.3) ?(seed = 42) js =
     done
   done;
   { graph_wcrt; profiles; criticals = !criticals }
+
+(* ------------------------------------------------------------------ *)
+(* Event-level reliability estimation.
+
+   Samples the raw fault events of one application instance — one
+   Bernoulli coin per execution attempt or replica, a Poisson count for
+   checkpointed tasks — and applies each hardening technique's
+   *operational* failure rule. It deliberately shares nothing with the
+   closed-form combinators in [Reliability.Fault_model] beyond the
+   per-event probability, so agreement between the two is a meaningful
+   differential check (used by [Check.Oracles.reliability_agreement]). *)
+
+type failure_estimate = {
+  trials : int;
+  failures : int;
+  estimate : float;
+}
+
+(* Knuth's product-of-uniforms Poisson sampler; fine for the small
+   means (rate * duration << 1) this model produces. *)
+let poisson rng mean =
+  let limit = exp (-.mean) in
+  let rec loop k p =
+    let p = p *. Prng.float rng 1. in
+    if p > limit then loop (k + 1) p else k in
+  if mean <= 0. then 0 else loop 0 1.
+
+let task_instance_fails rng arch apps plan ~graph ~task =
+  let t = Graph.task (Appset.graph apps graph) task in
+  let d = Plan.decision plan ~graph ~task in
+  let scaled proc c = Proc.scale_time (Arch.proc arch proc) c in
+  let exec_fault proc extra =
+    let duration = scaled proc t.Task.wcet + extra in
+    Prng.bernoulli rng
+      (Proc.fault_probability (Arch.proc arch proc) duration) in
+  let count_faults procs extra =
+    List.fold_left
+      (fun acc p -> if exec_fault p extra then acc + 1 else acc)
+      0 procs in
+  match d.Plan.technique with
+  | Technique.No_hardening -> exec_fault d.Plan.primary_proc 0
+  | Technique.Re_execution k ->
+    (* fails only when all k+1 attempts fault *)
+    let proc = d.Plan.primary_proc in
+    let dt = scaled proc t.Task.detection_overhead in
+    let rec attempt i = i > k || (exec_fault proc dt && attempt (i + 1)) in
+    attempt 0
+  | Technique.Checkpointing (segments, k) ->
+    (* more than k faults over the checkpoint-extended execution *)
+    let proc = d.Plan.primary_proc in
+    let dt = scaled proc t.Task.detection_overhead in
+    let duration = scaled proc t.Task.wcet + (segments * dt) in
+    let rate = (Arch.proc arch proc).Proc.fault_rate in
+    poisson rng (rate *. float_of_int duration) > k
+  | Technique.Active_replication _ ->
+    let procs =
+      d.Plan.primary_proc :: Array.to_list d.Plan.replica_procs in
+    let n = List.length procs in
+    let faults = count_faults procs 0 in
+    if n = 1 then faults = 1
+    else if n = 2 then faults >= 1 (* duplication detects, cannot correct *)
+    else faults >= (n / 2) + 1
+  | Technique.Passive_replication m ->
+    (* 2 actives + m spares tolerate up to m faults *)
+    let procs =
+      d.Plan.primary_proc :: Array.to_list d.Plan.replica_procs in
+    count_faults procs 0 >= m + 1
+
+(* Estimate the probability that one instance of [graph] fails (any of
+   its tasks fails despite hardening). Compare with
+   [Reliability.Analysis.graph_failure_rate] times the period. *)
+let failure_probability ?(trials = 3000) ~seed arch apps plan ~graph =
+  let rng = Prng.create seed in
+  let n_tasks = Graph.n_tasks (Appset.graph apps graph) in
+  let failures = ref 0 in
+  for _ = 1 to trials do
+    let failed = ref false in
+    for task = 0 to n_tasks - 1 do
+      if task_instance_fails rng arch apps plan ~graph ~task then
+        failed := true
+    done;
+    if !failed then incr failures
+  done;
+  { trials; failures = !failures;
+    estimate = float_of_int !failures /. float_of_int trials }

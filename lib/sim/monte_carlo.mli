@@ -18,3 +18,29 @@ val run :
   result
 (** Defaults: 1,000 profiles, fault bias 0.3, seed 42. Executions run at
     worst case; only the fault pattern varies across profiles. *)
+
+(** {1 Event-level reliability estimation}
+
+    Samples the raw fault events of one application instance and applies
+    each hardening technique's operational failure rule. Deliberately
+    shares nothing with the closed-form combinators in
+    [Reliability.Fault_model] beyond the per-event probability, so
+    agreement between the two is a meaningful differential check. *)
+
+type failure_estimate = {
+  trials : int;
+  failures : int;
+  estimate : float;  (** [failures / trials] *)
+}
+
+val failure_probability :
+  ?trials:int ->
+  seed:int ->
+  Mcmap_model.Arch.t ->
+  Mcmap_model.Appset.t ->
+  Mcmap_hardening.Plan.t ->
+  graph:int ->
+  failure_estimate
+(** Probability that one instance of [graph] fails (some task fails
+    despite its hardening), estimated over [trials] (default 3,000)
+    samples of the per-attempt fault events. Deterministic in [seed]. *)

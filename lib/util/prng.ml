@@ -21,8 +21,16 @@ let split t = { state = mix64 (bits64 t) }
 
 let int t bound =
   assert (bound > 0);
-  let mask = Int64.shift_right_logical (bits64 t) 1 in
-  Int64.to_int (Int64.rem mask (Int64.of_int bound))
+  (* Rejection sampling over 63 uniform bits: draws above the largest
+     multiple of [bound] would fold unevenly under [rem], so redraw.
+     [2^63 mod b = ((max_int mod b) + 1) mod b]. *)
+  let b = Int64.of_int bound in
+  let excess = Int64.rem (Int64.add (Int64.rem Int64.max_int b) 1L) b in
+  let top = Int64.sub Int64.max_int excess in
+  let rec draw () =
+    let r = Int64.shift_right_logical (bits64 t) 1 in
+    if r <= top then Int64.to_int (Int64.rem r b) else draw () in
+  draw ()
 
 let int_in t lo hi =
   assert (hi >= lo);

@@ -39,6 +39,23 @@ let percentile samples p =
 let ratio_pct num den =
   if den = 0 then 0. else 100. *. float_of_int num /. float_of_int den
 
+(* Wilson score interval for a binomial proportion: unlike the normal
+   approximation it stays inside [0, 1] and behaves sensibly at 0 or n
+   successes, which the reliability oracle hits routinely (failure
+   probabilities around 1e-5 over a few thousand trials). *)
+let wilson_interval ?(z = 1.96) ~successes ~trials () =
+  if trials <= 0 then invalid_arg "Stats.wilson_interval: trials <= 0";
+  if successes < 0 || successes > trials then
+    invalid_arg "Stats.wilson_interval: successes out of range";
+  let n = float_of_int trials in
+  let p = float_of_int successes /. n in
+  let z2 = z *. z in
+  let denom = 1. +. (z2 /. n) in
+  let centre = p +. (z2 /. (2. *. n)) in
+  let spread =
+    z *. sqrt ((p *. (1. -. p) /. n) +. (z2 /. (4. *. n *. n))) in
+  ((centre -. spread) /. denom, (centre +. spread) /. denom)
+
 let pp_summary ppf s =
   Format.fprintf ppf "n=%d mean=%.3f sd=%.3f min=%.3f max=%.3f" s.count
     s.mean s.stddev s.minimum s.maximum

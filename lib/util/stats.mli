@@ -20,4 +20,13 @@ val percentile : float list -> float -> float
 val ratio_pct : int -> int -> float
 (** [ratio_pct num den] is [100 * num / den] as float; 0 when [den = 0]. *)
 
+val wilson_interval :
+  ?z:float -> successes:int -> trials:int -> unit -> float * float
+(** Wilson score confidence interval [(lo, hi)] for a binomial
+    proportion at critical value [z] (default 1.96, the 95% level).
+    Unlike the normal approximation it stays within [\[0, 1\]] and
+    behaves sensibly at 0 or [trials] successes.
+    @raise Invalid_argument when [trials <= 0] or [successes] is out of
+    range. *)
+
 val pp_summary : Format.formatter -> summary -> unit

@@ -1,3 +1,5 @@
+module Test_gen = Mcmap_gen.Gen
+
 (* Unit and property tests for mcmap.analysis (Algorithm 1 and the
    Naive baseline). *)
 

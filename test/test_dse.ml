@@ -1,3 +1,5 @@
+module Test_gen = Mcmap_gen.Gen
+
 (* Unit and property tests for mcmap.dse: genome operators,
    decode/repair, SPEA2 and the GA loop. *)
 

@@ -10,4 +10,5 @@ let () =
       ("dse", Test_dse.suite);
       ("benchmarks", Test_benchmarks.suite);
       ("spec", Test_spec.suite);
-      ("experiments", Test_experiments.suite) ]
+      ("experiments", Test_experiments.suite);
+      ("check", Test_check.suite) ]

@@ -1,3 +1,5 @@
+module Test_gen = Mcmap_gen.Gen
+
 (* Unit tests for mcmap.sched: priorities, job expansion and the
    best/worst interval backend. *)
 

@@ -1,3 +1,5 @@
+module Test_gen = Mcmap_gen.Gen
+
 (* Unit and property tests for mcmap.sim — including the end-to-end
    safety property: no simulated execution ever exceeds Algorithm 1's
    bound. *)

@@ -1,3 +1,5 @@
+module Test_gen = Mcmap_gen.Gen
+
 (* Tests for the textual system/plan format: hand-written inputs, error
    reporting, and write-read round-trips over the whole benchmark
    suite. *)

@@ -77,6 +77,36 @@ let prop_shuffle_permutation =
       Prng.shuffle rng a;
       List.sort compare (Array.to_list a) = List.sort compare l)
 
+(* Uniformity smoke tests: [int] uses rejection sampling, so no residue
+   class may be favoured even when the bound is not a power of two. With
+   10_000 draws over 10 buckets the expected count is 1000 (sigma ~ 30);
+   a 150-count excursion is a > 5-sigma event. *)
+let bucket_counts draw ~buckets ~draws =
+  let counts = Array.make buckets 0 in
+  for _ = 1 to draws do
+    let x = draw () in
+    counts.(x) <- counts.(x) + 1
+  done;
+  counts
+
+let test_int_uniform () =
+  let rng = Prng.create 23 in
+  Array.iter
+    (fun c ->
+      check Alcotest.bool "bucket within 5 sigma" true
+        (abs (c - 1000) < 150))
+    (bucket_counts (fun () -> Prng.int rng 10) ~buckets:10 ~draws:10000)
+
+let test_int_in_uniform () =
+  let rng = Prng.create 29 in
+  Array.iter
+    (fun c ->
+      check Alcotest.bool "bucket within 5 sigma" true
+        (abs (c - 1000) < 150))
+    (bucket_counts
+       (fun () -> Prng.int_in rng (-3) 6 + 3)
+       ~buckets:10 ~draws:10000)
+
 let test_bernoulli_extremes () =
   let rng = Prng.create 3 in
   for _ = 1 to 50 do
@@ -204,6 +234,33 @@ let test_heap_pop_exn_empty () =
     (Invalid_argument "Heap.pop_exn: empty heap") (fun () ->
       ignore (Int_heap.pop_exn h))
 
+(* Model-based: an interleaved add/pop trace must agree step by step
+   with a sorted-list model, not only after draining. *)
+let prop_heap_model =
+  QCheck.Test.make ~name:"heap agrees with sorted-list model" ~count:300
+    QCheck.(list_of_size (Gen.int_range 0 60) (option small_signed_int))
+    (fun ops ->
+      let h = Int_heap.create () in
+      let model = ref [] in
+      List.for_all
+        (fun op ->
+          match op with
+          | Some x ->
+            Int_heap.add h x;
+            model := List.sort compare (x :: !model);
+            Int_heap.size h = List.length !model
+            && Int_heap.peek h = (match !model with [] -> None | m :: _ -> Some m)
+          | None ->
+            let popped = Int_heap.pop h in
+            let expected =
+              match !model with
+              | [] -> None
+              | m :: rest ->
+                model := rest;
+                Some m in
+            popped = expected)
+        ops)
+
 (* ------------------------------------------------------------------ *)
 (* Interval *)
 
@@ -243,6 +300,30 @@ let prop_overlap_symmetric =
       let i = Interval.make (min a b) (max a b) in
       let j = Interval.make (min c d) (max c d) in
       Interval.overlaps i j = Interval.overlaps j i)
+
+let interval_pair =
+  QCheck.(
+    map
+      (fun (a, b, c, d) ->
+        (Interval.make (min a b) (max a b), Interval.make (min c d) (max c d)))
+      (quad (int_range 0 50) (int_range 0 50) (int_range 0 50)
+         (int_range 0 50)))
+
+(* inter/hull/overlaps must agree: the intersection exists exactly when
+   the intervals overlap, lies inside both, and the hull contains both. *)
+let prop_interval_algebra =
+  QCheck.Test.make ~name:"interval inter/hull/overlaps agree" ~count:300
+    interval_pair
+    (fun (i, j) ->
+      let h = Interval.hull i j in
+      let inside outer inner =
+        outer.Interval.lo <= inner.Interval.lo
+        && inner.Interval.hi <= outer.Interval.hi in
+      inside h i && inside h j
+      &&
+      match Interval.inter i j with
+      | None -> not (Interval.overlaps i j)
+      | Some x -> Interval.overlaps i j && inside i x && inside j x)
 
 (* ------------------------------------------------------------------ *)
 (* Stats *)
@@ -311,6 +392,45 @@ let prop_front_members_undominated =
         (fun (_, f) ->
           List.for_all (fun (_, e) -> not (Pareto.dominates e f)) entries)
         front)
+
+let point2 =
+  QCheck.(
+    map (fun (x, y) -> [| float_of_int x; float_of_int y |])
+      (pair (int_range 0 4) (int_range 0 4)))
+
+(* Dominance is a strict partial order; integer coordinates on a small
+   grid make coincidences (and thus the interesting cases) common. *)
+let prop_dominates_irreflexive =
+  QCheck.Test.make ~name:"dominance is irreflexive" ~count:200 point2
+    (fun a -> not (Pareto.dominates a a))
+
+let prop_dominates_asymmetric =
+  QCheck.Test.make ~name:"dominance is asymmetric" ~count:300
+    QCheck.(pair point2 point2)
+    (fun (a, b) -> not (Pareto.dominates a b && Pareto.dominates b a))
+
+let prop_dominates_transitive =
+  QCheck.Test.make ~name:"dominance is transitive" ~count:500
+    QCheck.(triple point2 point2 point2)
+    (fun (a, b, c) ->
+      (not (Pareto.dominates a b && Pareto.dominates b c))
+      || Pareto.dominates a c)
+
+(* Points off the front are each dominated by some front member, so the
+   front is a complete summary of the input. *)
+let prop_front_covers_input =
+  QCheck.Test.make ~name:"every input point covered by the front"
+    ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 20) point2)
+    (fun pts ->
+      let entries = List.mapi (fun i p -> (i, p)) pts in
+      let front = Pareto.non_dominated entries in
+      List.for_all
+        (fun (i, p) ->
+          List.exists
+            (fun (j, f) -> i = j || Pareto.dominates f p || f = p)
+            front)
+        entries)
 
 let test_crowding_extremes_first () =
   let entries =
@@ -388,6 +508,8 @@ let suite =
     Alcotest.test_case "prng: exponential mean" `Quick
       test_exponential_mean;
     Alcotest.test_case "prng: pick" `Quick test_pick;
+    Alcotest.test_case "prng: int uniform" `Quick test_int_uniform;
+    Alcotest.test_case "prng: int_in uniform" `Quick test_int_in_uniform;
     qtest prop_int_bounds;
     qtest prop_int_in_bounds;
     qtest prop_float_bounds;
@@ -403,9 +525,11 @@ let suite =
     Alcotest.test_case "heap: pop_exn on empty" `Quick
       test_heap_pop_exn_empty;
     qtest prop_heap_sorts;
+    qtest prop_heap_model;
     Alcotest.test_case "interval: basics" `Quick test_interval_basics;
     Alcotest.test_case "interval: ops" `Quick test_interval_ops;
     qtest prop_overlap_symmetric;
+    qtest prop_interval_algebra;
     Alcotest.test_case "stats: summary" `Quick test_summary;
     Alcotest.test_case "stats: percentile" `Quick test_percentile;
     Alcotest.test_case "stats: ratio" `Quick test_ratio_pct;
@@ -417,6 +541,10 @@ let suite =
     Alcotest.test_case "pareto: crowding extremes" `Quick
       test_crowding_extremes_first;
     qtest prop_front_members_undominated;
+    qtest prop_dominates_irreflexive;
+    qtest prop_dominates_asymmetric;
+    qtest prop_dominates_transitive;
+    qtest prop_front_covers_input;
     Alcotest.test_case "pareto: hypervolume" `Quick test_hypervolume;
     Alcotest.test_case "parallel: matches sequential" `Quick
       test_parallel_matches_sequential;
