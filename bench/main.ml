@@ -2,9 +2,16 @@
    evaluation (E1-E5) and measures the latency of each experiment's
    kernel with Bechamel (one Test.make per table/figure).
 
+   Besides the text report the harness writes a machine-readable
+   summary (BENCH.json): one entry per Bechamel kernel with its ns/run
+   estimate, plus the key metrics recorded by the observability layer
+   while the tables were regenerated.
+
    Environment:
      MCMAP_BENCH_FAST=1   shrink GA budgets and Monte-Carlo profiles
-                          (useful in CI). *)
+                          (useful in CI).
+     MCMAP_BENCH_OUT=F    write the JSON summary to F instead of
+                          BENCH.json. *)
 
 module B = Mcmap_benchmarks
 module H = Mcmap_hardening
@@ -13,8 +20,14 @@ module A = Mcmap_analysis
 module Sim = Mcmap_sim
 module D = Mcmap_dse
 module E = Mcmap_experiments
+module Obs = Mcmap_obs.Obs
+module Histogram = Mcmap_obs.Histogram
+module Json = Mcmap_util.Json
 
 let fast = Sys.getenv_opt "MCMAP_BENCH_FAST" = Some "1"
+
+let bench_out =
+  Option.value (Sys.getenv_opt "MCMAP_BENCH_OUT") ~default:"BENCH.json"
 
 let profiles = if fast then 100 else 1000
 
@@ -27,6 +40,12 @@ let ga_config =
 (* ------------------------------------------------------------------ *)
 (* Table / figure regeneration *)
 
+(* Section headers are flushed eagerly so a watcher (CI log, terminal)
+   sees which experiment is running before its long computation. *)
+let section title =
+  print_endline title;
+  flush stdout
+
 let regenerate () =
   print_endline "==================================================";
   print_endline " mcmap: regenerating the paper's tables & figures";
@@ -34,12 +53,12 @@ let regenerate () =
     ga_config.D.Ga.population ga_config.D.Ga.offspring
     ga_config.D.Ga.generations profiles
     (if fast then ", FAST mode" else "");
-  print_endline "==================================================";
+  section "==================================================";
   print_endline "";
-  print_endline "-- E5 / Figure 1: motivational example --";
+  section "-- E5 / Figure 1: motivational example --";
   print_string (E.Fig1.render (E.Fig1.run ()));
   print_endline "";
-  print_endline "-- E1 / Table 2: WCRT of the critical Cruise applications --";
+  section "-- E1 / Table 2: WCRT of the critical Cruise applications --";
   print_string (E.Table2.render (E.Table2.run ~profiles ()));
   Printf.printf "(paper, for shape comparison: %s)\n"
     (String.concat "; "
@@ -51,13 +70,13 @@ let regenerate () =
               m a1 a2 w1 w2 p1 p2 n1 n2)
           E.Paper.table2));
   print_endline "";
-  print_endline "-- E2 / section 5.2: power with vs without task dropping --";
+  section "-- E2 / section 5.2: power with vs without task dropping --";
   print_string (E.Dropping.render (E.Dropping.run ~config:ga_config ()));
   print_endline "";
-  print_endline "-- E3 / section 5.2: solutions rescued by task dropping --";
+  section "-- E3 / section 5.2: solutions rescued by task dropping --";
   print_string (E.Rescue.render (E.Rescue.run ~config:ga_config ()));
   print_endline "";
-  print_endline "-- E4 / Figure 5: power/service Pareto front (DT-med) --";
+  section "-- E4 / Figure 5: power/service Pareto front (DT-med) --";
   print_string (E.Fig5.render (E.Fig5.run ~config:ga_config ()));
   Printf.printf "(paper finds %d Pareto-optimal points)\n"
     E.Paper.fig5_pareto_points;
@@ -70,7 +89,7 @@ let regenerate () =
     \ the rigid all-worst-case schedule is exact for one configuration\n\
     \ but offers no run-time reaction — the paper's Table 1 argument)";
   print_endline "";
-  print_endline "-- E7 (extension): sensitivity & ablations --";
+  section "-- E7 (extension): sensitivity & ablations --";
   print_endline "re-execution budget sweep (cruise, balanced mapping):";
   print_string (E.Sensitivity.render_k_sweep (E.Sensitivity.k_sweep ()));
   print_endline "priority-order ablation (cruise, balanced mapping):";
@@ -145,11 +164,13 @@ let tests =
     Test.make ~name:"fig1/motivational"
       (Staged.stage (fun () -> ignore (E.Fig1.run ()))) ]
 
+(* Runs every kernel, prints the text report and returns the estimates
+   as [(name, ns_per_run option)] for the JSON summary. *)
 let run_bechamel () =
   let open Bechamel in
   print_endline "==================================================";
   print_endline " Bechamel micro-benchmarks (one per table/figure)";
-  print_endline "==================================================";
+  section "==================================================";
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true
       ~predictors:[| Measure.run |] in
@@ -158,22 +179,86 @@ let run_bechamel () =
     Benchmark.cfg ~limit:2000
       ~quota:(Time.second (if fast then 0.25 else 1.0))
       ~kde:(Some 100) () in
-  List.iter
-    (fun test ->
-      let results = Benchmark.all cfg [ instance ] test in
-      let stats = Analyze.all ols instance results in
-      Hashtbl.iter
-        (fun name ols_result ->
-          match Analyze.OLS.estimates ols_result with
-          | Some [ ns_per_run ] ->
-            Printf.printf "%-32s %12.1f ns/run (%8.3f ms)\n" name
-              ns_per_run (ns_per_run /. 1e6)
-          | Some _ | None ->
-            Printf.printf "%-32s (no estimate)\n" name)
-        stats)
-    tests;
-  print_endline ""
+  let kernels =
+    List.concat_map
+      (fun test ->
+        let results = Benchmark.all cfg [ instance ] test in
+        let stats = Analyze.all ols instance results in
+        Hashtbl.fold
+          (fun name ols_result acc ->
+            let estimate =
+              match Analyze.OLS.estimates ols_result with
+              | Some [ ns_per_run ] ->
+                Printf.printf "%-32s %12.1f ns/run (%8.3f ms)\n%!" name
+                  ns_per_run (ns_per_run /. 1e6);
+                Some ns_per_run
+              | Some _ | None ->
+                Printf.printf "%-32s (no estimate)\n%!" name;
+                None in
+            (name, estimate) :: acc)
+          stats [])
+      tests in
+  print_endline "";
+  kernels
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable summary *)
+
+let json_of_metric : Obs.metric -> Json.t = function
+  | Obs.Counter n -> Json.Int n
+  | Obs.Gauge v -> Json.Float v
+  | Obs.Histogram h ->
+    if Histogram.is_empty h then Json.Obj [ ("count", Json.Int 0) ]
+    else
+      Json.Obj
+        [ ("count", Json.Int h.Histogram.count);
+          ("sum", Json.Int h.Histogram.sum);
+          ("min", Json.Int h.Histogram.minimum);
+          ("max", Json.Int h.Histogram.maximum);
+          ("mean", Json.Float (Histogram.mean h)) ]
+  | Obs.Series points ->
+    Json.List
+      (List.map
+         (fun (x, v) -> Json.List [ Json.Int x; Json.Float v ])
+         points)
+
+let write_summary ~kernels ~(snapshot : Obs.snapshot) =
+  let json =
+    Json.Obj
+      [ ("fast", Json.Bool fast);
+        ( "ga_config",
+          Json.Obj
+            [ ("population", Json.Int ga_config.D.Ga.population);
+              ("offspring", Json.Int ga_config.D.Ga.offspring);
+              ("generations", Json.Int ga_config.D.Ga.generations) ] );
+        ("monte_carlo_profiles", Json.Int profiles);
+        ( "kernels_ns_per_run",
+          Json.Obj
+            (List.map
+               (fun (name, estimate) ->
+                 ( name,
+                   match estimate with
+                   | Some ns -> Json.Float ns
+                   | None -> Json.Null ))
+               (List.sort compare kernels)) );
+        ( "metrics",
+          Json.Obj
+            (List.map
+               (fun (name, m) -> (name, json_of_metric m))
+               snapshot.Obs.metrics) ) ] in
+  let oc = open_out bench_out in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "machine-readable summary written to %s\n%!" bench_out
 
 let () =
+  (* Record metrics while the tables are regenerated, then freeze the
+     snapshot and disable the recorder so the Bechamel micro-benchmarks
+     time the uninstrumented (disabled-recorder) path. *)
+  Obs.enable ();
   regenerate ();
-  run_bechamel ()
+  let snapshot = Obs.snapshot () in
+  Obs.disable ();
+  let kernels = run_bechamel () in
+  write_summary ~kernels ~snapshot

@@ -1,5 +1,5 @@
 (* mcmap command-line interface: analyze | simulate | explore |
-   experiments | check | list. *)
+   experiments | check | stats | list. *)
 
 module B = Mcmap_benchmarks
 module H = Mcmap_hardening
@@ -10,8 +10,47 @@ module Sim = Mcmap_sim
 module D = Mcmap_dse
 module E = Mcmap_experiments
 module Spec = Mcmap_spec.Spec
+module Obs = Mcmap_obs.Obs
+module Histogram = Mcmap_obs.Histogram
+module Sexp = Mcmap_util.Sexp
+module Texttable = Mcmap_util.Texttable
 
 open Cmdliner
+
+(* Every long-running subcommand takes --trace/--metrics; either one
+   turns the recorder on for the duration of the run and dumps the
+   requested exports afterwards. *)
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Record spans and write a Chrome trace-event JSON to \
+                 $(docv) (load it in chrome://tracing or Perfetto).")
+
+let metrics_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics" ] ~docv:"FILE"
+           ~doc:"Record metrics and write an s-expression dump to \
+                 $(docv) (pretty-print it with 'mcmap stats').")
+
+let with_obs trace metrics run =
+  match trace, metrics with
+  | None, None -> run ()
+  | _ ->
+    Obs.enable ();
+    let code = run () in
+    let snapshot = Obs.snapshot () in
+    Obs.disable ();
+    Option.iter
+      (fun path ->
+        Obs.write_metrics ~snapshot path;
+        Printf.printf "metrics dump written to %s\n%!" path)
+      metrics;
+    Option.iter
+      (fun path ->
+        Obs.write_trace ~snapshot path;
+        Printf.printf "chrome trace written to %s\n%!" path)
+      trace;
+    code
 
 let bench_arg =
   let doc =
@@ -94,7 +133,8 @@ let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List available benchmarks")
     Term.(const (fun () -> run (); 0) $ const ())
 
-let analyze_run bench_name system_file plan_file seed =
+let analyze_run bench_name system_file plan_file seed trace metrics =
+  with_obs trace metrics @@ fun () ->
   match resolve_problem bench_name system_file plan_file seed with
   | Error e -> prerr_endline e; 1
   | Ok (arch, apps, plan) ->
@@ -122,10 +162,11 @@ let analyze_cmd =
     (Cmd.info "analyze"
        ~doc:"Run Algorithm 1 on a benchmark mapping or a system file")
     Term.(const analyze_run $ bench_arg $ system_arg $ plan_arg
-          $ seed_arg)
+          $ seed_arg $ trace_arg $ metrics_arg)
 
 let simulate_run bench_name system_file plan_file seed profiles
-    distribution =
+    distribution trace metrics =
+  with_obs trace metrics @@ fun () ->
   match resolve_problem bench_name system_file plan_file seed with
   | Error e -> prerr_endline e; 1
   | Ok (arch, apps, plan) ->
@@ -161,15 +202,30 @@ let simulate_cmd =
                  & info [ "distribution" ]
                      ~doc:"Also estimate the response-time distribution \
                            under physical fault rates (the probabilistic \
-                           analysis style of Table 1's ref [5])."))
+                           analysis style of Table 1's ref [5]).")
+          $ trace_arg $ metrics_arg)
 
-let explore_run bench_name population offspring generations seed =
+let explore_run bench_name population offspring generations seed quiet
+    trace metrics =
+  with_obs trace metrics @@ fun () ->
   match find_benchmark bench_name with
   | Error e -> prerr_endline e; 1
   | Ok bench ->
     let config = ga_config population offspring generations seed in
+    let on_generation (p : D.Explore.progress) =
+      if not quiet then
+        Printf.printf
+          "generation %3d/%d: archive %d/%d feasible, best power %s, \
+           hypervolume %.4f\n%!"
+          p.D.Explore.generation config.D.Ga.generations
+          p.D.Explore.archive_feasible p.D.Explore.archive_size
+          (match p.D.Explore.best_power with
+           | Some power -> Printf.sprintf "%.3f" power
+           | None -> "-")
+          p.D.Explore.hypervolume in
     let summary =
-      D.Explore.run ~config bench.B.Benchmark.arch bench.B.Benchmark.apps in
+      D.Explore.run ~config ~on_generation bench.B.Benchmark.arch
+        bench.B.Benchmark.apps in
     let stats = summary.D.Explore.stats in
     Format.printf
       "%d evaluations, %d feasible, rescue ratio %.2f%%, re-execution \
@@ -193,9 +249,14 @@ let explore_cmd =
     (Cmd.info "explore"
        ~doc:"SPEA2 design-space exploration of a benchmark")
     Term.(const explore_run $ bench_arg $ population_arg $ offspring_arg
-          $ generations_arg $ seed_arg)
+          $ generations_arg $ seed_arg
+          $ Arg.(value & flag
+                 & info [ "quiet" ]
+                     ~doc:"Suppress the per-generation progress lines.")
+          $ trace_arg $ metrics_arg)
 
-let gantt_run bench_name system_file plan_file seed bias =
+let gantt_run bench_name system_file plan_file seed bias trace metrics =
+  with_obs trace metrics @@ fun () ->
   match resolve_problem bench_name system_file plan_file seed with
   | Error e -> prerr_endline e; 1
   | Ok (arch, apps, plan) ->
@@ -218,7 +279,8 @@ let gantt_cmd =
        ~doc:"Render ASCII Gantt charts of simulated schedules")
     Term.(const gantt_run $ bench_arg $ system_arg $ plan_arg $ seed_arg
           $ Arg.(value & opt float 0.3
-                 & info [ "bias" ] ~doc:"Fault bias of the random profile."))
+                 & info [ "bias" ] ~doc:"Fault bias of the random profile.")
+          $ trace_arg $ metrics_arg)
 
 let experiment_names =
   [ "fig1"; "table2"; "dropping"; "rescue"; "fig5"; "table1";
@@ -230,7 +292,16 @@ let only_arg =
     ^ String.concat ", " experiment_names ^ "." in
   Arg.(value & opt (some string) None & info [ "only" ] ~doc)
 
-let experiments_run only profiles population offspring generations seed =
+(* Announce a section and flush: the computation behind it can run for
+   minutes, and a block-buffered stdout (pipes, CI logs) would
+   otherwise show nothing until the whole run ends. *)
+let section title =
+  print_endline title;
+  flush stdout
+
+let experiments_run only profiles population offspring generations seed
+    trace metrics =
+  with_obs trace metrics @@ fun () ->
   let config = ga_config population offspring generations seed in
   let wanted name =
     match only with None -> true | Some o -> o = name in
@@ -246,40 +317,40 @@ let experiments_run only profiles population offspring generations seed =
   end
   else begin
     if wanted "fig1" then begin
-      print_endline "== E5: Figure 1 (motivational example) ==";
+      section "== E5: Figure 1 (motivational example) ==";
       print_string (E.Fig1.render (E.Fig1.run ()))
     end;
     if wanted "table2" then begin
-      print_endline "== E1: Table 2 (WCRT of the critical Cruise apps) ==";
+      section "== E1: Table 2 (WCRT of the critical Cruise apps) ==";
       print_string (E.Table2.render (E.Table2.run ~profiles ~seed ()))
     end;
     if wanted "dropping" then begin
-      print_endline "== E2: power with vs without task dropping ==";
+      section "== E2: power with vs without task dropping ==";
       print_string (E.Dropping.render (E.Dropping.run ~config ()))
     end;
     if wanted "rescue" then begin
-      print_endline "== E3: solutions rescued by task dropping ==";
+      section "== E3: solutions rescued by task dropping ==";
       print_string (E.Rescue.render (E.Rescue.run ~config ()))
     end;
     if wanted "fig5" then begin
-      print_endline "== E4: Figure 5 (power/service Pareto front) ==";
+      section "== E4: Figure 5 (power/service Pareto front) ==";
       print_string (E.Fig5.render (E.Fig5.run ~config ()))
     end;
     if wanted "table1" then begin
-      print_endline
+      section
         "== E6 (extension): static scheduling baseline (Table 1) ==";
       print_string (E.Table1.render (E.Table1.run ~seed ()))
     end;
     if wanted "optimizers" then begin
-      print_endline
+      section
         "== E8 (extension): optimizers on an equal evaluation budget ==";
       print_string (E.Optimizers.render (E.Optimizers.run ~seed ()))
     end;
     if wanted "sensitivity" then begin
-      print_endline "== E7 (extension): sensitivity & ablations ==";
-      print_endline "-- re-execution budget sweep (cruise) --";
+      section "== E7 (extension): sensitivity & ablations ==";
+      section "-- re-execution budget sweep (cruise) --";
       print_string (E.Sensitivity.render_k_sweep (E.Sensitivity.k_sweep ~seed ()));
-      print_endline "-- priority-order ablation (cruise) --";
+      section "-- priority-order ablation (cruise) --";
       print_string
         (E.Sensitivity.render_priority (E.Sensitivity.priority_ablation ~seed ()))
     end;
@@ -291,9 +362,11 @@ let experiments_cmd =
     (Cmd.info "experiments"
        ~doc:"Regenerate the paper's tables and figures")
     Term.(const experiments_run $ only_arg $ profiles_arg $ population_arg
-          $ offspring_arg $ generations_arg $ seed_arg)
+          $ offspring_arg $ generations_arg $ seed_arg $ trace_arg
+          $ metrics_arg)
 
-let check_run count seed oracle corpus =
+let check_run count seed oracle corpus trace metrics =
+  with_obs trace metrics @@ fun () ->
   let module C = Mcmap_check in
   let oracles =
     match oracle with
@@ -322,7 +395,13 @@ let check_run count seed oracle corpus =
       | Some path ->
         if C.Runner.append_corpus path f then
           Format.printf "recorded seed %d in %s@." f.C.Runner.seed path in
-    let report = C.Runner.run ~oracles ~on_failure ~seed ~count () in
+    (* ~10 progress lines over the whole run, flushed so they show up
+       promptly when stdout is a pipe (CI logs). *)
+    let step = max 1 (count / 10) in
+    let on_trial i =
+      if i > 0 && i mod step = 0 then
+        Printf.printf "progress: %d/%d systems checked\n%!" i count in
+    let report = C.Runner.run ~oracles ~on_failure ~on_trial ~seed ~count () in
     Format.printf "@.%a@." C.Runner.pp_report report;
     if C.Runner.ok report then 0 else 1
 
@@ -342,7 +421,92 @@ let check_cmd =
           $ Arg.(value & opt (some string) None
                  & info [ "corpus" ]
                      ~doc:"Append failing seeds to this regression corpus \
-                           file (see test/corpus/seeds.txt)."))
+                           file (see test/corpus/seeds.txt).")
+          $ trace_arg $ metrics_arg)
+
+(* ------------------------------------------------------------------ *)
+(* stats: pretty-print a --metrics dump *)
+
+let float_cell = Printf.sprintf "%.4g"
+
+let stats_run file =
+  let input = In_channel.with_open_text file In_channel.input_all in
+  let parsed =
+    Result.bind (Sexp.parse_one input) Obs.metrics_of_sexp in
+  match parsed with
+  | Error e ->
+    prerr_endline (file ^ ": " ^ e);
+    1
+  | Ok snapshot ->
+    let counters, gauges, histograms, serieses =
+      List.fold_left
+        (fun (cs, gs, hs, ss) (name, metric) ->
+          match metric with
+          | Obs.Counter v -> ((name, v) :: cs, gs, hs, ss)
+          | Obs.Gauge v -> (cs, (name, v) :: gs, hs, ss)
+          | Obs.Histogram h -> (cs, gs, (name, h) :: hs, ss)
+          | Obs.Series points -> (cs, gs, hs, (name, points) :: ss))
+        ([], [], [], []) (List.rev snapshot.Obs.metrics) in
+    if counters <> [] then begin
+      section "counters:";
+      let t = Texttable.create ~header:[ "counter"; "value" ] in
+      List.iter
+        (fun (name, v) -> Texttable.add_row t [ name; string_of_int v ])
+        counters;
+      Texttable.print t
+    end;
+    if gauges <> [] then begin
+      section "gauges:";
+      let t = Texttable.create ~header:[ "gauge"; "value" ] in
+      List.iter
+        (fun (name, v) -> Texttable.add_row t [ name; float_cell v ])
+        gauges;
+      Texttable.print t
+    end;
+    if histograms <> [] then begin
+      section "histograms:";
+      let t =
+        Texttable.create
+          ~header:
+            [ "histogram"; "count"; "mean"; "min"; "p50"; "p90"; "max" ] in
+      List.iter
+        (fun (name, h) ->
+          let q p =
+            if Histogram.is_empty h then "-"
+            else string_of_int (Histogram.quantile h p) in
+          Texttable.add_row t
+            [ name; string_of_int h.Histogram.count;
+              float_cell (Histogram.mean h);
+              (if Histogram.is_empty h then "-"
+               else string_of_int h.Histogram.minimum);
+              q 0.5; q 0.9;
+              (if Histogram.is_empty h then "-"
+               else string_of_int h.Histogram.maximum) ])
+        histograms;
+      Texttable.print t
+    end;
+    List.iter
+      (fun (name, points) ->
+        section (Printf.sprintf "series %s:" name);
+        let t = Texttable.create ~header:[ "x"; "value" ] in
+        List.iter
+          (fun (x, v) -> Texttable.add_row t [ string_of_int x; float_cell v ])
+          points;
+        Texttable.print t)
+      serieses;
+    if snapshot.Obs.metrics = [] then print_endline "(empty metrics dump)";
+    0
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Pretty-print a metrics dump produced by --metrics (counters, \
+          gauges, histograms with approximate quantiles, and series)")
+    Term.(const stats_run
+          $ Arg.(required & pos 0 (some file) None
+                 & info [] ~docv:"FILE"
+                     ~doc:"Metrics dump written by a --metrics run."))
 
 let main_cmd =
   let doc =
@@ -350,6 +514,6 @@ let main_cmd =
      MPSoCs (Kang et al., DAC 2014)" in
   Cmd.group (Cmd.info "mcmap" ~version:"1.0.0" ~doc)
     [ list_cmd; analyze_cmd; simulate_cmd; gantt_cmd; explore_cmd;
-      experiments_cmd; check_cmd ]
+      experiments_cmd; check_cmd; stats_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

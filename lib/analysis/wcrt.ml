@@ -2,6 +2,7 @@ module Bounds = Mcmap_sched.Bounds
 module Jobset = Mcmap_sched.Jobset
 module Job = Mcmap_sched.Job
 module Happ = Mcmap_hardening.Happ
+module Obs = Mcmap_obs.Obs
 
 type report = {
   wcrt : Verdict.t array;
@@ -40,7 +41,7 @@ let scenario_exec ~base (nb : Bounds.job_bounds array) (v : Job.t)
   else if w.Job.passive then (0, w.Job.wcet) (* may be invoked *)
   else (w.Job.bcet, w.Job.critical_wcet)
 
-let analyze ?max_iterations ctx =
+let analyze_spanned ?max_iterations ctx =
   let js = Bounds.jobset ctx in
   let happ = js.Jobset.happ in
   let n_graphs = Happ.n_graphs happ in
@@ -73,7 +74,20 @@ let analyze ?max_iterations ctx =
     Array.fill wcrt 0 n_graphs Verdict.Unbounded;
     Array.fill required_wcrt 0 n_graphs Verdict.Unbounded
   end;
-  { wcrt; normal_wcrt; required_wcrt; scenarios = !scenarios }
+  let report = { wcrt; normal_wcrt; required_wcrt; scenarios = !scenarios } in
+  if Obs.enabled () then begin
+    Obs.incr "wcrt.analyses";
+    Obs.observe "wcrt.scenarios" report.scenarios;
+    Array.iter
+      (function
+        | Verdict.Finite _ -> Obs.incr "wcrt.verdict.finite"
+        | Verdict.Unbounded -> Obs.incr "wcrt.verdict.unbounded")
+      report.wcrt
+  end;
+  report
+
+let analyze ?max_iterations ctx =
+  Obs.with_span "wcrt.analyze" (fun () -> analyze_spanned ?max_iterations ctx)
 
 let schedulable js report =
   let happ = js.Jobset.happ in

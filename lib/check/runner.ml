@@ -62,9 +62,11 @@ let check_seed ?(oracles = Oracles.all) ?budget seed =
   | None -> None
   | Some (o, message) -> Some (shrink_failure ?budget o seed sys message)
 
-let run ?(oracles = Oracles.all) ?budget ?on_failure ~seed ~count () =
+let run ?(oracles = Oracles.all) ?budget ?on_failure ?on_trial ~seed ~count
+    () =
   let failures = ref [] in
   for i = 0 to count - 1 do
+    (match on_trial with Some k -> k i | None -> ());
     match check_seed ~oracles ?budget (seed + i) with
     | None -> ()
     | Some f ->

@@ -28,7 +28,14 @@ module Util = struct
   module Pareto = Mcmap_util.Pareto
   module Parallel = Mcmap_util.Parallel
   module Sexp = Mcmap_util.Sexp
+  module Json = Mcmap_util.Json
   module Texttable = Mcmap_util.Texttable
+end
+
+(** Observability: metrics, spans and exporters (see [lib/obs]). *)
+module Obs = struct
+  module Histogram = Mcmap_obs.Histogram
+  module Recorder = Mcmap_obs.Obs
 end
 
 module Model = struct

@@ -58,8 +58,39 @@ let summarize (result : Ga.result) =
       Stats.ratio_pct stats.Ga.reexec_hardened stats.Ga.hardened;
     stats }
 
-let run ?(config = Ga.default_config) arch apps =
-  summarize (Ga.optimize config arch apps)
+type progress = {
+  generation : int;
+  archive_size : int;
+  archive_feasible : int;
+  best_power : float option;
+  hypervolume : float;
+}
+
+let run ?(config = Ga.default_config) ?on_generation arch apps =
+  let callback =
+    match on_generation with
+    | None -> None
+    | Some f ->
+      let reference = Ga.hypervolume_reference arch in
+      Some
+        (fun generation archive ->
+          let archive_feasible = ref 0 in
+          let best_power = ref None in
+          Array.iter
+            (fun (_, (e : Evaluate.t)) ->
+              if Evaluate.feasible e then begin
+                incr archive_feasible;
+                match !best_power with
+                | Some p when p <= e.Evaluate.power -> ()
+                | Some _ | None -> best_power := Some e.Evaluate.power
+              end)
+            archive;
+          f
+            { generation; archive_size = Array.length archive;
+              archive_feasible = !archive_feasible;
+              best_power = !best_power;
+              hypervolume = Ga.archive_hypervolume ~reference archive }) in
+  summarize (Ga.optimize ?on_generation:callback config arch apps)
 
 let dropping_gain_pct ?(config = Ga.default_config) arch apps =
   let with_dropping =

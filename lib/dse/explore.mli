@@ -21,12 +21,25 @@ type summary = {
   stats : Ga.stats;
 }
 
+type progress = {
+  generation : int;
+  archive_size : int;
+  archive_feasible : int;
+  best_power : float option;
+      (** lowest power among feasible archive members so far *)
+  hypervolume : float;
+      (** feasible-front hypervolume against {!Ga.hypervolume_reference} *)
+}
+
 val run :
   ?config:Ga.config ->
+  ?on_generation:(progress -> unit) ->
   Mcmap_model.Arch.t ->
   Mcmap_model.Appset.t ->
   summary
-(** One optimisation run, summarised. *)
+(** One optimisation run, summarised. [on_generation] (default: silent)
+    observes a progress summary after every environmental selection —
+    a multi-minute GA run is otherwise completely quiet. *)
 
 val dropping_gain_pct :
   ?config:Ga.config ->

@@ -1,5 +1,9 @@
 module Prng = Mcmap_util.Prng
 module Parallel = Mcmap_util.Parallel
+module Pareto = Mcmap_util.Pareto
+module Obs = Mcmap_obs.Obs
+module Arch = Mcmap_model.Arch
+module Proc = Mcmap_model.Proc
 module Plan = Mcmap_hardening.Plan
 module Technique = Mcmap_hardening.Technique
 
@@ -44,6 +48,27 @@ type result = {
   archive : (Genome.t * Evaluate.t) array;
   stats : stats;
 }
+
+(* A fixed per-run reference point makes the per-generation hypervolume
+   series comparable along a run: power is bounded by every processor
+   held at twice its dynamic budget (utilisations above 1 are already
+   infeasible), negated service by 0. *)
+let hypervolume_reference arch =
+  let power = ref 0. in
+  for p = 0 to Arch.n_procs arch - 1 do
+    let proc = Arch.proc arch p in
+    power :=
+      !power +. proc.Proc.static_power +. (2. *. proc.Proc.dynamic_power)
+  done;
+  (!power, 0.)
+
+let archive_hypervolume ~reference archive =
+  let entries =
+    Array.to_list archive
+    |> List.filter_map (fun (_, (e : Evaluate.t)) ->
+           if Evaluate.feasible e then Some ((), e.Evaluate.objectives)
+           else None) in
+  Pareto.hypervolume_2d ~reference entries
 
 let count_hardening (plan : Plan.t) =
   let hardened = ref 0 and reexec = ref 0 in
@@ -100,15 +125,25 @@ let optimize ?on_generation config arch apps =
           { generation; batch = Array.length individuals;
             batch_feasible = !batch_feasible;
             batch_rescued = !batch_rescued }
-          :: !stats.history } in
+          :: !stats.history };
+    if Obs.enabled () then begin
+      Obs.incr ~by:(Array.length individuals) "dse.evaluations";
+      Obs.incr ~by:!batch_feasible "dse.feasible_evaluations";
+      Obs.incr ~by:!batch_rescued "dse.rescued_evaluations"
+    end in
   let evaluate_batch ~generation genomes =
-    let with_rngs =
-      Array.map (fun genome -> (genome, Prng.split rng)) genomes in
-    let individuals =
-      Parallel.map_array ~domains:config.domains evaluate_candidate
-        with_rngs in
-    account ~generation individuals;
-    individuals in
+    Obs.with_span "ga.evaluate_batch" (fun () ->
+        let t0 = if Obs.enabled () then Obs.now_ns () else 0L in
+        let with_rngs =
+          Array.map (fun genome -> (genome, Prng.split rng)) genomes in
+        let individuals =
+          Parallel.map_array ~domains:config.domains evaluate_candidate
+            with_rngs in
+        account ~generation individuals;
+        if Obs.enabled () then
+          Obs.series "dse.eval_ms" ~x:generation
+            (Int64.to_float (Int64.sub (Obs.now_ns ()) t0) /. 1e6);
+        individuals) in
   let assign_fitness pop =
     match config.selector with
     | Spea2_selector -> Spea2.assign_fitness pop
@@ -136,8 +171,24 @@ let optimize ?on_generation config arch apps =
           with_nondrop (Genome.seeded rng arch apps) true
         else if i mod 4 = 0 then Genome.seeded rng arch apps
         else Genome.random rng arch apps) in
+  let reference = hypervolume_reference arch in
+  let record_generation gen archive =
+    if Obs.enabled () then begin
+      let payloads =
+        Array.map (fun ind -> ind.Spea2.payload) archive in
+      let feasible =
+        Array.fold_left
+          (fun acc (_, e) -> if Evaluate.feasible e then acc + 1 else acc)
+          0 payloads in
+      Obs.series "dse.hypervolume" ~x:gen
+        (archive_hypervolume ~reference payloads);
+      Obs.series "dse.feasible_fraction" ~x:gen
+        (float_of_int feasible
+         /. float_of_int (max 1 (Array.length payloads)))
+    end in
   let archive = ref (evaluate_batch ~generation:0 initial_genomes) in
   assign_fitness !archive;
+  record_generation 0 !archive;
   for gen = 1 to config.generations do
     let children =
       Array.init config.offspring (fun i ->
@@ -153,6 +204,7 @@ let optimize ?on_generation config arch apps =
     assign_fitness union;
     archive := environmental_selection ~size:config.population union;
     assign_fitness !archive;
+    record_generation gen !archive;
     match on_generation with
     | Some f -> f gen (Array.map (fun ind -> ind.Spea2.payload) !archive)
     | None -> ()

@@ -65,4 +65,21 @@ val optimize :
   result
 (** Run the optimisation. [on_generation] observes the archive after
     each environmental selection. Deterministic in [config.seed]
-    (for any [domains]). *)
+    (for any [domains]).
+
+    When the {!Mcmap_obs.Obs} recorder is enabled, every run records
+    [dse.evaluations]/[dse.feasible_evaluations]/[dse.rescued_evaluations]
+    counters, per-generation [dse.hypervolume], [dse.feasible_fraction]
+    and [dse.eval_ms] series, and a [ga.evaluate_batch] span per
+    generation. *)
+
+val hypervolume_reference : Mcmap_model.Arch.t -> float * float
+(** A fixed (power, negated-service) reference point that is worse than
+    any feasible candidate on the given architecture, so hypervolumes
+    of different generations (and runs) of the same problem are
+    comparable. *)
+
+val archive_hypervolume :
+  reference:float * float -> (Genome.t * Evaluate.t) array -> float
+(** Hypervolume of the feasible members of an archive (the quantity in
+    the [dse.hypervolume] series). *)

@@ -1,0 +1,75 @@
+(* Fixed log2-scale buckets: bucket 0 holds values <= 0 and bucket i
+   (i >= 1) holds [2^(i-1), 2^i - 1], so any OCaml int lands in one of
+   [n_buckets] buckets and two histograms always merge pointwise. *)
+
+let n_buckets = 64
+
+type t = {
+  mutable count : int;
+  mutable sum : int;
+  mutable minimum : int;  (* max_int when empty *)
+  mutable maximum : int;  (* min_int when empty *)
+  buckets : int array;
+}
+
+let create () =
+  { count = 0; sum = 0; minimum = max_int; maximum = min_int;
+    buckets = Array.make n_buckets 0 }
+
+let copy h = { h with buckets = Array.copy h.buckets }
+
+let is_empty h = h.count = 0
+
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let bits = ref 0 and x = ref v in
+    while !x <> 0 do
+      incr bits;
+      x := !x lsr 1
+    done;
+    !bits
+  end
+
+let upper_bound_of i =
+  if i = 0 then 0
+  else if i >= n_buckets - 1 then max_int
+  else (1 lsl i) - 1
+
+let observe h v =
+  h.count <- h.count + 1;
+  h.sum <- h.sum + v;
+  if v < h.minimum then h.minimum <- v;
+  if v > h.maximum then h.maximum <- v;
+  let b = bucket_of v in
+  h.buckets.(b) <- h.buckets.(b) + 1
+
+let merge a b =
+  { count = a.count + b.count;
+    sum = a.sum + b.sum;
+    minimum = min a.minimum b.minimum;
+    maximum = max a.maximum b.maximum;
+    buckets = Array.init n_buckets (fun i -> a.buckets.(i) + b.buckets.(i)) }
+
+let equal a b =
+  a.count = b.count && a.sum = b.sum && a.minimum = b.minimum
+  && a.maximum = b.maximum && a.buckets = b.buckets
+
+let mean h = if h.count = 0 then 0. else float_of_int h.sum /. float_of_int h.count
+
+(* Nearest-rank quantile over bucket upper bounds: an upper estimate of
+   the true quantile, tightened by the recorded extremes. *)
+let quantile h q =
+  if h.count = 0 then invalid_arg "Histogram.quantile: empty histogram";
+  if not (q >= 0. && q <= 1.) then
+    invalid_arg "Histogram.quantile: q outside [0, 1]";
+  let rank =
+    max 1 (int_of_float (ceil (q *. float_of_int h.count))) in
+  let rec find i seen =
+    if i >= n_buckets - 1 then h.maximum
+    else begin
+      let seen = seen + h.buckets.(i) in
+      if seen >= rank then min (upper_bound_of i) h.maximum
+      else find (i + 1) seen
+    end in
+  find 0 0

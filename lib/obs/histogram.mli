@@ -1,0 +1,45 @@
+(** Integer histograms with fixed log2-scale buckets.
+
+    Bucket 0 holds values [<= 0]; bucket [i >= 1] holds
+    [\[2^(i-1), 2^i - 1\]]. The bucket layout is the same for every
+    histogram, so {!merge} is pointwise — associative and commutative,
+    which is what makes per-domain recording deterministic: merging N
+    worker histograms in any order equals one histogram fed all
+    observations. *)
+
+type t = {
+  mutable count : int;
+  mutable sum : int;
+  mutable minimum : int;  (** [max_int] when empty *)
+  mutable maximum : int;  (** [min_int] when empty *)
+  buckets : int array;  (** length {!n_buckets} *)
+}
+
+val n_buckets : int
+
+val create : unit -> t
+
+val copy : t -> t
+
+val is_empty : t -> bool
+
+val bucket_of : int -> int
+(** The bucket index a value falls into. *)
+
+val upper_bound_of : int -> int
+(** Largest value of bucket [i] ([max_int] for the last bucket). *)
+
+val observe : t -> int -> unit
+
+val merge : t -> t -> t
+(** Fresh histogram with the pointwise combination of both inputs. *)
+
+val equal : t -> t -> bool
+
+val mean : t -> float
+(** 0 when empty. *)
+
+val quantile : t -> float -> int
+(** [quantile h q] with [q] in [\[0, 1\]]: an upper estimate from the
+    bucket upper bounds, clamped to the recorded maximum.
+    @raise Invalid_argument when empty or [q] is out of range. *)

@@ -1,0 +1,104 @@
+(** Zero-dependency observability: a metrics registry (counters, gauges,
+    log-bucket histograms, integer-indexed series), lightweight nested
+    spans on the monotonic clock, and exporters (s-expression metrics
+    dump, Chrome trace-event JSON).
+
+    {1 Domain safety}
+
+    Every domain records into a private buffer reached through
+    domain-local storage, so workers spawned by
+    {!Mcmap_util.Parallel.map_array} never contend on a lock in the
+    recording fast path. {!snapshot} merges all buffers (including
+    those of already-joined workers) with commutative and associative
+    per-kind merges — counters add, histograms merge pointwise, series
+    concatenate and sort, gauges take the maximum — so the merged
+    metrics are identical whether the work ran on 1 or N domains
+    (provided the recorded multiset of observations is itself
+    deterministic, which pure parallel evaluation guarantees).
+
+    {1 Cost when disabled}
+
+    Recording is globally gated on one atomic flag (off by default);
+    a disabled call is a single load-and-branch, and instrumented hot
+    loops are expected to hoist [enabled ()] into a local so the
+    per-iteration cost is a predictable branch on an immutable bool.
+
+    [enable]/[reset]/[snapshot] must be called from the main domain
+    while no worker domains are running. *)
+
+type metric =
+  | Counter of int
+  | Gauge of float
+  | Histogram of Histogram.t
+  | Series of (int * float) list
+      (** [(x, value)] points sorted by [x] after {!snapshot} *)
+
+type span = {
+  name : string;
+  tid : int;  (** recording domain's id *)
+  depth : int;  (** nesting depth within its domain, outermost = 0 *)
+  ts_ns : int64;  (** start, relative to the {!enable}/{!reset} epoch *)
+  dur_ns : int64;
+}
+
+type snapshot = {
+  metrics : (string * metric) list;  (** sorted by name *)
+  spans : span list;  (** sorted by start time *)
+}
+
+(** {1 Control} *)
+
+val enabled : unit -> bool
+
+val enable : unit -> unit
+(** Start recording (and set the span epoch if recording was off). *)
+
+val disable : unit -> unit
+(** Stop recording; already-recorded data remains until {!reset}. *)
+
+val reset : unit -> unit
+(** Drop all recorded data and restart the span epoch. *)
+
+val now_ns : unit -> int64
+(** The raw monotonic clock (for callers timing their own series). *)
+
+(** {1 Recording} *)
+
+val incr : ?by:int -> string -> unit
+(** Add to a counter (default 1). *)
+
+val gauge : string -> float -> unit
+(** Set a gauge (last write per domain wins; domains merge by max). *)
+
+val observe : string -> int -> unit
+(** Add one observation to a histogram. *)
+
+val series : string -> x:int -> float -> unit
+(** Append an [(x, value)] point to a series. *)
+
+val with_span : string -> (unit -> 'a) -> 'a
+(** Time [f] as a span (recorded when [f] returns or raises). When
+    recording is disabled this is exactly [f ()]. *)
+
+(** {1 Export} *)
+
+val snapshot : unit -> snapshot
+(** Merge every domain's buffer into one consistent view. *)
+
+val metrics_to_sexp : snapshot -> Mcmap_util.Sexp.t
+(** [(metrics (counter (name ...) (value ...)) ...)] — the format
+    [mcmap stats] pretty-prints. *)
+
+val metrics_of_sexp : Mcmap_util.Sexp.t -> (snapshot, string) result
+(** Parse a {!metrics_to_sexp} dump ([spans] comes back empty). *)
+
+val trace_to_json : snapshot -> Mcmap_util.Json.t
+(** Chrome trace-event JSON (complete "X" events, microsecond
+    timestamps) — loadable in chrome://tracing or Perfetto. *)
+
+val write_metrics : ?snapshot:snapshot -> string -> unit
+(** Write the s-expression metrics dump to a file (defaults to a fresh
+    {!snapshot}). *)
+
+val write_trace : ?snapshot:snapshot -> string -> unit
+(** Write the Chrome trace JSON to a file. *)

@@ -1,5 +1,6 @@
 module Arch = Mcmap_model.Arch
 module Proc = Mcmap_model.Proc
+module Obs = Mcmap_obs.Obs
 
 type job_bounds = {
   min_start : int;
@@ -79,11 +80,26 @@ module Bitset = struct
         (fun s ->
           Array.iteri (fun w v -> dst.(w) <- dst.(w) land v) s)
         rest
+
+  let cardinal set =
+    let total = ref 0 in
+    Array.iter
+      (fun word ->
+        let x = ref word in
+        while !x <> 0 do
+          x := !x land (!x - 1);
+          incr total
+        done)
+      set;
+    !total
 end
 
 let analyze ?(max_iterations = 64) ctx ~exec =
   let js = ctx.js in
   let n = Jobset.n_jobs js in
+  (* hoisted so the disabled path costs one branch on an immutable bool *)
+  let rec_on = Obs.enabled () in
+  let restarts = ref 0 and pay_once_hits = ref 0 in
   let bc = Array.make n 0 and wc = Array.make n 0 in
   Array.iter
     (fun (j : Job.t) ->
@@ -159,6 +175,10 @@ let analyze ?(max_iterations = 64) ctx ~exec =
             (fun acc (p, delay) ->
               if wc.(p) = 0 then acc else max acc (min_finish.(p) + delay))
             min_int js.Jobset.preds.(j) in
+        if rec_on
+           && Array.length js.Jobset.preds.(j) > 0
+           && guaranteed_ready < job.Job.release
+        then incr restarts;
         let pred_sets =
           if guaranteed_ready < job.Job.release then []
           else
@@ -186,6 +206,7 @@ let analyze ?(max_iterations = 64) ctx ~exec =
                     interference := !interference + wc.(k);
                     Bitset.add paid k
                   end
+                  else if rec_on then incr pay_once_hits
                 end
                 else if np then blocking := max !blocking wc.(k)
               end
@@ -205,6 +226,16 @@ let analyze ?(max_iterations = 64) ctx ~exec =
       js.Jobset.topo;
     if not !changed then converged := true
   done;
+  if rec_on then begin
+    Obs.incr "bounds.analyses";
+    Obs.observe "bounds.fixpoint_iterations" !iter;
+    Obs.incr ~by:!restarts "bounds.busy_chain_restarts";
+    Obs.incr ~by:!pay_once_hits "bounds.pay_once_hits";
+    if not (!converged && not !overflow) then Obs.incr "bounds.diverged";
+    Array.iter
+      (fun set -> Obs.observe "bounds.interferer_set_size" (Bitset.cardinal set))
+      charged
+  end;
   let bounds =
     Array.init n (fun j ->
         { min_start = min_start.(j); min_finish = min_finish.(j);

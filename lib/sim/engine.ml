@@ -4,6 +4,7 @@ module Arch = Mcmap_model.Arch
 module Proc = Mcmap_model.Proc
 module Happ = Mcmap_hardening.Happ
 module Prng = Mcmap_util.Prng
+module Obs = Mcmap_obs.Obs
 
 type exec_mode = Worst_case | Best_case | Random_durations of int
 
@@ -98,6 +99,11 @@ let run ?(mode = Worst_case) ?(start_critical = false) js
              | Proc.Non_preemptive_fp -> false) }) in
   let now = ref 0 in
   let segments = ref [] in
+  (* local telemetry, flushed once per run; hoisting [enabled] keeps the
+     disabled event loop at one predictable branch per counter *)
+  let rec_on = Obs.enabled () in
+  let faults = ref 0 and preemptions = ref 0 in
+  let voter_mismatches = ref 0 and voter_clean = ref 0 in
   let record p j =
     let ps = procs.(p) in
     if !now > ps.started_at then
@@ -142,6 +148,7 @@ let run ?(mode = Worst_case) ?(start_critical = false) js
                  its Complete event at this timestamp must win the tie *)
          ->
          (* Preempt: bank the remaining work and re-queue the victim. *)
+         if rec_on then incr preemptions;
          record p r;
          remaining.(r) <- ps.completion - !now;
          state.(r) <- Queued;
@@ -174,10 +181,13 @@ let run ?(mode = Worst_case) ?(start_critical = false) js
   let rec job_unblocked s' =
     let job = Jobset.job js s' in
     if job.Job.passive then begin
-      if spare_mismatch s' then
+      if spare_mismatch s' then begin
         (* invocation; the critical transition fires when it starts *)
+        if rec_on then incr voter_mismatches;
         push (max !now ready_time.(s')) (Ready s')
+      end
       else begin
+        if rec_on then incr voter_clean;
         state.(s') <- Skipped;
         release_successors s'
       end
@@ -252,6 +262,7 @@ let run ?(mode = Worst_case) ?(start_critical = false) js
            the mode change, and re-enter the scheduler — the end of an
            attempt is a scheduling point, so a queued higher-priority
            job runs first. *)
+        if rec_on then incr faults;
         trigger_critical !now;
         record p j;
         attempt.(j) <- a + 1;
@@ -343,6 +354,20 @@ let run ?(mode = Worst_case) ?(start_critical = false) js
         | Pending | Queued | Running | Dropped | Skipped -> None) in
   let dropped = Array.init n (fun j -> state.(j) = Dropped) in
   let critical_windows = List.rev !critical_windows in
+  if rec_on then begin
+    Obs.incr "sim.runs";
+    Obs.incr ~by:!faults "sim.injected_faults";
+    Obs.incr ~by:!preemptions "sim.preemptions";
+    Obs.incr ~by:!voter_mismatches "sim.voter.mismatch";
+    Obs.incr ~by:!voter_clean "sim.voter.clean";
+    Obs.incr ~by:(List.length critical_windows) "sim.critical_windows";
+    let dropped_jobs = ref 0 in
+    Array.iter (fun d -> if d then incr dropped_jobs) dropped;
+    Obs.incr ~by:!dropped_jobs "sim.dropped_jobs";
+    Array.iter
+      (fun a -> if a > 0 then Obs.observe "sim.reexec_attempts" a)
+      attempt
+  end;
   { finish; dropped;
     critical_at =
       (match critical_windows with (t, _) :: _ -> Some t | [] -> None);

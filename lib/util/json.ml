@@ -1,0 +1,316 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* Writing *)
+
+let escape_into buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | ch when Char.code ch < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code ch))
+      | ch -> Buffer.add_char buf ch)
+    s;
+  Buffer.add_char buf '"'
+
+let float_repr f =
+  if not (Float.is_finite f) then "null"
+  else begin
+    (* Shortest decimal representation that round-trips. *)
+    let s = Printf.sprintf "%.12g" f in
+    let s = if float_of_string s = f then s else Printf.sprintf "%.17g" f in
+    (* "1e3" is a valid JSON number but "nan"/"inf" were handled above;
+       ensure a leading digit form like ".5" never appears (it cannot
+       with %g) and keep integral floats distinguishable. *)
+    if String.contains s '.' || String.contains s 'e'
+       || String.contains s 'E'
+    then s
+    else s ^ ".0"
+  end
+
+let to_string ?(minify = false) json =
+  let buf = Buffer.create 256 in
+  let newline depth =
+    if not minify then begin
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (String.make (2 * depth) ' ')
+    end in
+  let rec emit depth = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f -> Buffer.add_string buf (float_repr f)
+    | String s -> escape_into buf s
+    | List [] -> Buffer.add_string buf "[]"
+    | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          newline (depth + 1);
+          emit (depth + 1) item)
+        items;
+      newline depth;
+      Buffer.add_char buf ']'
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj members ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (key, value) ->
+          if i > 0 then Buffer.add_char buf ',';
+          newline (depth + 1);
+          escape_into buf key;
+          Buffer.add_string buf (if minify then ":" else ": ");
+          emit (depth + 1) value)
+        members;
+      newline depth;
+      Buffer.add_char buf '}' in
+  emit 0 json;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing *)
+
+type cursor = {
+  input : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let peek c = if c.pos < String.length c.input then Some c.input.[c.pos] else None
+
+let advance c =
+  (match peek c with
+   | Some '\n' ->
+     c.line <- c.line + 1;
+     c.col <- 1
+   | Some _ -> c.col <- c.col + 1
+   | None -> ());
+  c.pos <- c.pos + 1
+
+let error c msg = Error (Format.asprintf "%d:%d: %s" c.line c.col msg)
+
+let rec skip_blank c =
+  match peek c with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    advance c;
+    skip_blank c
+  | Some _ | None -> ()
+
+let expect c ch =
+  match peek c with
+  | Some got when got = ch ->
+    advance c;
+    Ok ()
+  | Some got -> error c (Printf.sprintf "expected %c, found %c" ch got)
+  | None -> error c (Printf.sprintf "expected %c, found end of input" ch)
+
+let hex_digit = function
+  | '0' .. '9' as ch -> Some (Char.code ch - Char.code '0')
+  | 'a' .. 'f' as ch -> Some (Char.code ch - Char.code 'a' + 10)
+  | 'A' .. 'F' as ch -> Some (Char.code ch - Char.code 'A' + 10)
+  | _ -> None
+
+let read_u16 c =
+  let rec loop acc k =
+    if k = 0 then Ok acc
+    else
+      match peek c with
+      | Some ch ->
+        (match hex_digit ch with
+         | Some d ->
+           advance c;
+           loop ((acc * 16) + d) (k - 1)
+         | None -> error c "invalid \\u escape")
+      | None -> error c "unterminated \\u escape" in
+  loop 0 4
+
+let read_string c =
+  match expect c '"' with
+  | Error _ as err -> err
+  | Ok () ->
+    let buf = Buffer.create 16 in
+    let add_uchar u = Buffer.add_utf_8_uchar buf (Uchar.of_int u) in
+    let rec loop () =
+      match peek c with
+      | None -> error c "unterminated string"
+      | Some '"' ->
+        advance c;
+        Ok (Buffer.contents buf)
+      | Some '\\' ->
+        advance c;
+        (match peek c with
+         | None -> error c "unterminated escape"
+         | Some ch ->
+           advance c;
+           (match ch with
+            | '"' | '\\' | '/' -> Buffer.add_char buf ch; loop ()
+            | 'n' -> Buffer.add_char buf '\n'; loop ()
+            | 't' -> Buffer.add_char buf '\t'; loop ()
+            | 'r' -> Buffer.add_char buf '\r'; loop ()
+            | 'b' -> Buffer.add_char buf '\b'; loop ()
+            | 'f' -> Buffer.add_char buf '\012'; loop ()
+            | 'u' ->
+              (match read_u16 c with
+               | Error _ as err -> err
+               | Ok hi when hi >= 0xD800 && hi <= 0xDBFF ->
+                 (* surrogate pair *)
+                 (match expect c '\\' with
+                  | Error _ as err -> err
+                  | Ok () ->
+                    (match expect c 'u' with
+                     | Error _ as err -> err
+                     | Ok () ->
+                       (match read_u16 c with
+                        | Error _ as err -> err
+                        | Ok lo when lo >= 0xDC00 && lo <= 0xDFFF ->
+                          add_uchar
+                            (0x10000
+                             + ((hi - 0xD800) lsl 10)
+                             + (lo - 0xDC00));
+                          loop ()
+                        | Ok _ -> error c "invalid low surrogate")))
+               | Ok u when u >= 0xDC00 && u <= 0xDFFF ->
+                 error c "unpaired low surrogate"
+               | Ok u -> add_uchar u; loop ())
+            | _ -> error c "invalid escape"))
+      | Some ch ->
+        advance c;
+        Buffer.add_char buf ch;
+        loop () in
+    loop ()
+
+let read_number c =
+  let start = c.pos in
+  let fractional = ref false in
+  let rec loop () =
+    match peek c with
+    | Some ('0' .. '9' | '-' | '+') ->
+      advance c;
+      loop ()
+    | Some ('.' | 'e' | 'E') ->
+      fractional := true;
+      advance c;
+      loop ()
+    | Some _ | None -> () in
+  loop ();
+  let s = String.sub c.input start (c.pos - start) in
+  if !fractional then
+    match float_of_string_opt s with
+    | Some f -> Ok (Float f)
+    | None -> error c (Printf.sprintf "invalid number %s" s)
+  else
+    match int_of_string_opt s with
+    | Some i -> Ok (Int i)
+    | None ->
+      (match float_of_string_opt s with
+       | Some f -> Ok (Float f)
+       | None -> error c (Printf.sprintf "invalid number %s" s))
+
+let keyword c word value =
+  let n = String.length word in
+  if c.pos + n <= String.length c.input
+     && String.sub c.input c.pos n = word
+  then begin
+    for _ = 1 to n do advance c done;
+    Ok value
+  end
+  else error c (Printf.sprintf "expected %s" word)
+
+let rec read_value c =
+  skip_blank c;
+  match peek c with
+  | None -> error c "unexpected end of input"
+  | Some 't' -> keyword c "true" (Bool true)
+  | Some 'f' -> keyword c "false" (Bool false)
+  | Some 'n' -> keyword c "null" Null
+  | Some '"' ->
+    (match read_string c with
+     | Ok s -> Ok (String s)
+     | Error _ as err -> (err :> (t, string) result))
+  | Some '[' ->
+    advance c;
+    skip_blank c;
+    (match peek c with
+     | Some ']' ->
+       advance c;
+       Ok (List [])
+     | _ ->
+       let rec items acc =
+         match read_value c with
+         | Error _ as err -> err
+         | Ok v ->
+           skip_blank c;
+           (match peek c with
+            | Some ',' ->
+              advance c;
+              items (v :: acc)
+            | Some ']' ->
+              advance c;
+              Ok (List (List.rev (v :: acc)))
+            | _ -> error c "expected , or ]") in
+       (match items [] with
+        | Ok _ as ok -> ok
+        | Error _ as err -> err))
+  | Some '{' ->
+    advance c;
+    skip_blank c;
+    (match peek c with
+     | Some '}' ->
+       advance c;
+       Ok (Obj [])
+     | _ ->
+       let rec members acc =
+         skip_blank c;
+         match read_string c with
+         | Error _ as err -> (err :> (t, string) result)
+         | Ok key ->
+           skip_blank c;
+           (match expect c ':' with
+            | Error _ as err -> (err :> (t, string) result)
+            | Ok () ->
+              (match read_value c with
+               | Error _ as err -> err
+               | Ok v ->
+                 skip_blank c;
+                 (match peek c with
+                  | Some ',' ->
+                    advance c;
+                    members ((key, v) :: acc)
+                  | Some '}' ->
+                    advance c;
+                    Ok (Obj (List.rev ((key, v) :: acc)))
+                  | _ -> error c "expected , or }"))) in
+       members [])
+  | Some ('-' | '0' .. '9') -> read_number c
+  | Some ch -> error c (Printf.sprintf "unexpected character %c" ch)
+
+let parse input =
+  let c = { input; pos = 0; line = 1; col = 1 } in
+  match read_value c with
+  | Error _ as err -> err
+  | Ok v ->
+    skip_blank c;
+    (match peek c with
+     | None -> Ok v
+     | Some _ -> error c "trailing garbage after JSON value")
+
+let member key = function
+  | Obj members -> List.assoc_opt key members
+  | Null | Bool _ | Int _ | Float _ | String _ | List _ -> None

@@ -1,0 +1,33 @@
+(** A minimal JSON reader/writer — the substrate of the Chrome
+    trace-event export and the machine-readable benchmark output.
+
+    Writer notes: object member order is preserved; floats are printed
+    with enough digits to round-trip ([%.17g] when needed); non-finite
+    floats are emitted as [null] (JSON has no representation for them).
+
+    Reader notes: a practical subset of RFC 8259 — numbers without an
+    exponent or fraction part parse as [Int], everything else as
+    [Float]; [\uXXXX] escapes decode to UTF-8 (surrogate pairs are
+    accepted). Trailing garbage after the top-level value is an
+    error. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?minify:bool -> t -> string
+(** Serialise. With [minify:false] (the default) objects and lists
+    break across lines with two-space indentation. *)
+
+val parse : string -> (t, string) result
+(** Parse exactly one JSON value. Errors carry a line/column
+    position. *)
+
+val member : string -> t -> t option
+(** [member key json] is the value of [key] when [json] is an [Obj]
+    containing it. *)

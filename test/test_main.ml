@@ -1,6 +1,7 @@
 let () =
   Alcotest.run "mcmap"
     [ ("util", Test_util.suite);
+      ("obs", Test_obs.suite);
       ("model", Test_model.suite);
       ("hardening", Test_hardening.suite);
       ("reliability", Test_reliability.suite);

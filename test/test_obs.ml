@@ -1,0 +1,336 @@
+(* Tests for the observability layer (lib/obs): histogram bucket
+   layout, merge algebra, span nesting, determinism of per-domain
+   recording under Parallel.map_array, and the two export formats. *)
+
+module Histogram = Mcmap_obs.Histogram
+module Obs = Mcmap_obs.Obs
+module Parallel = Mcmap_util.Parallel
+module Sexp = Mcmap_util.Sexp
+module Json = Mcmap_util.Json
+module B = Mcmap_benchmarks
+module D = Mcmap_dse
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* The recorder is global state: every test that touches it must leave
+   it disabled and empty for the next one. *)
+let with_recorder f =
+  Obs.enable ();
+  Obs.reset ();
+  Fun.protect f ~finally:(fun () ->
+      Obs.disable ();
+      Obs.reset ())
+
+(* ------------------------------------------------------------------ *)
+(* Histogram buckets *)
+
+let test_bucket_boundaries () =
+  (* bucket 0: v <= 0; bucket i >= 1: [2^(i-1), 2^i - 1]. *)
+  List.iter
+    (fun (v, b) ->
+      check Alcotest.int (Printf.sprintf "bucket_of %d" v) b
+        (Histogram.bucket_of v))
+    [ (min_int, 0); (-1, 0); (0, 0); (1, 1); (2, 2); (3, 2); (4, 3);
+      (7, 3); (8, 4); (1023, 10); (1024, 11);
+      (* OCaml ints are 63-bit: max_int = 2^62 - 1 *)
+      (max_int, 62) ];
+  (* upper_bound_of is the largest value still in its bucket (buckets
+     past the 62-bit top saturate at max_int and stay unreachable) *)
+  for i = 0 to Histogram.bucket_of max_int do
+    let ub = Histogram.upper_bound_of i in
+    check Alcotest.int "upper bound lands in its bucket" i
+      (Histogram.bucket_of ub);
+    if ub < max_int then
+      check Alcotest.int "successor overflows to the next bucket" (i + 1)
+        (Histogram.bucket_of (ub + 1))
+  done
+
+let test_histogram_stats () =
+  let h = Histogram.create () in
+  check Alcotest.bool "fresh is empty" true (Histogram.is_empty h);
+  List.iter (Histogram.observe h) [ 4; 1; 9; 4 ];
+  check Alcotest.int "count" 4 h.Histogram.count;
+  check Alcotest.int "sum" 18 h.Histogram.sum;
+  check Alcotest.int "min" 1 h.Histogram.minimum;
+  check Alcotest.int "max" 9 h.Histogram.maximum;
+  check (Alcotest.float 1e-9) "mean" 4.5 (Histogram.mean h);
+  (* Quantiles are upper estimates from bucket bounds, clamped to the
+     recorded maximum, and monotone in q. *)
+  let q0 = Histogram.quantile h 0. and q1 = Histogram.quantile h 1. in
+  check Alcotest.bool "q0 <= q1" true (q0 <= q1);
+  check Alcotest.int "q1 clamps to max" 9 q1;
+  check Alcotest.bool "quantile on empty raises" true
+    (match Histogram.quantile (Histogram.create ()) 0.5 with
+     | _ -> false
+     | exception Invalid_argument _ -> true)
+
+let hist_of_list l =
+  let h = Histogram.create () in
+  List.iter (Histogram.observe h) l;
+  h
+
+let small_obs = QCheck.(list_of_size (Gen.int_range 0 40) small_signed_int)
+
+let prop_merge_commutative =
+  QCheck.Test.make ~name:"Histogram.merge commutes" ~count:200
+    QCheck.(pair small_obs small_obs)
+    (fun (a, b) ->
+      let ha = hist_of_list a and hb = hist_of_list b in
+      Histogram.equal (Histogram.merge ha hb) (Histogram.merge hb ha))
+
+let prop_merge_associative =
+  QCheck.Test.make ~name:"Histogram.merge associates" ~count:200
+    QCheck.(triple small_obs small_obs small_obs)
+    (fun (a, b, c) ->
+      let ha = hist_of_list a
+      and hb = hist_of_list b
+      and hc = hist_of_list c in
+      Histogram.equal
+        (Histogram.merge (Histogram.merge ha hb) hc)
+        (Histogram.merge ha (Histogram.merge hb hc)))
+
+let prop_merge_is_concat =
+  QCheck.Test.make ~name:"Histogram.merge = observe concatenation"
+    ~count:200
+    QCheck.(pair small_obs small_obs)
+    (fun (a, b) ->
+      Histogram.equal
+        (Histogram.merge (hist_of_list a) (hist_of_list b))
+        (hist_of_list (a @ b)))
+
+(* ------------------------------------------------------------------ *)
+(* Recorder basics *)
+
+let test_disabled_is_noop () =
+  Obs.reset ();
+  check Alcotest.bool "disabled by default" false (Obs.enabled ());
+  Obs.incr "c";
+  Obs.observe "h" 3;
+  Obs.series "s" ~x:0 1.;
+  let r = Obs.with_span "span" (fun () -> 41 + 1) in
+  check Alcotest.int "with_span passes the result through" 42 r;
+  let snap = Obs.snapshot () in
+  check Alcotest.int "no metrics recorded" 0 (List.length snap.Obs.metrics);
+  check Alcotest.int "no spans recorded" 0 (List.length snap.Obs.spans)
+
+let test_counter_gauge_series () =
+  with_recorder @@ fun () ->
+  Obs.incr "c";
+  Obs.incr ~by:4 "c";
+  Obs.gauge "g" 2.5;
+  Obs.gauge "g" 1.5;
+  Obs.series "s" ~x:2 20.;
+  Obs.series "s" ~x:1 10.;
+  let snap = Obs.snapshot () in
+  let metric name = List.assoc name snap.Obs.metrics in
+  (match metric "c" with
+   | Obs.Counter n -> check Alcotest.int "counter adds" 5 n
+   | _ -> Alcotest.fail "c is not a counter");
+  (match metric "g" with
+   | Obs.Gauge v ->
+     check (Alcotest.float 0.) "gauge keeps last write" 1.5 v
+   | _ -> Alcotest.fail "g is not a gauge");
+  match metric "s" with
+  | Obs.Series pts ->
+    check
+      Alcotest.(list (pair int (float 0.)))
+      "series sorted by x" [ (1, 10.); (2, 20.) ] pts
+  | _ -> Alcotest.fail "s is not a series"
+
+(* ------------------------------------------------------------------ *)
+(* Span nesting *)
+
+let test_span_nesting () =
+  with_recorder @@ fun () ->
+  Obs.with_span "outer" (fun () ->
+      Obs.with_span "inner" (fun () -> ignore (Sys.opaque_identity 0));
+      Obs.with_span "inner2" (fun () -> ignore (Sys.opaque_identity 0)));
+  (try Obs.with_span "raising" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  let snap = Obs.snapshot () in
+  let span name =
+    List.find (fun s -> s.Obs.name = name) snap.Obs.spans in
+  let outer = span "outer"
+  and inner = span "inner"
+  and inner2 = span "inner2"
+  and raising = span "raising" in
+  check Alcotest.int "outer depth" 0 outer.Obs.depth;
+  check Alcotest.int "inner depth" 1 inner.Obs.depth;
+  check Alcotest.int "inner2 depth" 1 inner2.Obs.depth;
+  check Alcotest.int "span recorded on raise" 0 raising.Obs.depth;
+  let ends s = Int64.add s.Obs.ts_ns s.Obs.dur_ns in
+  let contained inner outer =
+    outer.Obs.ts_ns <= inner.Obs.ts_ns && ends inner <= ends outer in
+  check Alcotest.bool "inner contained in outer" true
+    (contained inner outer);
+  check Alcotest.bool "inner2 contained in outer" true
+    (contained inner2 outer);
+  check Alcotest.bool "siblings do not overlap" true
+    (ends inner <= inner2.Obs.ts_ns || ends inner2 <= inner.Obs.ts_ns);
+  (* snapshot sorts spans by start time *)
+  let sorted = List.for_all2
+      (fun a b -> a.Obs.ts_ns <= b.Obs.ts_ns)
+      (List.filteri (fun i _ -> i < List.length snap.Obs.spans - 1)
+         snap.Obs.spans)
+      (List.tl snap.Obs.spans) in
+  check Alcotest.bool "spans sorted by start" true sorted
+
+(* ------------------------------------------------------------------ *)
+(* Determinism under Parallel.map_array *)
+
+(* The per-element recording must merge to the same metrics whatever
+   the domain count; only pure data (no wall-clock series) counts. *)
+let record_element i =
+  Obs.incr "par.count";
+  Obs.incr ~by:i "par.weighted";
+  Obs.observe "par.hist" (i * i mod 97);
+  Obs.series "par.series" ~x:i (float_of_int (i * 3));
+  (* gauges are last-write-per-domain merged by max, so only a value
+     monotone in [i] is domain-count independent *)
+  Obs.gauge "par.gauge" (float_of_int i);
+  i
+
+let metrics_fingerprint () =
+  Sexp.to_string (Obs.metrics_to_sexp (Obs.snapshot ()))
+
+let test_parallel_determinism () =
+  with_recorder @@ fun () ->
+  let input = Array.init 64 Fun.id in
+  ignore (Parallel.map_array ~domains:1 record_element input);
+  let solo = metrics_fingerprint () in
+  Obs.reset ();
+  ignore (Parallel.map_array ~domains:4 record_element input);
+  let quad = metrics_fingerprint () in
+  check Alcotest.string "1-domain metrics = 4-domain metrics" solo quad
+
+(* ------------------------------------------------------------------ *)
+(* Export round trips *)
+
+let recorded_snapshot () =
+  with_recorder @@ fun () ->
+  Obs.incr ~by:7 "rt.counter";
+  Obs.gauge "rt.gauge" 3.25;
+  List.iter (Obs.observe "rt.hist") [ 1; 5; 5; 900 ];
+  Obs.series "rt.series" ~x:0 1.5;
+  Obs.series "rt.series" ~x:1 2.5;
+  Obs.with_span "rt.span" (fun () ->
+      Obs.with_span "rt.child" (fun () -> ()));
+  Obs.snapshot ()
+
+let test_metrics_sexp_roundtrip () =
+  let snap = recorded_snapshot () in
+  let dump = Sexp.to_string (Obs.metrics_to_sexp snap) in
+  match Sexp.parse_one dump with
+  | Error e -> Alcotest.fail ("dump does not re-parse: " ^ e)
+  | Ok sexp ->
+    (match Obs.metrics_of_sexp sexp with
+     | Error e -> Alcotest.fail ("metrics_of_sexp: " ^ e)
+     | Ok back ->
+       check Alcotest.int "span-free" 0 (List.length back.Obs.spans);
+       check
+         Alcotest.(list string)
+         "same metric names"
+         (List.map fst snap.Obs.metrics)
+         (List.map fst back.Obs.metrics);
+       (* the round-tripped dump prints identically *)
+       check Alcotest.string "fixpoint of the dump" dump
+         (Sexp.to_string (Obs.metrics_to_sexp back)))
+
+let test_trace_json_roundtrip () =
+  let snap = recorded_snapshot () in
+  let text = Json.to_string (Obs.trace_to_json snap) in
+  match Json.parse text with
+  | Error e -> Alcotest.fail ("trace does not re-parse: " ^ e)
+  | Ok json ->
+    let events =
+      match Json.member "traceEvents" json with
+      | Some (Json.List evs) -> evs
+      | _ -> Alcotest.fail "no traceEvents list" in
+    check Alcotest.int "one event per span"
+      (List.length snap.Obs.spans)
+      (List.length events);
+    List.iter
+      (fun ev ->
+        (match Json.member "ph" ev with
+         | Some (Json.String "X") -> ()
+         | _ -> Alcotest.fail "event is not a complete event");
+        List.iter
+          (fun key ->
+            if Json.member key ev = None then
+              Alcotest.fail (Printf.sprintf "event lacks %S" key))
+          [ "name"; "cat"; "pid"; "tid"; "ts"; "dur" ])
+      events;
+    let names =
+      List.filter_map
+        (fun ev ->
+          match Json.member "name" ev with
+          | Some (Json.String s) -> Some s
+          | _ -> None)
+        events in
+    check Alcotest.bool "span names survive" true
+      (List.mem "rt.span" names && List.mem "rt.child" names)
+
+(* ------------------------------------------------------------------ *)
+(* End to end: a tiny DSE run populates the advertised metrics *)
+
+let test_explore_records_metrics () =
+  with_recorder @@ fun () ->
+  let bench = B.Cruise.benchmark () in
+  let config =
+    { D.Ga.default_config with
+      D.Ga.population = 4; offspring = 4; generations = 2;
+      check_rescue = false } in
+  (* the callback fires after each environmental selection, i.e. for
+     generations 1..N (generation 0 only seeds the metrics series) *)
+  let generations = ref 0 in
+  ignore
+    (D.Explore.run ~config
+       ~on_generation:(fun (p : D.Explore.progress) ->
+         incr generations;
+         check Alcotest.int "generations arrive in order" !generations
+           p.D.Explore.generation)
+       bench.B.Benchmark.arch bench.B.Benchmark.apps);
+  check Alcotest.int "one callback per generation" 2 !generations;
+  let snap = Obs.snapshot () in
+  let metric name =
+    match List.assoc_opt name snap.Obs.metrics with
+    | Some m -> m
+    | None -> Alcotest.fail (Printf.sprintf "metric %S missing" name) in
+  (match metric "dse.hypervolume" with
+   | Obs.Series pts ->
+     (* generation 0 plus one point per environmental selection *)
+     check Alcotest.int "hypervolume points" 3 (List.length pts)
+   | _ -> Alcotest.fail "dse.hypervolume is not a series");
+  (match metric "bounds.fixpoint_iterations" with
+   | Obs.Histogram h ->
+     check Alcotest.bool "fixpoint iterations observed" true
+       (h.Histogram.count > 0)
+   | _ -> Alcotest.fail "bounds.fixpoint_iterations is not a histogram");
+  match metric "wcrt.analyses" with
+  | Obs.Counter n ->
+    check Alcotest.bool "wcrt analyses counted" true (n > 0)
+  | _ -> Alcotest.fail "wcrt.analyses is not a counter"
+
+let suite =
+  [ Alcotest.test_case "histogram bucket boundaries" `Quick
+      test_bucket_boundaries;
+    Alcotest.test_case "histogram summary statistics" `Quick
+      test_histogram_stats;
+    qtest prop_merge_commutative;
+    qtest prop_merge_associative;
+    qtest prop_merge_is_concat;
+    Alcotest.test_case "disabled recorder is a no-op" `Quick
+      test_disabled_is_noop;
+    Alcotest.test_case "counters, gauges and series" `Quick
+      test_counter_gauge_series;
+    Alcotest.test_case "span nesting is well-formed" `Quick
+      test_span_nesting;
+    Alcotest.test_case "metrics deterministic across domain counts"
+      `Quick test_parallel_determinism;
+    Alcotest.test_case "metrics sexp round trip" `Quick
+      test_metrics_sexp_roundtrip;
+    Alcotest.test_case "chrome trace json round trip" `Quick
+      test_trace_json_roundtrip;
+    Alcotest.test_case "explore records advertised metrics" `Slow
+      test_explore_records_metrics ]

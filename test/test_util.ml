@@ -7,6 +7,7 @@ module Stats = Mcmap_util.Stats
 module Pareto = Mcmap_util.Pareto
 module Texttable = Mcmap_util.Texttable
 module Heap = Mcmap_util.Heap
+module Json = Mcmap_util.Json
 
 module Int_heap = Heap.Make (Int)
 
@@ -496,6 +497,72 @@ let test_texttable () =
     (Invalid_argument "Texttable.add_row: more cells than columns")
     (fun () -> Texttable.add_row t [ "1"; "2"; "3" ])
 
+(* ------------------------------------------------------------------ *)
+(* Json *)
+
+let test_json_parse_basics () =
+  let ok s = Result.get_ok (Json.parse s) in
+  check Alcotest.bool "null" true (ok "null" = Json.Null);
+  check Alcotest.bool "true" true (ok "true" = Json.Bool true);
+  check Alcotest.bool "int" true (ok "-42" = Json.Int (-42));
+  check Alcotest.bool "float" true (ok "2.5e2" = Json.Float 250.);
+  check Alcotest.bool "string escapes" true
+    (ok {|"a\n\"b\"é"|} = Json.String "a\n\"b\"\xc3\xa9");
+  check Alcotest.bool "surrogate pair" true
+    (ok {|"😀"|} = Json.String "\xf0\x9f\x98\x80");
+  check Alcotest.bool "nested" true
+    (ok {|{"a": [1, {"b": null}], "c": ""}|}
+     = Json.Obj
+         [ ("a", Json.List [ Json.Int 1; Json.Obj [ ("b", Json.Null) ] ]);
+           ("c", Json.String "") ])
+
+let test_json_parse_errors () =
+  List.iter
+    (fun s ->
+      check Alcotest.bool (Printf.sprintf "%S rejected" s) true
+        (Result.is_error (Json.parse s)))
+    [ ""; "tru"; "[1,]"; "{\"a\":}"; "\"unterminated"; "1 2"; "{'a':1}";
+      "nan"; "[1" ]
+
+let test_json_member () =
+  let j = Result.get_ok (Json.parse {|{"a": 1, "b": [2]}|}) in
+  check Alcotest.bool "present" true (Json.member "a" j = Some (Json.Int 1));
+  check Alcotest.bool "absent" true (Json.member "z" j = None);
+  check Alcotest.bool "non-object" true (Json.member "a" Json.Null = None)
+
+let json_gen =
+  let open QCheck.Gen in
+  sized @@ fix (fun self n ->
+      let leaf =
+        oneof
+          [ return Json.Null;
+            map (fun b -> Json.Bool b) bool;
+            map (fun i -> Json.Int i) small_signed_int;
+            map (fun f -> Json.Float f) (float_bound_inclusive 1e6);
+            map (fun s -> Json.String s) string_printable ] in
+      if n <= 0 then leaf
+      else
+        oneof
+          [ leaf;
+            map (fun l -> Json.List l)
+              (list_size (int_bound 4) (self (n / 2)));
+            map (fun kvs -> Json.Obj kvs)
+              (list_size (int_bound 4)
+                 (pair string_printable (self (n / 2)))) ])
+
+let prop_json_roundtrip =
+  QCheck.Test.make ~name:"Json.parse inverts Json.to_string" ~count:300
+    (QCheck.make json_gen)
+    (fun j ->
+      match Json.parse (Json.to_string j) with
+      | Ok j' -> j = j'
+      | Error _ -> false)
+
+let prop_json_minified_roundtrip =
+  QCheck.Test.make ~name:"minified output parses identically" ~count:300
+    (QCheck.make json_gen)
+    (fun j -> Json.parse (Json.to_string ~minify:true j) = Ok j)
+
 let suite =
   [ Alcotest.test_case "prng: deterministic" `Quick test_prng_deterministic;
     Alcotest.test_case "prng: seed sensitivity" `Quick
@@ -550,4 +617,9 @@ let suite =
       test_parallel_matches_sequential;
     Alcotest.test_case "parallel: edge cases" `Quick
       test_parallel_edge_cases;
-    Alcotest.test_case "texttable: render" `Quick test_texttable ]
+    Alcotest.test_case "texttable: render" `Quick test_texttable;
+    Alcotest.test_case "json: parse basics" `Quick test_json_parse_basics;
+    Alcotest.test_case "json: parse errors" `Quick test_json_parse_errors;
+    Alcotest.test_case "json: member" `Quick test_json_member;
+    qtest prop_json_roundtrip;
+    qtest prop_json_minified_roundtrip ]
