@@ -20,6 +20,7 @@ module A = Mcmap_analysis
 module Sim = Mcmap_sim
 module D = Mcmap_dse
 module E = Mcmap_experiments
+module C = Mcmap_campaign
 module Obs = Mcmap_obs.Obs
 module Histogram = Mcmap_obs.Histogram
 module Json = Mcmap_util.Json
@@ -121,6 +122,20 @@ let cruise_ctx =
 
 let dt_med = lazy (B.Registry.find_exn "dt-med")
 
+(* Campaign kernel: one 512-trial shard of a cruise fault-injection
+   campaign (the unit of work the campaign engine schedules across
+   domains). BENCH.json's ns/run for this kernel gives trials/sec. *)
+let campaign_shard =
+  lazy
+    (let bench = B.Cruise.benchmark () in
+     let plan = List.hd (B.Cruise.sample_plans bench) in
+     let config = { C.Shard.default_config with trials = 512;
+                    shard_trials = 512 } in
+     let cplan =
+       C.Shard.plan config bench.B.Benchmark.arch bench.B.Benchmark.apps
+         plan in
+     (cplan, cplan.C.Shard.shards.(0)))
+
 let micro_ga =
   { D.Ga.default_config with
     D.Ga.population = 8; offspring = 8; generations = 2;
@@ -162,7 +177,12 @@ let tests =
            ignore (Mcmap_sched.Static_schedule.worst_case js)));
     (* E5 kernel: the Figure 1 scenario *)
     Test.make ~name:"fig1/motivational"
-      (Staged.stage (fun () -> ignore (E.Fig1.run ()))) ]
+      (Staged.stage (fun () -> ignore (E.Fig1.run ())));
+    (* Campaign kernel: one 512-trial importance-sampling shard *)
+    Test.make ~name:"campaign/shard(512 trials)"
+      (Staged.stage (fun () ->
+           let cplan, shard = Lazy.force campaign_shard in
+           ignore (C.Shard.execute cplan shard))) ]
 
 (* Runs every kernel, prints the text report and returns the estimates
    as [(name, ns_per_run option)] for the JSON summary. *)

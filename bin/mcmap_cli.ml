@@ -1,5 +1,5 @@
 (* mcmap command-line interface: analyze | simulate | explore |
-   experiments | check | stats | list. *)
+   experiments | campaign | check | stats | list. *)
 
 module B = Mcmap_benchmarks
 module H = Mcmap_hardening
@@ -74,8 +74,10 @@ let offspring_arg =
 let generations_arg =
   Arg.(value & opt int 40 & info [ "generations" ] ~doc:"GA generations.")
 
-let profiles_arg =
-  Arg.(value & opt int 1000
+(* simulate is a quick look (1,000 profiles); the experiment
+   reproduction defaults to the paper's 10,000. *)
+let profiles_arg ~default =
+  Arg.(value & opt int default
        & info [ "profiles" ]
            ~doc:"Monte-Carlo failure profiles (the paper uses 10000).")
 
@@ -197,7 +199,7 @@ let simulate_cmd =
     (Cmd.info "simulate"
        ~doc:"Adhoc trace and Monte-Carlo simulation of a mapping")
     Term.(const simulate_run $ bench_arg $ system_arg $ plan_arg $ seed_arg
-          $ profiles_arg
+          $ profiles_arg ~default:1000
           $ Arg.(value & flag
                  & info [ "distribution" ]
                      ~doc:"Also estimate the response-time distribution \
@@ -361,7 +363,8 @@ let experiments_cmd =
   Cmd.v
     (Cmd.info "experiments"
        ~doc:"Regenerate the paper's tables and figures")
-    Term.(const experiments_run $ only_arg $ profiles_arg $ population_arg
+    Term.(const experiments_run $ only_arg $ profiles_arg ~default:10_000
+          $ population_arg
           $ offspring_arg $ generations_arg $ seed_arg $ trace_arg
           $ metrics_arg)
 
@@ -422,6 +425,148 @@ let check_cmd =
                  & info [ "corpus" ]
                      ~doc:"Append failing seeds to this regression corpus \
                            file (see test/corpus/seeds.txt).")
+          $ trace_arg $ metrics_arg)
+
+(* ------------------------------------------------------------------ *)
+(* campaign: fault-injection reliability estimation *)
+
+let campaign_action =
+  let actions =
+    [ ("plan", `Plan); ("run", `Run); ("report", `Report) ] in
+  Arg.(value & pos 0 (enum actions) `Run
+       & info [] ~docv:"ACTION"
+           ~doc:
+             "$(b,plan) prints the shard plan without running anything; \
+              $(b,run) (the default) executes the campaign; $(b,report) \
+              aggregates an existing --checkpoint without executing.")
+
+let campaign_print_plan (p : Mcmap_campaign.Shard.plan) =
+  Array.iteri
+    (fun gi (g : Mcmap_campaign.Events.graph) ->
+      Format.printf "graph %d (%s): closed form %.3e@." gi
+        g.Mcmap_campaign.Events.name g.Mcmap_campaign.Events.closed_form;
+      let t =
+        Texttable.create ~header:[ "stratum"; "pi"; "shards"; "trials" ]
+      in
+      let pi = Mcmap_campaign.Estimator.strata p.Mcmap_campaign.Shard.estimators.(gi) in
+      Array.iteri
+        (fun s prob ->
+          if s >= 1 && prob > 0. then begin
+            let shards, trials =
+              Array.fold_left
+                (fun (n, tr) (sh : Mcmap_campaign.Shard.shard) ->
+                  if sh.Mcmap_campaign.Shard.graph = gi
+                     && sh.Mcmap_campaign.Shard.stratum = s then
+                    (n + 1, tr + sh.Mcmap_campaign.Shard.trials)
+                  else (n, tr))
+                (0, 0) p.Mcmap_campaign.Shard.shards in
+            Texttable.add_row t
+              [ string_of_int s; Printf.sprintf "%.3e" prob;
+                string_of_int shards; string_of_int trials ]
+          end)
+        pi;
+      Texttable.print t)
+    p.Mcmap_campaign.Shard.graphs;
+  Format.printf "%d shards total, %d strata below the probability floor@."
+    (Array.length p.Mcmap_campaign.Shard.shards)
+    (List.length p.Mcmap_campaign.Shard.skipped)
+
+let campaign_emit report_file (outcome : Mcmap_campaign.Campaign.outcome) =
+  print_string (Mcmap_campaign.Aggregate.render outcome.Mcmap_campaign.Campaign.report);
+  if outcome.Mcmap_campaign.Campaign.replayed > 0 then
+    Format.printf "%d shards replayed from the checkpoint, %d executed@."
+      outcome.Mcmap_campaign.Campaign.replayed
+      outcome.Mcmap_campaign.Campaign.executed;
+  Option.iter
+    (fun path ->
+      Mcmap_campaign.Aggregate.write ~path
+        outcome.Mcmap_campaign.Campaign.report;
+      Printf.printf "campaign report written to %s\n%!" path)
+    report_file;
+  0
+
+let campaign_run_cmd bench_name system_file plan_file seed action trials
+    shard_trials inflate inflate_mean domains checkpoint resume
+    report_file z trace metrics =
+  with_obs trace metrics @@ fun () ->
+  match resolve_problem bench_name system_file plan_file seed with
+  | Error e -> prerr_endline e; 1
+  | Ok (arch, apps, plan) ->
+    let module C = Mcmap_campaign in
+    let config =
+      { C.Shard.default_config with
+        C.Shard.trials; shard_trials; seed; inflate; inflate_mean; z } in
+    (match action with
+     | `Plan ->
+       campaign_print_plan (C.Campaign.plan config arch apps plan);
+       0
+     | `Report ->
+       (match checkpoint with
+        | None ->
+          prerr_endline "campaign report needs --checkpoint";
+          1
+        | Some ckpt ->
+          (match
+             C.Campaign.report_from_checkpoint ~checkpoint:ckpt config
+               arch apps plan
+           with
+           | Error e -> prerr_endline e; 1
+           | Ok outcome -> campaign_emit report_file outcome))
+     | `Run ->
+       (match
+          C.Campaign.run ~domains ?checkpoint ~resume config arch apps
+            plan
+        with
+        | Error e -> prerr_endline e; 1
+        | Ok outcome -> campaign_emit report_file outcome))
+
+let campaign_cmd =
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:
+         "Estimate per-graph failure probabilities by stratified \
+          importance-sampling fault injection, sharded over domains and \
+          resumable from an append-only checkpoint; cross-validates the \
+          closed-form reliability model at rare-event rates")
+    Term.(const campaign_run_cmd $ bench_arg $ system_arg $ plan_arg
+          $ seed_arg $ campaign_action
+          $ Arg.(value & opt int 200_000
+                 & info [ "trials" ]
+                     ~doc:"Trial budget per graph, split across strata.")
+          $ Arg.(value & opt int 4096
+                 & info [ "shard-trials" ]
+                     ~doc:"Trials per shard (the unit of parallelism, \
+                           checkpointing and resume).")
+          $ Arg.(value & opt float 0.2
+                 & info [ "inflate" ]
+                     ~doc:"Proposal floor for per-event fault \
+                           probabilities (importance sampling).")
+          $ Arg.(value & opt float 0.5
+                 & info [ "inflate-mean" ]
+                     ~doc:"Proposal floor for Poisson fault-count means \
+                           (checkpointed tasks).")
+          $ Arg.(value
+                 & opt int (Mcmap_util.Parallel.recommended_domains ())
+                 & info [ "domains" ]
+                     ~doc:"Worker domains executing shards in parallel.")
+          $ Arg.(value & opt (some string) None
+                 & info [ "checkpoint" ] ~docv:"FILE"
+                     ~doc:"Append completed shards to $(docv) after every \
+                           batch; with --resume, restore them instead of \
+                           re-running.")
+          $ Arg.(value & flag
+                 & info [ "resume" ]
+                     ~doc:"Resume from --checkpoint: completed shards are \
+                           replayed bit-for-bit, only the rest execute.")
+          $ Arg.(value & opt (some string) None
+                 & info [ "report" ] ~docv:"FILE"
+                     ~doc:"Write the machine-readable campaign report \
+                           (s-expressions, hexadecimal floats, no wall \
+                           times) to $(docv).")
+          $ Arg.(value & opt float 1.96
+                 & info [ "z" ]
+                     ~doc:"Normal quantile of the per-stratum confidence \
+                           interval.")
           $ trace_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
@@ -514,6 +659,6 @@ let main_cmd =
      MPSoCs (Kang et al., DAC 2014)" in
   Cmd.group (Cmd.info "mcmap" ~version:"1.0.0" ~doc)
     [ list_cmd; analyze_cmd; simulate_cmd; gantt_cmd; explore_cmd;
-      experiments_cmd; check_cmd; stats_cmd ]
+      experiments_cmd; campaign_cmd; check_cmd; stats_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

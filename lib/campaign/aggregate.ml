@@ -1,0 +1,264 @@
+module Stats = Mcmap_util.Stats
+module Texttable = Mcmap_util.Texttable
+
+(* Few enough failures that the normal interval on the weighted samples
+   cannot be trusted; fall back to Clopper-Pearson times the weight
+   supremum. *)
+let normal_min_failures = 10
+
+(* The statistical interval can collapse to a point: an unhardened task
+   fails on every affected trial with weight exactly 1, so its stratum
+   has zero sample variance and the estimate degenerates to the exact
+   stratum probability. The campaign's Poisson-binomial DP and the
+   closed form's log-space product then disagree only in the last few
+   ulps — real disagreement, but numerical, not statistical. The graph
+   interval is widened by this relative margin to absorb it. *)
+let fp_margin = 1e-9
+
+type stratum_report = {
+  stratum : int;
+  pi : float;
+  trials : int;
+  failures : int;
+  mean : float;
+  contribution : float;
+  lo : float;
+  hi : float;
+}
+
+type verdict = [ `Met | `Violated | `Inconclusive | `Unconstrained ]
+
+type graph_report = {
+  graph : int;
+  name : string;
+  period : int;
+  trials : int;
+  failures : int;
+  estimate : float;
+  lo : float;
+  hi : float;
+  closed_form : float;
+  closed_in_ci : bool;
+  bound : float option;
+  rate : float;
+  verdict : verdict;
+  strata : stratum_report list;
+}
+
+type report = {
+  graphs : graph_report list;
+  total_trials : int;
+  total_failures : int;
+  complete : bool;
+}
+
+let stratum_bounds config ~pi ~sup ~trials ~failures ~weighted =
+  if trials = 0 then (0., pi)
+  else if failures >= normal_min_failures then begin
+    let lo, hi = Stats.weighted_interval ~z:config.Shard.z weighted in
+    (pi *. lo, Float.min pi (pi *. hi))
+  end
+  else begin
+    (* Weights are bounded by [sup] in this stratum, so the stratum's
+       contribution is at most [pi * sup * P(fail | proposal)]; bound
+       the proposal failure rate exactly. *)
+    let _, p_hi =
+      Stats.clopper_pearson ~alpha:config.Shard.cp_alpha
+        ~successes:failures ~trials () in
+    (0., Float.min pi (pi *. sup *. p_hi))
+  end
+
+let build (plan : Shard.plan) results =
+  let config = plan.Shard.config in
+  let by_shard = Hashtbl.create 64 in
+  List.iter
+    (fun (r : Shard.result) ->
+      Hashtbl.replace by_shard r.Shard.shard.Shard.id r)
+    results;
+  let complete =
+    Array.for_all
+      (fun (s : Shard.shard) -> Hashtbl.mem by_shard s.Shard.id)
+      plan.Shard.shards in
+  let total_trials = ref 0 in
+  let total_failures = ref 0 in
+  let graphs =
+    Array.to_list
+      (Array.mapi
+         (fun gi (g : Events.graph) ->
+           let est = plan.Shard.estimators.(gi) in
+           let pi = Estimator.strata est in
+           (* Planned strata of this graph, ascending, with their shard
+              results accumulated in shard-id order. *)
+           let strata_ids =
+             Array.to_list plan.Shard.shards
+             |> List.filter_map (fun (s : Shard.shard) ->
+                    if s.Shard.graph = gi then Some s.Shard.stratum
+                    else None)
+             |> List.sort_uniq compare in
+           let strata =
+             List.map
+               (fun s ->
+                 let trials = ref 0 in
+                 let failures = ref 0 in
+                 let sum = ref 0. in
+                 let sumsq = ref 0. in
+                 Array.iter
+                   (fun (sh : Shard.shard) ->
+                     if sh.Shard.graph = gi && sh.Shard.stratum = s then
+                       match Hashtbl.find_opt by_shard sh.Shard.id with
+                       | None -> ()
+                       | Some r ->
+                         trials := !trials + sh.Shard.trials;
+                         failures := !failures + r.Shard.failures;
+                         sum := !sum +. r.Shard.sum_w;
+                         sumsq := !sumsq +. r.Shard.sum_w2)
+                   plan.Shard.shards;
+                 let weighted =
+                   Stats.weighted_of_sums ~count:!trials ~sum:!sum
+                     ~sumsq:!sumsq in
+                 let mean = Stats.weighted_mean weighted in
+                 let lo, hi =
+                   stratum_bounds config ~pi:pi.(s)
+                     ~sup:(Estimator.sup_weight est ~stratum:s)
+                     ~trials:!trials ~failures:!failures ~weighted in
+                 { stratum = s;
+                   pi = pi.(s);
+                   trials = !trials;
+                   failures = !failures;
+                   mean;
+                   contribution = pi.(s) *. mean;
+                   lo;
+                   hi })
+               strata_ids in
+           let skipped_mass =
+             List.fold_left
+               (fun acc (graph, _, p) ->
+                 if graph = gi then acc +. p else acc)
+               0. plan.Shard.skipped in
+           let trials =
+             List.fold_left
+               (fun acc (s : stratum_report) -> acc + s.trials)
+               0 strata in
+           let failures =
+             List.fold_left
+               (fun acc (s : stratum_report) -> acc + s.failures)
+               0 strata in
+           total_trials := !total_trials + trials;
+           total_failures := !total_failures + failures;
+           let estimate =
+             List.fold_left
+               (fun acc (s : stratum_report) -> acc +. s.contribution)
+               0. strata in
+           let lo =
+             List.fold_left
+               (fun acc (s : stratum_report) -> acc +. s.lo)
+               0. strata in
+           let hi =
+             List.fold_left
+               (fun acc (s : stratum_report) -> acc +. s.hi)
+               skipped_mass strata in
+           let lo = lo *. (1. -. fp_margin) in
+           let hi = hi *. (1. +. fp_margin) in
+           let rate = estimate /. float_of_int g.Events.period in
+           let verdict =
+             match g.Events.bound with
+             | None -> `Unconstrained
+             | Some b ->
+               let period = float_of_int g.Events.period in
+               if hi /. period <= b then `Met
+               else if lo /. period > b then `Violated
+               else `Inconclusive in
+           { graph = gi;
+             name = g.Events.name;
+             period = g.Events.period;
+             trials;
+             failures;
+             estimate;
+             lo;
+             hi;
+             closed_form = g.Events.closed_form;
+             closed_in_ci = lo <= g.Events.closed_form
+                            && g.Events.closed_form <= hi;
+             bound = g.Events.bound;
+             rate;
+             verdict;
+             strata })
+         plan.Shard.graphs) in
+  { graphs;
+    total_trials = !total_trials;
+    total_failures = !total_failures;
+    complete }
+
+let verdict_name = function
+  | `Met -> "met"
+  | `Violated -> "violated"
+  | `Inconclusive -> "inconclusive"
+  | `Unconstrained -> "unconstrained"
+
+let render report =
+  let table =
+    Texttable.create
+      ~header:
+        [ "Graph"; "Trials"; "Fail"; "Estimate"; "CI"; "Closed form";
+          "In CI"; "Constraint" ] in
+  List.iter
+    (fun g ->
+      Texttable.add_row table
+        [ Printf.sprintf "%d:%s" g.graph g.name;
+          string_of_int g.trials;
+          string_of_int g.failures;
+          Printf.sprintf "%.3e" g.estimate;
+          Printf.sprintf "[%.3e, %.3e]" g.lo g.hi;
+          Printf.sprintf "%.3e" g.closed_form;
+          (if g.closed_in_ci then "yes" else "NO");
+          verdict_name g.verdict ])
+    report.graphs;
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Texttable.render table);
+  Buffer.add_string buf
+    (Printf.sprintf "\n%d trials, %d weighted failures%s\n"
+       report.total_trials report.total_failures
+       (if report.complete then "" else " (campaign incomplete)"));
+  Buffer.contents buf
+
+(* The report file deliberately contains no wall-clock data: it must be
+   byte-identical between an uninterrupted campaign and a killed-and-
+   resumed one. *)
+let to_lines report =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "(campaign-report (complete %b) (total-trials %d) \
+        (total-failures %d))\n"
+       report.complete report.total_trials report.total_failures);
+  List.iter
+    (fun g ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "(graph (index %d) (name %s) (period %d) (trials %d) \
+            (failures %d) (estimate %h) (lo %h) (hi %h) \
+            (closed-form %h) (closed-in-ci %b) (rate %h) (bound %s) \
+            (verdict %s))\n"
+           g.graph g.name g.period g.trials g.failures g.estimate g.lo
+           g.hi g.closed_form g.closed_in_ci g.rate
+           (match g.bound with
+            | None -> "none"
+            | Some b -> Printf.sprintf "%h" b)
+           (verdict_name g.verdict));
+      List.iter
+        (fun s ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "(stratum (graph %d) (s %d) (pi %h) (trials %d) \
+                (failures %d) (mean %h) (contribution %h) (lo %h) \
+                (hi %h))\n"
+               g.graph s.stratum s.pi s.trials s.failures s.mean
+               s.contribution s.lo s.hi))
+        g.strata)
+    report.graphs;
+  Buffer.contents buf
+
+let write ~path report =
+  let oc = open_out path in
+  output_string oc (to_lines report);
+  close_out oc

@@ -1,0 +1,68 @@
+(** Deterministic aggregation of shard results into a campaign report.
+
+    Per stratum, the weighted failure indicators are pooled across
+    shards (in shard-id order — addition of the streamed moment sums,
+    so the result is independent of execution interleaving) and turned
+    into a contribution interval:
+
+    - with at least 10 failures, a normal interval on the weighted
+      sample mean, scaled by the exact stratum probability [pi_s];
+    - with fewer, a sound bound: zero below, and above it
+      [pi_s * sup_weight_s * CP_hi(failures, trials)] — the weights are
+      bounded by the stratum's weight supremum, so an exact binomial
+      bound on the {e proposal} failure rate bounds the contribution;
+    - a planned stratum with no results yet contributes [0, pi_s].
+
+    Strata skipped at planning time (below [min_stratum_prob]) add
+    their exact probability mass to the upper bound only. The graph
+    interval is the sum of its stratum intervals, so it always contains
+    the true failure probability up to the stated confidence — the
+    [closed_in_ci] flag and the constraint verdict follow from it. *)
+
+type stratum_report = {
+  stratum : int;
+  pi : float;  (** exact stratum probability *)
+  trials : int;
+  failures : int;
+  mean : float;  (** weighted mean of the failure indicator *)
+  contribution : float;  (** [pi * mean] *)
+  lo : float;  (** lower bound of the contribution *)
+  hi : float;  (** upper bound of the contribution *)
+}
+
+type verdict = [ `Met | `Violated | `Inconclusive | `Unconstrained ]
+
+type graph_report = {
+  graph : int;
+  name : string;
+  period : int;
+  trials : int;
+  failures : int;
+  estimate : float;  (** point estimate of the failure probability *)
+  lo : float;
+  hi : float;
+  closed_form : float;
+  closed_in_ci : bool;  (** [lo <= closed_form <= hi] *)
+  bound : float option;  (** the graph's [f_t] failure-rate bound *)
+  rate : float;  (** [estimate / period] *)
+  verdict : verdict;
+      (** [`Met] when even [hi / period] meets the bound, [`Violated]
+          when even [lo / period] exceeds it *)
+  strata : stratum_report list;
+}
+
+type report = {
+  graphs : graph_report list;
+  total_trials : int;
+  total_failures : int;
+  complete : bool;  (** every planned shard has a result *)
+}
+
+val build : Shard.plan -> Shard.result list -> report
+
+val render : report -> string
+(** Plain-text table, one row per graph. *)
+
+val write : path:string -> report -> unit
+(** Line-oriented s-expression report with hexadecimal floats and no
+    wall-clock data — byte-identical across resume. *)

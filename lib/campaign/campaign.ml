@@ -1,0 +1,81 @@
+module Parallel = Mcmap_util.Parallel
+module Obs = Mcmap_obs.Obs
+
+type outcome = {
+  plan : Shard.plan;
+  results : Shard.result list;
+  report : Aggregate.report;
+  replayed : int;
+  executed : int;
+}
+
+let plan = Shard.plan
+
+let sort_results results =
+  List.sort
+    (fun (a : Shard.result) (b : Shard.result) ->
+      compare a.Shard.shard.Shard.id b.Shard.shard.Shard.id)
+    results
+
+let run ?(domains = 1) ?checkpoint ?(resume = false) config arch apps
+    hplan =
+  if domains < 1 then invalid_arg "Campaign.run: domains < 1";
+  let p = plan config arch apps hplan in
+  let loaded =
+    match checkpoint with
+    | Some path when resume -> Checkpoint.load ~path p
+    | _ -> Ok [] in
+  match loaded with
+  | Error e -> Error e
+  | Ok replayed ->
+    (match checkpoint with
+     | Some path when List.length replayed = 0 ->
+       (* Fresh start (or an empty/missing file): write the header. *)
+       Checkpoint.initialise ~path p
+     | _ -> ());
+    let have = Hashtbl.create 64 in
+    List.iter
+      (fun (r : Shard.result) ->
+        Hashtbl.replace have r.Shard.shard.Shard.id r)
+      replayed;
+    let pending =
+      Array.of_list
+        (List.filter
+           (fun (s : Shard.shard) -> not (Hashtbl.mem have s.Shard.id))
+           (Array.to_list p.Shard.shards)) in
+    let batch = max 1 (domains * 4) in
+    let executed = ref [] in
+    Obs.with_span "campaign.run" (fun () ->
+        let i = ref 0 in
+        while !i < Array.length pending do
+          let n = min batch (Array.length pending - !i) in
+          let slice = Array.sub pending !i n in
+          let out = Parallel.map_array ~domains (Shard.execute p) slice in
+          (match checkpoint with
+           | Some path ->
+             Checkpoint.append ~path
+               (Array.to_list (Array.map Checkpoint.shard_line out))
+           | None -> ());
+          Array.iter (fun r -> executed := r :: !executed) out;
+          i := !i + n
+        done);
+    let results = sort_results (replayed @ !executed) in
+    Ok
+      { plan = p;
+        results;
+        report = Aggregate.build p results;
+        replayed = List.length replayed;
+        executed = Array.length pending }
+
+let report_from_checkpoint ~checkpoint config arch apps hplan =
+  let p = plan config arch apps hplan in
+  match Checkpoint.load ~path:checkpoint p with
+  | Error e -> Error e
+  | Ok replayed ->
+    let results = sort_results replayed in
+    Ok
+      { plan = p;
+        results;
+        report = Aggregate.build p results;
+        replayed = List.length replayed;
+        executed = 0 }

@@ -1,0 +1,54 @@
+(** Campaign orchestration: plan, execute in parallel, checkpoint,
+    resume, aggregate.
+
+    A campaign is deterministic end to end: the plan (shards, strata,
+    seeds) is a pure function of the configuration and the problem;
+    each shard is a pure function of its seed; aggregation pools shard
+    results in shard-id order. Running on one domain or eight, fresh or
+    resumed from a killed run's checkpoint, produces the same report —
+    bit for bit in the written report file. *)
+
+type outcome = {
+  plan : Shard.plan;
+  results : Shard.result list;  (** all shard results, in id order *)
+  report : Aggregate.report;
+  replayed : int;  (** shards restored from the checkpoint *)
+  executed : int;  (** shards executed in this run *)
+}
+
+val plan :
+  Shard.config ->
+  Mcmap_model.Arch.t ->
+  Mcmap_model.Appset.t ->
+  Mcmap_hardening.Plan.t ->
+  Shard.plan
+(** {!Shard.plan}, re-exported as the subsystem's entry point. *)
+
+val run :
+  ?domains:int ->
+  ?checkpoint:string ->
+  ?resume:bool ->
+  Shard.config ->
+  Mcmap_model.Arch.t ->
+  Mcmap_model.Appset.t ->
+  Mcmap_hardening.Plan.t ->
+  (outcome, string) result
+(** Execute the campaign on [domains] worker domains (default 1),
+    in batches of [4 * domains] shards appended to [checkpoint] (when
+    given) after every batch — a kill re-executes at most one batch on
+    resume, with identical results. With [resume] (default false) the
+    checkpoint's completed shards are restored instead of re-run; an
+    incompatible checkpoint (different configuration or plan shape) is
+    an [Error]. Without [resume] an existing checkpoint is truncated.
+    @raise Invalid_argument when [domains < 1]. *)
+
+val report_from_checkpoint :
+  checkpoint:string ->
+  Shard.config ->
+  Mcmap_model.Arch.t ->
+  Mcmap_model.Appset.t ->
+  Mcmap_hardening.Plan.t ->
+  (outcome, string) result
+(** Aggregate whatever the checkpoint holds without executing anything;
+    the report of a partial campaign is marked incomplete and its
+    missing strata widen to their full probability mass. *)

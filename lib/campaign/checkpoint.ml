@@ -1,0 +1,174 @@
+module Sexp = Mcmap_util.Sexp
+
+let version = 1
+
+(* Floats are serialized as hexadecimal literals ([%h]) so that parsing
+   them back is exact: a resumed campaign must reproduce the
+   uninterrupted report bit for bit, and a decimal round-trip would lose
+   the last ulp of the weight sums. *)
+
+let header_line (p : Shard.plan) =
+  let c = p.Shard.config in
+  Printf.sprintf
+    "(campaign (version %d) (seed %d) (trials %d) (shard-trials %d) \
+     (inflate %h) (inflate-mean %h) (min-stratum-prob %h) (z %h) \
+     (cp-alpha %h) (graphs %d) (shards %d))"
+    version c.Shard.seed c.Shard.trials c.Shard.shard_trials
+    c.Shard.inflate c.Shard.inflate_mean c.Shard.min_stratum_prob
+    c.Shard.z c.Shard.cp_alpha
+    (Array.length p.Shard.graphs)
+    (Array.length p.Shard.shards)
+
+let shard_line (r : Shard.result) =
+  let s = r.Shard.shard in
+  Printf.sprintf
+    "(shard (id %d) (graph %d) (stratum %d) (trials %d) (seed %d) \
+     (failures %d) (sum-w %h) (sum-w2 %h) (max-w %h) (wall-ns %Ld))"
+    s.Shard.id s.Shard.graph s.Shard.stratum s.Shard.trials s.Shard.seed
+    r.Shard.failures r.Shard.sum_w r.Shard.sum_w2 r.Shard.max_w
+    r.Shard.wall_ns
+
+let initialise ~path plan =
+  let oc = open_out path in
+  output_string oc (header_line plan);
+  output_char oc '\n';
+  close_out oc
+
+let append ~path lines =
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  List.iter
+    (fun line ->
+      output_string oc line;
+      output_char oc '\n')
+    lines;
+  close_out oc
+
+let ( let* ) = Result.bind
+
+let check name ~expected ~got =
+  if expected = got then Ok ()
+  else
+    Error
+      (Printf.sprintf
+         "checkpoint: %s mismatch (plan has %s, file has %s) — refusing \
+          to resume under a different configuration"
+         name expected got)
+
+let check_int name ~expected ~got =
+  check name ~expected:(string_of_int expected) ~got:(string_of_int got)
+
+let check_float name ~expected ~got =
+  check name
+    ~expected:(Printf.sprintf "%h" expected)
+    ~got:(Printf.sprintf "%h" got)
+
+let parse_header plan line =
+  match Sexp.parse_one line with
+  | Error e -> Error ("checkpoint: unreadable header: " ^ e)
+  | Ok (Sexp.List (Sexp.Atom "campaign" :: fields)) ->
+    let c = plan.Shard.config in
+    let* v = Sexp.assoc_int "version" fields in
+    let* () = check_int "version" ~expected:version ~got:v in
+    let* seed = Sexp.assoc_int "seed" fields in
+    let* () = check_int "seed" ~expected:c.Shard.seed ~got:seed in
+    let* trials = Sexp.assoc_int "trials" fields in
+    let* () = check_int "trials" ~expected:c.Shard.trials ~got:trials in
+    let* st = Sexp.assoc_int "shard-trials" fields in
+    let* () =
+      check_int "shard-trials" ~expected:c.Shard.shard_trials ~got:st in
+    let* inflate = Sexp.assoc_float "inflate" fields in
+    let* () =
+      check_float "inflate" ~expected:c.Shard.inflate ~got:inflate in
+    let* im = Sexp.assoc_float "inflate-mean" fields in
+    let* () =
+      check_float "inflate-mean" ~expected:c.Shard.inflate_mean ~got:im in
+    let* msp = Sexp.assoc_float "min-stratum-prob" fields in
+    let* () =
+      check_float "min-stratum-prob" ~expected:c.Shard.min_stratum_prob
+        ~got:msp in
+    let* z = Sexp.assoc_float "z" fields in
+    let* () = check_float "z" ~expected:c.Shard.z ~got:z in
+    let* cp = Sexp.assoc_float "cp-alpha" fields in
+    let* () = check_float "cp-alpha" ~expected:c.Shard.cp_alpha ~got:cp in
+    let* graphs = Sexp.assoc_int "graphs" fields in
+    let* () =
+      check_int "graphs" ~expected:(Array.length plan.Shard.graphs)
+        ~got:graphs in
+    let* shards = Sexp.assoc_int "shards" fields in
+    check_int "shards" ~expected:(Array.length plan.Shard.shards)
+      ~got:shards
+  | Ok _ -> Error "checkpoint: first line is not a campaign header"
+
+(* [None] = malformed (treated as a partial tail write: stop reading);
+   [Some (Error _)] = well-formed but inconsistent with the plan. *)
+let parse_shard plan line =
+  match Sexp.parse_one line with
+  | Error _ -> None
+  | Ok (Sexp.List (Sexp.Atom "shard" :: fields)) ->
+    let result =
+      let* id = Sexp.assoc_int "id" fields in
+      if id < 0 || id >= Array.length plan.Shard.shards then
+        Error (Printf.sprintf "checkpoint: shard id %d out of range" id)
+      else begin
+        let s = plan.Shard.shards.(id) in
+        let* graph = Sexp.assoc_int "graph" fields in
+        let* () = check_int "shard graph" ~expected:s.Shard.graph ~got:graph in
+        let* stratum = Sexp.assoc_int "stratum" fields in
+        let* () =
+          check_int "shard stratum" ~expected:s.Shard.stratum ~got:stratum in
+        let* trials = Sexp.assoc_int "trials" fields in
+        let* () =
+          check_int "shard trials" ~expected:s.Shard.trials ~got:trials in
+        let* seed = Sexp.assoc_int "seed" fields in
+        let* () = check_int "shard seed" ~expected:s.Shard.seed ~got:seed in
+        let* failures = Sexp.assoc_int "failures" fields in
+        let* sum_w = Sexp.assoc_float "sum-w" fields in
+        let* sum_w2 = Sexp.assoc_float "sum-w2" fields in
+        let* max_w = Sexp.assoc_float "max-w" fields in
+        let* wall = Sexp.assoc_atom "wall-ns" fields in
+        match Int64.of_string_opt wall with
+        | None -> Error "checkpoint: unreadable wall-ns"
+        | Some wall_ns ->
+          Ok
+            { Shard.shard = s; failures; sum_w; sum_w2; max_w; wall_ns }
+      end in
+    (match result with
+     | Ok r -> Some (Ok r)
+     | Error e ->
+       (* A missing field means a line cut short by a kill: tolerate it.
+          A present-but-mismatching field means the file belongs to a
+          different campaign: refuse. *)
+       if String.length e >= 10 && String.sub e 0 10 = "checkpoint"
+       then Some (Error e)
+       else None)
+  | Ok _ -> None
+
+let load ~path plan =
+  if not (Sys.file_exists path) then Ok []
+  else begin
+    let ic = open_in path in
+    let lines = In_channel.input_lines ic in
+    close_in ic;
+    match lines with
+    | [] -> Ok []
+    | header :: rest ->
+      let* () = parse_header plan header in
+      let seen = Hashtbl.create 64 in
+      let rec walk acc = function
+        | [] -> Ok (List.rev acc)
+        | line :: tl ->
+          if String.trim line = "" then walk acc tl
+          else begin
+            match parse_shard plan line with
+            | None -> Ok (List.rev acc) (* partial tail write: stop *)
+            | Some (Error e) -> Error e
+            | Some (Ok r) ->
+              let id = r.Shard.shard.Shard.id in
+              if Hashtbl.mem seen id then walk acc tl
+              else begin
+                Hashtbl.add seen id ();
+                walk (r :: acc) tl
+              end
+          end in
+      walk [] rest
+  end

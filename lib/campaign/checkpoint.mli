@@ -1,0 +1,36 @@
+(** Append-only campaign checkpoints.
+
+    A checkpoint is a line-oriented s-expression file: a header line
+    fingerprinting the campaign configuration (seed, budgets, estimator
+    knobs, plan shape), then one [(shard ...)] line per completed shard.
+    Floats are written as hexadecimal literals so the round-trip is
+    exact — a resumed campaign reproduces the uninterrupted report bit
+    for bit.
+
+    Loading is tolerant of the one corruption a kill can cause: a
+    partial final line. Reading stops silently at the first malformed
+    line, so at most one batch of shards is re-executed (from its
+    recorded seed, yielding identical results). Anything that indicates
+    the file belongs to a {e different} campaign — header mismatch, a
+    shard whose geometry or seed disagrees with the re-derived plan —
+    is a hard error instead. *)
+
+val header_line : Shard.plan -> string
+(** The configuration-fingerprint first line. *)
+
+val shard_line : Shard.result -> string
+(** One completed shard as a single line. *)
+
+val initialise : path:string -> Shard.plan -> unit
+(** Truncate [path] and write the header: the start of a fresh
+    campaign. *)
+
+val append : path:string -> string list -> unit
+(** Append lines (each terminated with a newline) and close, flushing
+    to the OS — a kill after [append] returns never loses the batch. *)
+
+val load :
+  path:string -> Shard.plan -> (Shard.result list, string) result
+(** Completed shards recorded in [path], in file order, validated
+    against the plan (duplicate ids keep their first occurrence). A
+    missing file is an empty campaign, not an error. *)

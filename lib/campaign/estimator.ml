@@ -1,0 +1,146 @@
+module Prng = Mcmap_util.Prng
+
+type t = {
+  model : Events.graph;
+  dp : float array array;
+  strata : float array;
+  sup : float array;
+  tails : float array array;
+}
+
+let make model =
+  let tasks = model.Events.tasks in
+  let n = Array.length tasks in
+  (* Suffix Poisson-binomial DP over the per-task affected probabilities:
+     dp.(i).(k) = P(exactly k of tasks i..n-1 are affected). All terms are
+     positive products, so relative accuracy survives even when the
+     stratum probabilities are 1e-18 and below. *)
+  let dp = Array.make_matrix (n + 1) (n + 1) 0. in
+  dp.(n).(0) <- 1.;
+  for i = n - 1 downto 0 do
+    let a = tasks.(i).Events.affected_truth in
+    for k = 0 to n - i do
+      let stay = (1. -. a) *. dp.(i + 1).(k) in
+      let take = if k = 0 then 0. else a *. dp.(i + 1).(k - 1) in
+      dp.(i).(k) <- stay +. take
+    done
+  done;
+  let strata = Array.init (n + 1) (fun s -> dp.(0).(s)) in
+  (* Largest-first prefix products of the per-task weight suprema: the
+     maximum weight any s-subset of affected tasks can produce. *)
+  let sups = Array.map (fun t -> t.Events.sup_weight) tasks in
+  Array.sort (fun a b -> compare (b : float) a) sups;
+  let sup = Array.make (n + 1) 1. in
+  for s = 1 to n do
+    sup.(s) <- sup.(s - 1) *. sups.(s - 1)
+  done;
+  let tails =
+    Array.map
+      (fun t ->
+        match t.Events.events with
+        | Events.Poisson _ -> [||]
+        | Events.Coins { proposal; _ } ->
+          let m = Array.length proposal in
+          let tail = Array.make (m + 1) 1. in
+          for j = m - 1 downto 0 do
+            tail.(j) <- tail.(j + 1) *. (1. -. proposal.(j))
+          done;
+          tail)
+      tasks in
+  { model; dp; strata; sup; tails }
+
+let strata t = Array.copy t.strata
+
+let sup_weight t ~stratum =
+  if stratum < 0 || stratum >= Array.length t.sup then
+    invalid_arg "Estimator.sup_weight: stratum out of range";
+  t.sup.(stratum)
+
+(* One affected Coins task: sample the coin vector from the proposal
+   conditioned on at least one head, sequentially — while no head has
+   come up yet, coin j fires with P(head | >=1 head among j..) =
+   q'_j / (1 - tail_j); after the first head the remaining coins are
+   unconditional. Returns the head count and the likelihood weight
+   (a'/a) * prod_j r_j. *)
+let sample_coins rng ~truth ~proposal ~tail ~affected_truth
+    ~affected_proposal =
+  let n = Array.length truth in
+  let heads = ref 0 in
+  let w = ref (affected_proposal /. affected_truth) in
+  for j = 0 to n - 1 do
+    let q' = proposal.(j) in
+    let p =
+      if !heads > 0 then q'
+      else Float.min 1. (q' /. (1. -. tail.(j))) in
+    if Prng.bernoulli rng p then begin
+      incr heads;
+      w := !w *. (truth.(j) /. q')
+    end
+    else w := !w *. ((1. -. truth.(j)) /. (1. -. q'))
+  done;
+  (!heads, !w)
+
+(* One affected Poisson task: invert the proposal CDF conditioned on a
+   positive count (capped at 200 events — the proposal mass beyond that
+   is zero in floating point for any sane mean). *)
+let sample_poisson rng ~truth_mean ~proposal_mean ~affected_truth
+    ~affected_proposal =
+  let u = Prng.float rng 1. in
+  let target = u *. affected_proposal in
+  let p = ref (exp (-.proposal_mean) *. proposal_mean) in
+  let cum = ref !p in
+  let count = ref 1 in
+  while !cum < target && !count < 200 do
+    incr count;
+    p := !p *. proposal_mean /. float_of_int !count;
+    cum := !cum +. !p
+  done;
+  let w =
+    affected_proposal /. affected_truth
+    *. exp (proposal_mean -. truth_mean)
+    *. ((truth_mean /. proposal_mean) ** float_of_int !count) in
+  (!count, w)
+
+let sample t rng ~stratum =
+  let tasks = t.model.Events.tasks in
+  let n = Array.length tasks in
+  if stratum < 1 || stratum > n then
+    invalid_arg "Estimator.sample: stratum out of range";
+  let failed = ref false in
+  let weight = ref 1. in
+  let remaining = ref stratum in
+  for i = 0 to n - 1 do
+    if !remaining > 0 then begin
+      let task = tasks.(i) in
+      (* P(task i affected | exactly [remaining] affected among i..) under
+         the true measure — the affected set itself carries no weight. *)
+      let p =
+        if n - i <= !remaining then 1.
+        else begin
+          let denom = t.dp.(i).(!remaining) in
+          if denom <= 0. then 0.
+          else
+            Float.min 1.
+              (task.Events.affected_truth
+               *. t.dp.(i + 1).(!remaining - 1)
+               /. denom)
+        end in
+      if Prng.bernoulli rng p then begin
+        decr remaining;
+        let count, w =
+          match task.Events.events with
+          | Events.Coins { truth; proposal; _ } ->
+            sample_coins rng ~truth ~proposal ~tail:t.tails.(i)
+              ~affected_truth:task.Events.affected_truth
+              ~affected_proposal:task.Events.affected_proposal
+          | Events.Poisson { truth_mean; proposal_mean; _ } ->
+            sample_poisson rng ~truth_mean ~proposal_mean
+              ~affected_truth:task.Events.affected_truth
+              ~affected_proposal:task.Events.affected_proposal in
+        weight := !weight *. w;
+        if Events.failure_of_count task.Events.events count then
+          failed := true
+      end
+    end
+  done;
+  (!failed, !weight)

@@ -1,0 +1,43 @@
+(** The stratified importance sampler behind a campaign.
+
+    The failure probability of a graph is decomposed over the number
+    [A] of {e affected} tasks (tasks with at least one fault event)
+    under the {e true} measure:
+
+    {v P(fail) = sum_{s >= 1} pi_s * E[ 1_fail | A = s ] v}
+
+    where [pi_s = P(A = s)] is computed exactly by a suffix
+    Poisson-binomial dynamic program over the per-task affected
+    probabilities — no sampling error in the stratum weights, and the
+    dominant all-quiet stratum ([A = 0], which can never fail) is never
+    sampled at all.
+
+    Within a stratum, {!sample} draws the affected set from the exact
+    true conditional distribution (so it carries no weight), then draws
+    each affected task's events from the {e inflated} proposal
+    conditioned on at least one event, accumulating the likelihood
+    ratio. The returned [w * 1_fail] is an unbiased estimate of
+    [E[1_fail | A = s]]: failure events that the true measure would
+    produce once in 1e9 trials appear at proposal rates of a few
+    percent, carrying weights of order 1e-9 instead. *)
+
+type t
+
+val make : Events.graph -> t
+(** Precompute the stratum DP, the per-stratum weight suprema and the
+    proposal tail products of one graph's event model. *)
+
+val strata : t -> float array
+(** [pi_s] for [s = 0 .. n_tasks] (a fresh copy; sums to 1). *)
+
+val sup_weight : t -> stratum:int -> float
+(** Supremum of the likelihood weight over any outcome of stratum
+    [s] — the product of the [s] largest per-task weight suprema. Used
+    to turn a Clopper-Pearson bound on the proposal failure rate into a
+    sound upper bound on the stratum's contribution. *)
+
+val sample : t -> Mcmap_util.Prng.t -> stratum:int -> bool * float
+(** One trial conditioned on [A = stratum]: [(failed, weight)]. Consumes
+    a deterministic number pattern of generator draws, so a shard is a
+    pure function of its seed.
+    @raise Invalid_argument unless [1 <= stratum <= n_tasks]. *)

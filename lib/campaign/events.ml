@@ -1,0 +1,137 @@
+module Arch = Mcmap_model.Arch
+module Appset = Mcmap_model.Appset
+module Graph = Mcmap_model.Graph
+module Proc = Mcmap_model.Proc
+module Task = Mcmap_model.Task
+module Criticality = Mcmap_model.Criticality
+module Hplan = Mcmap_hardening.Plan
+module Technique = Mcmap_hardening.Technique
+module Fault_model = Mcmap_reliability.Fault_model
+module Analysis = Mcmap_reliability.Analysis
+
+type rule = All_fail | At_least of int
+
+type events =
+  | Coins of { truth : float array; proposal : float array; rule : rule }
+  | Poisson of { truth_mean : float; proposal_mean : float; tolerated : int }
+
+type task = {
+  events : events;
+  affected_truth : float;
+  affected_proposal : float;
+  sup_weight : float;
+}
+
+type graph = {
+  index : int;
+  name : string;
+  period : int;
+  tasks : task array;
+  closed_form : float;
+  bound : float option;
+}
+
+let failure_of_count events count =
+  match events with
+  | Coins { truth; rule = All_fail; _ } -> count = Array.length truth
+  | Coins { rule = At_least k; _ } -> count >= k
+  | Poisson { tolerated; _ } -> count > tolerated
+
+(* [1 - prod_j (1 - q_j)] without cancellation: the q_j reach 1e-9 and
+   below, where [1. -. prod] alone would cost seven significant digits. *)
+let affected_of_coins qs =
+  let s = Array.fold_left (fun acc q -> acc +. log1p (-.q)) 0. qs in
+  -.expm1 s
+
+let coin_task ~inflate ~truth ~rule =
+  let proposal = Array.map (fun q -> Float.max q inflate) truth in
+  let affected_truth = affected_of_coins truth in
+  (* The proposal coins are inflated away from zero, so the plain product
+     is accurate — and it is exactly the complement the conditional
+     sampler in [Estimator] divides by, which keeps the weights and the
+     sampling distribution consistent to the last bit. *)
+  let affected_proposal =
+    1. -. Array.fold_left (fun acc q -> acc *. (1. -. q)) 1. proposal in
+  let sup_weight =
+    if affected_truth <= 0. then 0.
+    else begin
+      let ratio = ref (affected_proposal /. affected_truth) in
+      Array.iteri
+        (fun j q ->
+          let q' = proposal.(j) in
+          ratio :=
+            !ratio *. Float.max (q /. q') ((1. -. q) /. (1. -. q')))
+        truth;
+      !ratio
+    end in
+  { events = Coins { truth; proposal; rule };
+    affected_truth; affected_proposal; sup_weight }
+
+let poisson_task ~inflate_mean ~mean ~tolerated =
+  let proposal_mean = Float.max mean inflate_mean in
+  let affected_truth = -.expm1 (-.mean) in
+  let affected_proposal = -.expm1 (-.proposal_mean) in
+  let sup_weight =
+    if affected_truth <= 0. then 0.
+    else
+      (* The count weight [e^{m'-m} (m/m')^n] is decreasing in [n] when
+         [m' >= m], so its supremum over the conditioned support (n >= 1)
+         is at n = 1. *)
+      affected_proposal /. affected_truth
+      *. exp (proposal_mean -. mean)
+      *. (mean /. proposal_mean) in
+  { events = Poisson { truth_mean = mean; proposal_mean; tolerated };
+    affected_truth; affected_proposal; sup_weight }
+
+let build_task ~inflate ~inflate_mean arch (t : Task.t) (d : Hplan.decision) =
+  let scaled proc c = Proc.scale_time (Arch.proc arch proc) c in
+  let exec proc extra =
+    let duration = scaled proc t.Task.wcet + extra in
+    Fault_model.execution_failure arch ~proc ~duration in
+  match d.Hplan.technique with
+  | Technique.No_hardening ->
+    coin_task ~inflate ~truth:[| exec d.Hplan.primary_proc 0 |] ~rule:All_fail
+  | Technique.Re_execution k ->
+    let dt = scaled d.Hplan.primary_proc t.Task.detection_overhead in
+    let per_attempt = exec d.Hplan.primary_proc dt in
+    coin_task ~inflate ~truth:(Array.make (k + 1) per_attempt) ~rule:All_fail
+  | Technique.Checkpointing (segments, k) ->
+    let proc = d.Hplan.primary_proc in
+    let dt = scaled proc t.Task.detection_overhead in
+    let duration = scaled proc t.Task.wcet + (segments * dt) in
+    let rate = (Arch.proc arch proc).Proc.fault_rate in
+    poisson_task ~inflate_mean ~mean:(rate *. float_of_int duration)
+      ~tolerated:k
+  | Technique.Active_replication _ ->
+    let procs =
+      d.Hplan.primary_proc :: Array.to_list d.Hplan.replica_procs in
+    let truth = Array.of_list (List.map (fun p -> exec p 0) procs) in
+    let n = Array.length truth in
+    (* n = 2 is duplication: detection without correction, one failure is
+       fatal; otherwise a lost majority needs floor(n/2) + 1 failures. *)
+    let need = if n = 2 then 1 else (n / 2) + 1 in
+    coin_task ~inflate ~truth ~rule:(At_least need)
+  | Technique.Passive_replication _ ->
+    let procs =
+      d.Hplan.primary_proc :: Array.to_list d.Hplan.replica_procs in
+    let truth = Array.of_list (List.map (fun p -> exec p 0) procs) in
+    (* 2 + m executions, correct iff at least 2 succeed: at least m + 1
+       failures are fatal. *)
+    coin_task ~inflate ~truth ~rule:(At_least (Array.length truth - 1))
+
+let build ?(inflate = 0.2) ?(inflate_mean = 0.5) arch apps plan ~graph =
+  if not (0. <= inflate && inflate < 1.) then
+    invalid_arg "Events.build: inflate outside [0, 1)";
+  if inflate_mean < 0. then
+    invalid_arg "Events.build: negative inflate_mean";
+  let g = Appset.graph apps graph in
+  let tasks =
+    Array.init (Graph.n_tasks g) (fun task ->
+        build_task ~inflate ~inflate_mean arch (Graph.task g task)
+          (Hplan.decision plan ~graph ~task)) in
+  { index = graph;
+    name = g.Graph.name;
+    period = g.Graph.period;
+    tasks;
+    closed_form = Analysis.graph_failure_probability arch apps plan ~graph;
+    bound = Criticality.max_failure_rate g.Graph.criticality }

@@ -1,0 +1,72 @@
+(** The fault-event model a campaign injects into — one "pay-ahead" random
+    experiment per task, chosen so that the distribution of the task's
+    failure indicator matches {!Mcmap_reliability.Fault_model} exactly.
+
+    Every hardening technique reduces to one of two shapes:
+
+    - {b Coins}: a fixed vector of independent Bernoulli fault events
+      (one per execution attempt or replica), with a failure rule over
+      the number of heads — [All_fail] for the rollback family (the task
+      fails only if the original attempt and every re-execution fault),
+      [At_least k] for replication (a lost majority / exhausted spares);
+    - {b Poisson}: a fault count over the checkpoint-extended duration,
+      fatal when it exceeds the tolerated rollback budget [k].
+
+    Zero fault events never fail under either shape, which is what makes
+    stratification by affected-task count exact: the all-quiet stratum
+    contributes nothing and is never sampled.
+
+    Each task also carries the ingredients of importance sampling: its
+    probability of being affected (at least one event) under the true
+    measure and under the inflated proposal, and a supremum of the
+    likelihood-ratio weight over all conditioned outcomes (used for the
+    sound upper confidence bound when a stratum shows few failures). *)
+
+type rule =
+  | All_fail  (** fails iff every coin comes up heads *)
+  | At_least of int  (** fails iff at least [k] coins come up heads *)
+
+type events =
+  | Coins of { truth : float array; proposal : float array; rule : rule }
+      (** independent per-event fault probabilities, true and inflated *)
+  | Poisson of { truth_mean : float; proposal_mean : float; tolerated : int }
+      (** fault-count means, fatal when the count exceeds [tolerated] *)
+
+type task = {
+  events : events;
+  affected_truth : float;  (** P(at least one event), true measure *)
+  affected_proposal : float;  (** same under the inflated proposal *)
+  sup_weight : float;
+      (** supremum of the likelihood weight over outcomes with at least
+          one event; 0 when the task can never be affected *)
+}
+
+type graph = {
+  index : int;  (** graph index in the application set *)
+  name : string;
+  period : int;
+  tasks : task array;
+  closed_form : float;
+      (** {!Mcmap_reliability.Analysis.graph_failure_probability} — the
+          quantity the campaign estimates *)
+  bound : float option;  (** the graph's [f_t] (a rate), if critical *)
+}
+
+val failure_of_count : events -> int -> bool
+(** Whether the given number of fault events is fatal. The failure rules
+    depend only on the event count, never on which events fired. *)
+
+val build :
+  ?inflate:float ->
+  ?inflate_mean:float ->
+  Mcmap_model.Arch.t ->
+  Mcmap_model.Appset.t ->
+  Mcmap_hardening.Plan.t ->
+  graph:int ->
+  graph
+(** Build the event model of one graph under the plan. [inflate]
+    (default 0.2) is the floor put under every proposal coin;
+    [inflate_mean] (default 0.5) the floor under every proposal Poisson
+    mean. Probabilities are never deflated.
+    @raise Invalid_argument if [inflate] is outside [0, 1) or
+    [inflate_mean] is negative. *)

@@ -1,0 +1,139 @@
+module Prng = Mcmap_util.Prng
+module Appset = Mcmap_model.Appset
+module Obs = Mcmap_obs.Obs
+
+type config = {
+  trials : int;
+  shard_trials : int;
+  seed : int;
+  inflate : float;
+  inflate_mean : float;
+  min_stratum_prob : float;
+  z : float;
+  cp_alpha : float;
+}
+
+let default_config =
+  { trials = 100_000;
+    shard_trials = 4096;
+    seed = 1;
+    inflate = 0.2;
+    inflate_mean = 0.5;
+    min_stratum_prob = 1e-18;
+    z = 1.96;
+    cp_alpha = 0.05 }
+
+type shard = {
+  id : int;
+  graph : int;
+  stratum : int;
+  trials : int;
+  seed : int;
+}
+
+type result = {
+  shard : shard;
+  failures : int;
+  sum_w : float;
+  sum_w2 : float;
+  max_w : float;
+  wall_ns : int64;
+}
+
+type plan = {
+  config : config;
+  graphs : Events.graph array;
+  estimators : Estimator.t array;
+  shards : shard array;
+  skipped : (int * int * float) list;
+}
+
+let plan (config : config) arch apps hplan =
+  if config.trials <= 0 then invalid_arg "Shard.plan: trials <= 0";
+  if config.shard_trials <= 0 then
+    invalid_arg "Shard.plan: shard_trials <= 0";
+  if config.min_stratum_prob < 0. then
+    invalid_arg "Shard.plan: negative min_stratum_prob";
+  let n_graphs = Appset.n_graphs apps in
+  let graphs =
+    Array.init n_graphs (fun graph ->
+        Events.build ~inflate:config.inflate
+          ~inflate_mean:config.inflate_mean arch apps hplan ~graph) in
+  let estimators = Array.map Estimator.make graphs in
+  let planner = Prng.create config.seed in
+  let shards = ref [] in
+  let n_shards = ref 0 in
+  let skipped = ref [] in
+  for graph = 0 to n_graphs - 1 do
+    let pi = Estimator.strata estimators.(graph) in
+    let eligible = ref [] in
+    let total_pi = ref 0. in
+    for s = Array.length pi - 1 downto 1 do
+      if pi.(s) > 0. then
+        if pi.(s) >= config.min_stratum_prob then begin
+          eligible := s :: !eligible;
+          total_pi := !total_pi +. pi.(s)
+        end
+        else skipped := (graph, s, pi.(s)) :: !skipped
+    done;
+    List.iter
+      (fun s ->
+        (* Proportional allocation with a floor of one full shard: even a
+           stratum carrying 1e-12 of the mass gets sampled rather than
+           padded into the upper bound. *)
+        let share =
+          float_of_int config.trials *. pi.(s) /. !total_pi in
+        let trials =
+          max config.shard_trials (int_of_float (ceil share)) in
+        let rec cut remaining =
+          if remaining > 0 then begin
+            let take = min config.shard_trials remaining in
+            let seed =
+              Int64.to_int (Prng.bits64 planner) land max_int in
+            shards :=
+              { id = !n_shards; graph; stratum = s; trials = take; seed }
+              :: !shards;
+            incr n_shards;
+            cut (remaining - take)
+          end in
+        cut trials)
+      !eligible
+  done;
+  { config;
+    graphs;
+    estimators;
+    shards = Array.of_list (List.rev !shards);
+    skipped = List.rev !skipped }
+
+let execute plan shard =
+  let est = plan.estimators.(shard.graph) in
+  let rng = Prng.create shard.seed in
+  let failures = ref 0 in
+  let sum_w = ref 0. in
+  let sum_w2 = ref 0. in
+  let max_w = ref 0. in
+  let t0 = Obs.now_ns () in
+  Obs.with_span "campaign.shard" (fun () ->
+      for _ = 1 to shard.trials do
+        let failed, w = Estimator.sample est rng ~stratum:shard.stratum in
+        if failed then begin
+          incr failures;
+          sum_w := !sum_w +. w;
+          sum_w2 := !sum_w2 +. (w *. w);
+          if w > !max_w then max_w := w
+        end
+      done);
+  let wall_ns = Int64.sub (Obs.now_ns ()) t0 in
+  if Obs.enabled () then begin
+    Obs.incr ~by:shard.trials "campaign.trials";
+    Obs.incr ~by:!failures "campaign.failures";
+    Obs.incr "campaign.shards";
+    Obs.observe "campaign.shard_wall_us"
+      (Int64.to_int (Int64.div wall_ns 1_000L))
+  end;
+  { shard;
+    failures = !failures;
+    sum_w = !sum_w;
+    sum_w2 = !sum_w2;
+    max_w = !max_w;
+    wall_ns }

@@ -1,0 +1,72 @@
+(** Campaign planning and shard execution.
+
+    A campaign over an application set is planned as a deterministic
+    array of {e shards}; each shard is a fixed number of trials of one
+    graph's estimator in one stratum, driven by its own seed drawn from
+    the planner stream in shard-id order. A shard's result is therefore
+    a pure function of [(config, problem, shard id)] — the foundation of
+    both parallel execution and bit-for-bit resume. *)
+
+type config = {
+  trials : int;  (** trial budget per graph, split across its strata *)
+  shard_trials : int;  (** trials per shard (the unit of parallelism) *)
+  seed : int;  (** root of the planner's seed stream *)
+  inflate : float;  (** proposal floor for Bernoulli fault events *)
+  inflate_mean : float;  (** proposal floor for Poisson fault means *)
+  min_stratum_prob : float;
+      (** strata with [pi_s] below this get no trials; their mass is
+          added to the upper confidence bound instead *)
+  z : float;  (** normal quantile of the per-stratum interval *)
+  cp_alpha : float;
+      (** Clopper-Pearson level for strata with few failures *)
+}
+
+val default_config : config
+(** 100_000 trials per graph, 4096-trial shards, seed 1, inflate 0.2 /
+    0.5, min stratum probability 1e-18, z = 1.96, cp_alpha = 0.05. *)
+
+type shard = {
+  id : int;  (** position in the plan's shard array *)
+  graph : int;
+  stratum : int;
+  trials : int;
+  seed : int;
+}
+
+type result = {
+  shard : shard;
+  failures : int;  (** trials whose sampled event pattern was fatal *)
+  sum_w : float;  (** sum of likelihood weights over failing trials *)
+  sum_w2 : float;  (** sum of squared weights over failing trials *)
+  max_w : float;  (** largest single weight observed (diagnostic) *)
+  wall_ns : int64;
+      (** wall time of the shard; excluded from estimates and reports *)
+}
+
+type plan = {
+  config : config;
+  graphs : Events.graph array;  (** one event model per graph *)
+  estimators : Estimator.t array;
+  shards : shard array;  (** indexed by shard id *)
+  skipped : (int * int * float) list;
+      (** [(graph, stratum, pi)] strata below [min_stratum_prob]: not
+          sampled, padded into the upper bound *)
+}
+
+val plan :
+  config ->
+  Mcmap_model.Arch.t ->
+  Mcmap_model.Appset.t ->
+  Mcmap_hardening.Plan.t ->
+  plan
+(** Derive the deterministic shard plan: per graph, the per-graph trial
+    budget is allocated to the positive-probability strata
+    proportionally to [pi_s], with a floor of one full shard each, then
+    cut into [shard_trials]-sized shards.
+    @raise Invalid_argument on a non-positive budget or shard size. *)
+
+val execute : plan -> shard -> result
+(** Run one shard. Pure up to [wall_ns] and the recorded observability
+    metrics ([campaign.trials], [campaign.failures], [campaign.shards]
+    counters, [campaign.shard_wall_us] histogram, [campaign.shard]
+    span); safe to call from worker domains. *)

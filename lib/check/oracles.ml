@@ -395,7 +395,50 @@ let check_dropping_improves sys =
   !bad
 
 (* ------------------------------------------------------------------ *)
-(* (d) DSE front sanity: archives contain no dominated "front". *)
+(* (d) Campaign agreement: the rare-event importance-sampling campaign
+   brackets the closed form at physical fault rates. Unlike oracle (b),
+   no amplification is needed — resolving rare events is the campaign's
+   whole job, so this exercises the estimator exactly where naive
+   sampling has no power. The z = 4 / alpha = 1e-3 bands are wide
+   enough that a correct estimator essentially never trips while a
+   biased weight or a broken stratum probability lands far outside. *)
+
+let campaign_config =
+  { Mcmap_campaign.Shard.default_config with
+    Mcmap_campaign.Shard.trials = 2000;
+    shard_trials = 512;
+    z = 4.;
+    cp_alpha = 1e-3 }
+
+let check_campaign sys =
+  let config =
+    { campaign_config with Mcmap_campaign.Shard.seed = sys.Gen.seed } in
+  match
+    Mcmap_campaign.Campaign.run config sys.Gen.arch sys.Gen.apps
+      sys.Gen.plan
+  with
+  | Error e -> failf "campaign refused to run: %s" e
+  | Ok outcome ->
+    let rec per_graph = function
+      | [] -> Ok ()
+      | (g : Mcmap_campaign.Aggregate.graph_report) :: tl ->
+        if not g.Mcmap_campaign.Aggregate.closed_in_ci then
+          failf
+            "graph %d: closed-form failure probability %.3e outside the \
+             campaign interval [%.3e, %.3e] (estimate %.3e, %d weighted \
+             failures in %d trials)"
+            g.Mcmap_campaign.Aggregate.graph
+            g.Mcmap_campaign.Aggregate.closed_form
+            g.Mcmap_campaign.Aggregate.lo g.Mcmap_campaign.Aggregate.hi
+            g.Mcmap_campaign.Aggregate.estimate
+            g.Mcmap_campaign.Aggregate.failures
+            g.Mcmap_campaign.Aggregate.trials
+        else per_graph tl in
+    per_graph outcome.Mcmap_campaign.Campaign.report
+      .Mcmap_campaign.Aggregate.graphs
+
+(* ------------------------------------------------------------------ *)
+(* (e) DSE front sanity: archives contain no dominated "front". *)
 
 let ga_config ~selector ~seed =
   { Mcmap_dse.Ga.default_config with
@@ -477,13 +520,21 @@ let dropping_improves =
        required bound";
     check = check_dropping_improves }
 
+let campaign_agreement =
+  { name = "campaign-agreement";
+    doc =
+      "closed-form failure probability lies inside the confidence \
+       interval of the stratified importance-sampling campaign, at \
+       unamplified (rare-event) fault rates";
+    check = check_campaign }
+
 let pareto_front =
   { name = "pareto-front";
     doc = "SPEA2/NSGA2 archives contain no dominated Pareto points";
     check = check_pareto_front }
 
 let all =
-  [ soundness; reliability_agreement; hardening_monotonic; wcet_monotonic;
-    dropping_improves; pareto_front ]
+  [ soundness; reliability_agreement; campaign_agreement;
+    hardening_monotonic; wcet_monotonic; dropping_improves; pareto_front ]
 
 let find name = List.find_opt (fun o -> o.name = name) all

@@ -8,6 +8,8 @@
     - {!Hardening}: re-execution / replication plans and the hardened
       application transform (§2.2-2.3).
     - {!Reliability}: transient-fault model and the [f_t] constraint.
+    - {!Campaign}: sharded, checkpointable fault-injection campaigns
+      (rare-event estimation cross-validating {!Reliability}).
     - {!Sched}: jobs, priorities and the best/worst interval backend
       (the [sched] of Algorithm 1).
     - {!Analysis}: Algorithm 1 WCRT analysis and the Naive baseline
@@ -57,6 +59,15 @@ end
 module Reliability = struct
   module Fault_model = Mcmap_reliability.Fault_model
   module Analysis = Mcmap_reliability.Analysis
+end
+
+module Campaign = struct
+  module Events = Mcmap_campaign.Events
+  module Estimator = Mcmap_campaign.Estimator
+  module Shard = Mcmap_campaign.Shard
+  module Checkpoint = Mcmap_campaign.Checkpoint
+  module Aggregate = Mcmap_campaign.Aggregate
+  module Campaign = Mcmap_campaign.Campaign
 end
 
 module Sched = struct

@@ -16,7 +16,7 @@ type row = {
   naive : Verdict.t;
 }
 
-let run ?(profiles = 1000) ?(seed = 42) () =
+let run ?(profiles = 10_000) ?(seed = 42) () =
   let bench = B.Cruise.benchmark () in
   let plans = B.Cruise.sample_plans bench in
   let criticals = B.Cruise.critical_graphs bench in

@@ -22,8 +22,7 @@ type row = {
 }
 
 val run : ?profiles:int -> ?seed:int -> unit -> row list
-(** Defaults: 1,000 Monte-Carlo profiles (the paper uses 10,000),
-    seed 42. *)
+(** Defaults: the paper's 10,000 Monte-Carlo profiles, seed 42. *)
 
 val safe : row -> bool
 (** Proposed upper-bounds both simulations and Naive upper-bounds

@@ -44,14 +44,22 @@ let task_failure_probability arch apps plan ~graph ~task =
     let spares = Array.sub probs 2 (Array.length probs - 2) in
     Fault_model.passive_failure ~active ~spares
 
-let graph_failure_rate arch apps plan ~graph =
+(* [1 - prod_v (1 - p_v)] in log space: hardened tasks reach p_v below
+   1e-18, where the direct product would cancel to 0 against the ulp of
+   1.0. *)
+let graph_failure_probability arch apps plan ~graph =
   let g = Appset.graph apps graph in
-  let survive = ref 1. in
+  let log_survive = ref 0. in
   for task = 0 to Graph.n_tasks g - 1 do
     let p = task_failure_probability arch apps plan ~graph ~task in
-    survive := !survive *. (1. -. p)
+    log_survive := !log_survive +. log1p (-.p)
   done;
-  (1. -. !survive) /. float_of_int g.Graph.period
+  -.expm1 !log_survive
+
+let graph_failure_rate arch apps plan ~graph =
+  let g = Appset.graph apps graph in
+  graph_failure_probability arch apps plan ~graph
+  /. float_of_int g.Graph.period
 
 let violations arch apps plan =
   let acc = ref [] in

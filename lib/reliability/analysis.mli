@@ -23,13 +23,25 @@ val task_failure_probability :
 (** Failure probability of one task instance under its hardening decision
     and placement. *)
 
+val graph_failure_probability :
+  Mcmap_model.Arch.t ->
+  Mcmap_model.Appset.t ->
+  Mcmap_hardening.Plan.t ->
+  graph:int ->
+  float
+(** Failure probability of one instance of the graph under the plan:
+    [1 - prod_v (1 - p_v)] over its tasks (series system). This is the
+    quantity the fault-injection campaign ([Mcmap_campaign]) estimates
+    empirically. *)
+
 val graph_failure_rate :
   Mcmap_model.Arch.t ->
   Mcmap_model.Appset.t ->
   Mcmap_hardening.Plan.t ->
   graph:int ->
   float
-(** Failures per time unit of the graph under the plan. *)
+(** Failures per time unit: {!graph_failure_probability} divided by the
+    graph's period. *)
 
 val violations :
   Mcmap_model.Arch.t ->

@@ -16,8 +16,11 @@ val run :
   ?seed:int ->
   Mcmap_sched.Jobset.t ->
   result
-(** Defaults: 1,000 profiles, fault bias 0.3, seed 42. Executions run at
-    worst case; only the fault pattern varies across profiles. *)
+(** Defaults: 1,000 profiles (a quick-look budget — the WC-Sim
+    experiment path, [Experiments.Table2] and
+    [mcmap experiments --profiles], defaults to the paper's 10,000),
+    fault bias 0.3, seed 42. Executions run at worst case; only the
+    fault pattern varies across profiles. *)
 
 (** {1 Event-level reliability estimation}
 

@@ -4,16 +4,28 @@ let map_array ~domains f arr =
   if domains = 1 || n <= 1 then Array.map f arr
   else begin
     let out = Array.make n None in
-    let stripe d () =
-      let i = ref d in
-      while !i < n do
-        out.(!i) <- Some (f arr.(!i));
-        i := !i + domains
-      done in
+    (* Self-scheduling: workers claim chunks of indices from a shared
+       atomic cursor, so a domain that drew cheap elements comes back
+       for more instead of idling (fixed striping stalls on the slowest
+       stripe when element costs vary, e.g. campaign shards of different
+       strata). Results are still written by index, so the output is
+       identical to [Array.map f arr] regardless of claim order. *)
+    let chunk = max 1 (n / (domains * 8)) in
+    let cursor = Atomic.make 0 in
+    let worker () =
+      let rec claim () =
+        let start = Atomic.fetch_and_add cursor chunk in
+        if start < n then begin
+          let stop = min n (start + chunk) in
+          for i = start to stop - 1 do
+            out.(i) <- Some (f arr.(i))
+          done;
+          claim ()
+        end in
+      claim () in
     let workers =
-      List.init (min domains n - 1) (fun d -> Domain.spawn (stripe (d + 1)))
-    in
-    stripe 0 ();
+      List.init (min domains n - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
     List.iter Domain.join workers;
     Array.map
       (function

@@ -2,10 +2,12 @@
 
     [map_array ~domains f arr] equals [Array.map f arr] for every pure
     [f]; with [domains > 1] the elements are processed by that many
-    domains in stripes. Used to parallelise candidate evaluation in the
-    design-space exploration (the paper evaluates candidates with
-    multiple threads); determinism is preserved because every element's
-    result is independent of processing order. *)
+    domains, which claim index chunks from a shared atomic cursor
+    (self-scheduling, so uneven element costs balance automatically).
+    Used to parallelise candidate evaluation in the design-space
+    exploration and campaign shard execution; determinism is preserved
+    because results are written by index and every element's result is
+    independent of processing order. *)
 
 val map_array : domains:int -> ('a -> 'b) -> 'a array -> 'b array
 (** @raise Invalid_argument if [domains < 1]. Exceptions raised by [f]

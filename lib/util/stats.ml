@@ -56,6 +56,145 @@ let wilson_interval ?(z = 1.96) ~successes ~trials () =
     z *. sqrt ((p *. (1. -. p) /. n) +. (z2 /. (4. *. n *. n))) in
   ((centre -. spread) /. denom, (centre +. spread) /. denom)
 
-let pp_summary ppf s =
+(* ------------------------------------------------------------------ *)
+(* Exact binomial interval (Clopper-Pearson).
+
+   The Wilson score interval inverts a normal approximation; at 0
+   successes — the common case for rare-event campaigns — its upper
+   bound is badly anti-conservative relative to the exact tail. The
+   Clopper-Pearson bounds are the beta quantiles
+   [lo = BetaInv(alpha/2; k, n-k+1)], [hi = BetaInv(1-alpha/2; k+1, n-k)],
+   computed here with a self-contained regularized incomplete beta
+   (Lanczos log-gamma + Lentz continued fraction) and bisection. *)
+
+let log_gamma =
+  (* Lanczos approximation, g = 7, 9 coefficients: |rel err| < 1e-13 on
+     the positive reals, far below the bisection tolerance. *)
+  let coeffs =
+    [| 0.99999999999980993; 676.5203681218851; -1259.1392167224028;
+       771.32342877765313; -176.61502916214059; 12.507343278686905;
+       -0.13857109526572012; 9.9843695780195716e-6; 1.5056327351493116e-7 |]
+  in
+  fun z ->
+    if z <= 0. then invalid_arg "Stats.log_gamma: nonpositive argument";
+    let z = z -. 1. in
+    let acc = ref coeffs.(0) in
+    for i = 1 to 8 do
+      acc := !acc +. (coeffs.(i) /. (z +. float_of_int i))
+    done;
+    let t = z +. 7.5 in
+    (0.5 *. log (2. *. Float.pi)) +. ((z +. 0.5) *. log t) -. t +. log !acc
+
+(* Continued fraction for the incomplete beta (modified Lentz). *)
+let betacf a b x =
+  let fpmin = 1e-300 and eps = 3e-15 in
+  let qab = a +. b and qap = a +. 1. and qam = a -. 1. in
+  let c = ref 1. in
+  let d = ref (1. -. (qab *. x /. qap)) in
+  if Float.abs !d < fpmin then d := fpmin;
+  d := 1. /. !d;
+  let h = ref !d in
+  (try
+     for m = 1 to 300 do
+       let mf = float_of_int m in
+       let m2 = 2. *. mf in
+       let aa = mf *. (b -. mf) *. x /. ((qam +. m2) *. (a +. m2)) in
+       d := 1. +. (aa *. !d);
+       if Float.abs !d < fpmin then d := fpmin;
+       c := 1. +. (aa /. !c);
+       if Float.abs !c < fpmin then c := fpmin;
+       d := 1. /. !d;
+       h := !h *. !d *. !c;
+       let aa =
+         -.(a +. mf) *. (qab +. mf) *. x /. ((a +. m2) *. (qap +. m2)) in
+       d := 1. +. (aa *. !d);
+       if Float.abs !d < fpmin then d := fpmin;
+       c := 1. +. (aa /. !c);
+       if Float.abs !c < fpmin then c := fpmin;
+       d := 1. /. !d;
+       let del = !d *. !c in
+       h := !h *. del;
+       if Float.abs (del -. 1.) < eps then raise Exit
+     done
+   with Exit -> ());
+  !h
+
+let betai ~a ~b x =
+  if a <= 0. || b <= 0. then invalid_arg "Stats.betai: nonpositive shape";
+  if x <= 0. then 0.
+  else if x >= 1. then 1.
+  else begin
+    let bt =
+      exp
+        (log_gamma (a +. b) -. log_gamma a -. log_gamma b +. (a *. log x)
+         +. (b *. log1p (-.x))) in
+    if x < (a +. 1.) /. (a +. b +. 2.) then bt *. betacf a b x /. a
+    else 1. -. (bt *. betacf b a (1. -. x) /. b)
+  end
+
+(* Smallest [x] with [I_x(a, b) >= p], by bisection ([betai] is monotone
+   increasing in [x]). 90 halvings put the bracket well below 1e-16. *)
+let beta_inv ~a ~b p =
+  let lo = ref 0. and hi = ref 1. in
+  for _ = 1 to 90 do
+    let mid = 0.5 *. (!lo +. !hi) in
+    if betai ~a ~b mid < p then lo := mid else hi := mid
+  done;
+  0.5 *. (!lo +. !hi)
+
+let clopper_pearson ?(alpha = 0.05) ~successes ~trials () =
+  if trials <= 0 then invalid_arg "Stats.clopper_pearson: trials <= 0";
+  if successes < 0 || successes > trials then
+    invalid_arg "Stats.clopper_pearson: successes out of range";
+  if not (0. < alpha && alpha < 1.) then
+    invalid_arg "Stats.clopper_pearson: alpha outside (0, 1)";
+  let k = float_of_int successes and n = float_of_int trials in
+  let lo =
+    if successes = 0 then 0.
+    else beta_inv ~a:k ~b:(n -. k +. 1.) (alpha /. 2.) in
+  let hi =
+    if successes = trials then 1.
+    else beta_inv ~a:(k +. 1.) ~b:(n -. k) (1. -. (alpha /. 2.)) in
+  (lo, hi)
+
+(* ------------------------------------------------------------------ *)
+(* Weighted-sample moments for likelihood-ratio estimators: the samples
+   are the per-trial weighted indicators [w_i * 1{fail_i}], and campaigns
+   stream only the moment sums, so shards merge by addition. *)
+
+type weighted = { count : int; sum : float; sumsq : float }
+
+let weighted_empty = { count = 0; sum = 0.; sumsq = 0. }
+
+let weighted_add w x =
+  { count = w.count + 1; sum = w.sum +. x; sumsq = w.sumsq +. (x *. x) }
+
+let weighted_merge a b =
+  { count = a.count + b.count; sum = a.sum +. b.sum;
+    sumsq = a.sumsq +. b.sumsq }
+
+let weighted_of_sums ~count ~sum ~sumsq =
+  if count < 0 then invalid_arg "Stats.weighted_of_sums: count < 0";
+  { count; sum; sumsq }
+
+let weighted_mean w =
+  if w.count = 0 then 0. else w.sum /. float_of_int w.count
+
+let weighted_variance w =
+  if w.count < 2 then 0.
+  else begin
+    let n = float_of_int w.count in
+    let m = w.sum /. n in
+    (* max 0: the two-pass identity can go slightly negative in float *)
+    Float.max 0. ((w.sumsq -. (n *. m *. m)) /. (n -. 1.))
+  end
+
+let weighted_interval ?(z = 1.96) w =
+  if w.count = 0 then invalid_arg "Stats.weighted_interval: empty summary";
+  let m = weighted_mean w in
+  let se = sqrt (weighted_variance w /. float_of_int w.count) in
+  (Float.max 0. (m -. (z *. se)), m +. (z *. se))
+
+let pp_summary ppf (s : summary) =
   Format.fprintf ppf "n=%d mean=%.3f sd=%.3f min=%.3f max=%.3f" s.count
     s.mean s.stddev s.minimum s.maximum

@@ -29,4 +29,57 @@ val wilson_interval :
     @raise Invalid_argument when [trials <= 0] or [successes] is out of
     range. *)
 
+val clopper_pearson :
+  ?alpha:float -> successes:int -> trials:int -> unit -> float * float
+(** Exact (Clopper-Pearson) binomial confidence interval [(lo, hi)] at
+    confidence level [1 - alpha] (default [alpha = 0.05], the 95% level).
+    Unlike {!wilson_interval} it is conservative by construction and
+    behaves correctly at 0 successes — the common case for rare-event
+    estimation, where Wilson's normal inversion is anti-conservative.
+    [successes = 0] gives [lo = 0]; [successes = trials] gives [hi = 1].
+    @raise Invalid_argument when [trials <= 0], [successes] is out of
+    range, or [alpha] is outside (0, 1). *)
+
+val betai : a:float -> b:float -> float -> float
+(** Regularized incomplete beta function [I_x(a, b)] (continued-fraction
+    evaluation); the binomial CDF is [P(X <= k) = I_{1-p}(n-k, k+1)].
+    Exposed for tests and other exact tail computations.
+    @raise Invalid_argument on nonpositive shape parameters. *)
+
+(** {1 Weighted-sample moments}
+
+    Moment sums of per-trial weighted indicators [w_i * 1(fail_i)] from
+    a likelihood-ratio (importance-sampling) estimator. Only the sums
+    are kept, so shard summaries merge by addition and the pooled mean,
+    variance and normal interval are exact regardless of sharding. *)
+
+type weighted = {
+  count : int;
+  sum : float;  (** sum of samples *)
+  sumsq : float;  (** sum of squared samples *)
+}
+
+val weighted_empty : weighted
+
+val weighted_add : weighted -> float -> weighted
+
+val weighted_merge : weighted -> weighted -> weighted
+(** Pool two summaries (commutative and associative). *)
+
+val weighted_of_sums : count:int -> sum:float -> sumsq:float -> weighted
+(** Rebuild a summary from streamed sums (checkpoint replay).
+    @raise Invalid_argument when [count < 0]. *)
+
+val weighted_mean : weighted -> float
+(** 0 on an empty summary. *)
+
+val weighted_variance : weighted -> float
+(** Unbiased sample variance; 0 when [count < 2]. *)
+
+val weighted_interval : ?z:float -> weighted -> float * float
+(** Normal confidence interval on the mean at critical value [z]
+    (default 1.96); the lower bound is clamped to 0 (the estimators
+    average non-negative samples).
+    @raise Invalid_argument on an empty summary. *)
+
 val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,328 @@
+(* Tests for mcmap.campaign: the stratified importance-sampling
+   fault-injection engine, its checkpoint format, and the campaign
+   report. *)
+
+module Proc = Mcmap_model.Proc
+module Arch = Mcmap_model.Arch
+module Criticality = Mcmap_model.Criticality
+module Task = Mcmap_model.Task
+module Graph = Mcmap_model.Graph
+module Appset = Mcmap_model.Appset
+module Technique = Mcmap_hardening.Technique
+module Plan = Mcmap_hardening.Plan
+module Analysis = Mcmap_reliability.Analysis
+module Events = Mcmap_campaign.Events
+module Estimator = Mcmap_campaign.Estimator
+module Shard = Mcmap_campaign.Shard
+module Checkpoint = Mcmap_campaign.Checkpoint
+module Aggregate = Mcmap_campaign.Aggregate
+module Campaign = Mcmap_campaign.Campaign
+
+let check = Alcotest.check
+
+let arch ?(fault_rate = 1e-4) () =
+  Arch.make
+    (Array.init 4 (fun id ->
+         Proc.make ~id ~name:(Format.asprintf "p%d" id) ~fault_rate ()))
+
+let decision ?(technique = Technique.No_hardening) ?(replicas = [||])
+    ?(voter = 0) primary =
+  { Plan.technique; primary_proc = primary; replica_procs = replicas;
+    voter_proc = voter }
+
+(* One graph with a re-executed task, a triplicated (voting) task and a
+   checkpointed task — every event-model shape in one problem. *)
+let mixed_problem ?(fault_rate = 1e-4) () =
+  let a = arch ~fault_rate () in
+  let tasks =
+    [| Task.make ~id:0 ~name:"re" ~wcet:50 ~detection_overhead:5 ();
+       Task.make ~id:1 ~name:"vote" ~wcet:40 ~detection_overhead:4 ();
+       Task.make ~id:2 ~name:"ckpt" ~wcet:60 ~detection_overhead:6 () |]
+  in
+  let apps =
+    Appset.make
+      [| Graph.make ~name:"mixed" ~tasks ~channels:[||] ~period:1000
+           ~criticality:(Criticality.critical 1e-6) () |] in
+  let decisions =
+    [| [| decision ~technique:(Technique.re_execution 1) 0;
+          decision
+            ~technique:(Technique.active_replication 3)
+            ~replicas:[| 1; 2 |] ~voter:3 0;
+          decision
+            ~technique:(Technique.checkpointing ~segments:2 ~k:1)
+            1 |] |] in
+  let plan = Plan.make apps ~decisions ~dropped:[| false |] in
+  (a, apps, plan)
+
+let single_technique_problem ~fault_rate ~technique ~replicas () =
+  let a = arch ~fault_rate () in
+  let apps =
+    Appset.make
+      [| Graph.make ~name:"g"
+           ~tasks:
+             [| Task.make ~id:0 ~name:"t" ~wcet:50 ~detection_overhead:5
+                  () |]
+           ~channels:[||] ~period:1000
+           ~criticality:(Criticality.critical 1e-6) () |] in
+  let decisions = [| [| decision ~technique ~replicas ~voter:3 0 |] |] in
+  let plan = Plan.make apps ~decisions ~dropped:[| false |] in
+  (a, apps, plan)
+
+(* ------------------------------------------------------------------ *)
+(* Strata *)
+
+(* Poisson-binomial by direct convolution, the reference for the
+   estimator's suffix DP. *)
+let brute_strata affected =
+  let n = Array.length affected in
+  let dist = Array.make (n + 1) 0. in
+  dist.(0) <- 1.;
+  Array.iter
+    (fun a ->
+      for k = n downto 0 do
+        let with_hit = if k = 0 then 0. else dist.(k - 1) *. a in
+        dist.(k) <- (dist.(k) *. (1. -. a)) +. with_hit
+      done)
+    affected;
+  dist
+
+let test_strata_match_brute_force () =
+  let a, apps, plan = mixed_problem () in
+  let model = Events.build a apps plan ~graph:0 in
+  let est = Estimator.make model in
+  let pi = Estimator.strata est in
+  let expected =
+    brute_strata
+      (Array.map (fun t -> t.Events.affected_truth) model.Events.tasks)
+  in
+  Array.iteri
+    (fun s p ->
+      check (Alcotest.float 1e-12) (Format.asprintf "pi_%d" s) p pi.(s))
+    expected;
+  let total = Array.fold_left ( +. ) 0. pi in
+  check (Alcotest.float 1e-12) "strata sum to 1" 1. total
+
+let test_failure_rules () =
+  let coins rule =
+    Events.Coins { truth = [| 0.1; 0.1; 0.1 |]; proposal = [| 0.2; 0.2; 0.2 |]; rule }
+  in
+  check Alcotest.bool "all-fail needs every coin" true
+    (Events.failure_of_count (coins Events.All_fail) 3);
+  check Alcotest.bool "all-fail survives a miss" false
+    (Events.failure_of_count (coins Events.All_fail) 2);
+  check Alcotest.bool "majority lost at 2 of 3" true
+    (Events.failure_of_count (coins (Events.At_least 2)) 2);
+  check Alcotest.bool "majority held at 1 of 3" false
+    (Events.failure_of_count (coins (Events.At_least 2)) 1);
+  let poisson =
+    Events.Poisson { truth_mean = 0.1; proposal_mean = 0.5; tolerated = 1 }
+  in
+  check Alcotest.bool "within rollback budget" false
+    (Events.failure_of_count poisson 1);
+  check Alcotest.bool "beyond rollback budget" true
+    (Events.failure_of_count poisson 2)
+
+(* ------------------------------------------------------------------ *)
+(* Campaign vs closed form *)
+
+let campaign_config =
+  { Shard.default_config with Shard.trials = 20_000; shard_trials = 2048;
+    seed = 7 }
+
+let assert_closed_in_ci what (a, apps, plan) =
+  match Campaign.run campaign_config a apps plan with
+  | Error e -> Alcotest.failf "%s: %s" what e
+  | Ok outcome ->
+    check Alcotest.bool (what ^ ": report complete") true
+      outcome.Campaign.report.Aggregate.complete;
+    List.iter
+      (fun (g : Aggregate.graph_report) ->
+        if not g.Aggregate.closed_in_ci then
+          Alcotest.failf
+            "%s: closed form %.6e outside CI [%.6e, %.6e] (estimate \
+             %.6e, %d failures in %d trials)"
+            what g.Aggregate.closed_form g.Aggregate.lo g.Aggregate.hi
+            g.Aggregate.estimate g.Aggregate.failures g.Aggregate.trials)
+      outcome.Campaign.report.Aggregate.graphs
+
+(* Per-event fault probabilities swept from ~5e-4 down to ~5e-10: the
+   graph failure probabilities reach 3e-19, twelve orders of magnitude
+   below anything naive Monte-Carlo could observe in the trial budget. *)
+let rare_event_rates = [ 1e-5, "1e-3"; 1e-8, "1e-6"; 1e-11, "1e-9" ]
+
+let test_re_execution_vs_closed_form () =
+  List.iter
+    (fun (fault_rate, label) ->
+      assert_closed_in_ci
+        ("re-execution, q ~ " ^ label)
+        (single_technique_problem ~fault_rate
+           ~technique:(Technique.re_execution 1) ~replicas:[||] ()))
+    rare_event_rates
+
+let test_voting_vs_closed_form () =
+  List.iter
+    (fun (fault_rate, label) ->
+      assert_closed_in_ci
+        ("3-way voting, q ~ " ^ label)
+        (single_technique_problem ~fault_rate
+           ~technique:(Technique.active_replication 3)
+           ~replicas:[| 1; 2 |] ()))
+    rare_event_rates
+
+let test_mixed_graph_vs_closed_form () =
+  List.iter
+    (fun fault_rate ->
+      assert_closed_in_ci "mixed techniques"
+        (mixed_problem ~fault_rate ()))
+    [ 1e-4; 1e-8 ]
+
+let test_trial_budget_bounded () =
+  let a, apps, plan = mixed_problem ~fault_rate:1e-8 () in
+  match Campaign.run campaign_config a apps plan with
+  | Error e -> Alcotest.fail e
+  | Ok outcome ->
+    check Alcotest.bool "within 1e6 trials" true
+      (outcome.Campaign.report.Aggregate.total_trials <= 1_000_000)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism, checkpointing, resume *)
+
+let with_temp f =
+  let path = Filename.temp_file "mcmap_campaign" ".ckpt" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with _ -> ()) (fun () -> f path)
+
+let read_file path =
+  let ic = open_in path in
+  let s = In_channel.input_all ic in
+  close_in ic;
+  s
+
+let test_domains_agree () =
+  let a, apps, plan = mixed_problem () in
+  let run domains =
+    match Campaign.run ~domains campaign_config a apps plan with
+    | Error e -> Alcotest.fail e
+    | Ok o -> o in
+  let one = run 1 and four = run 4 in
+  check Alcotest.bool "1-domain report = 4-domain report" true
+    (one.Campaign.report = four.Campaign.report);
+  (* Shard results are identical up to wall time, which is the one field
+     the engine never feeds into estimates. *)
+  let strip (r : Shard.result) =
+    (r.Shard.shard, r.Shard.failures, r.Shard.sum_w, r.Shard.sum_w2,
+     r.Shard.max_w) in
+  check Alcotest.bool "identical shard results" true
+    (List.map strip one.Campaign.results
+     = List.map strip four.Campaign.results)
+
+let test_kill_and_resume_bit_for_bit () =
+  let a, apps, plan = mixed_problem () in
+  with_temp (fun ckpt ->
+      with_temp (fun report_a ->
+          with_temp (fun report_b ->
+              let uninterrupted =
+                match
+                  Campaign.run ~checkpoint:ckpt campaign_config a apps
+                    plan
+                with
+                | Error e -> Alcotest.fail e
+                | Ok o -> o in
+              Aggregate.write ~path:report_a
+                uninterrupted.Campaign.report;
+              (* Kill: keep the header and the first few shard lines,
+                 cutting the last kept line in half mid-float. *)
+              let lines = String.split_on_char '\n' (read_file ckpt) in
+              let kept = List.filteri (fun i _ -> i < 4) lines in
+              let oc = open_out ckpt in
+              List.iteri
+                (fun i line ->
+                  if i < 3 then begin
+                    output_string oc line;
+                    output_char oc '\n'
+                  end
+                  else
+                    output_string oc
+                      (String.sub line 0 (String.length line / 2)))
+                kept;
+              close_out oc;
+              let resumed =
+                match
+                  Campaign.run ~checkpoint:ckpt ~resume:true
+                    campaign_config a apps plan
+                with
+                | Error e -> Alcotest.fail e
+                | Ok o -> o in
+              check Alcotest.bool "some shards were replayed" true
+                (resumed.Campaign.replayed > 0);
+              check Alcotest.bool "some shards were re-executed" true
+                (resumed.Campaign.executed > 0);
+              Aggregate.write ~path:report_b resumed.Campaign.report;
+              check Alcotest.string "bit-for-bit identical report"
+                (read_file report_a) (read_file report_b);
+              check Alcotest.bool "identical in-memory report" true
+                (uninterrupted.Campaign.report = resumed.Campaign.report))))
+
+let test_checkpoint_rejects_other_config () =
+  let a, apps, plan = mixed_problem () in
+  with_temp (fun ckpt ->
+      (match Campaign.run ~checkpoint:ckpt campaign_config a apps plan with
+       | Error e -> Alcotest.fail e
+       | Ok _ -> ());
+      let other = { campaign_config with Shard.seed = 8 } in
+      match
+        Campaign.run ~checkpoint:ckpt ~resume:true other a apps plan
+      with
+      | Error _ -> ()
+      | Ok _ ->
+        Alcotest.fail "resume under a different seed must be refused")
+
+let test_report_from_partial_checkpoint () =
+  let a, apps, plan = mixed_problem () in
+  with_temp (fun ckpt ->
+      (match Campaign.run ~checkpoint:ckpt campaign_config a apps plan with
+       | Error e -> Alcotest.fail e
+       | Ok _ -> ());
+      (* Drop the tail of the file: the partial report must flag itself
+         incomplete and keep sound (wider) bounds. *)
+      let lines = String.split_on_char '\n' (read_file ckpt) in
+      let kept = List.filteri (fun i _ -> i < 3) lines in
+      let oc = open_out ckpt in
+      List.iter
+        (fun l ->
+          output_string oc l;
+          output_char oc '\n')
+        kept;
+      close_out oc;
+      match
+        Campaign.report_from_checkpoint ~checkpoint:ckpt campaign_config
+          a apps plan
+      with
+      | Error e -> Alcotest.fail e
+      | Ok partial ->
+        check Alcotest.bool "flagged incomplete" false
+          partial.Campaign.report.Aggregate.complete;
+        List.iter
+          (fun (g : Aggregate.graph_report) ->
+            check Alcotest.bool "closed form still inside bounds" true
+              g.Aggregate.closed_in_ci)
+          partial.Campaign.report.Aggregate.graphs)
+
+let suite =
+  [ Alcotest.test_case "strata match brute force" `Quick
+      test_strata_match_brute_force;
+    Alcotest.test_case "failure rules" `Quick test_failure_rules;
+    Alcotest.test_case "re-execution vs closed form (q to 1e-9)" `Quick
+      test_re_execution_vs_closed_form;
+    Alcotest.test_case "voting vs closed form (q to 1e-9)" `Quick
+      test_voting_vs_closed_form;
+    Alcotest.test_case "mixed graph vs closed form" `Quick
+      test_mixed_graph_vs_closed_form;
+    Alcotest.test_case "trial budget bounded" `Quick
+      test_trial_budget_bounded;
+    Alcotest.test_case "1 domain = 4 domains" `Quick test_domains_agree;
+    Alcotest.test_case "kill and resume, bit for bit" `Quick
+      test_kill_and_resume_bit_for_bit;
+    Alcotest.test_case "resume refuses foreign checkpoint" `Quick
+      test_checkpoint_rejects_other_config;
+    Alcotest.test_case "partial checkpoint report" `Quick
+      test_report_from_partial_checkpoint ]

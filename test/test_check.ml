@@ -90,6 +90,20 @@ let test_all_oracles_named () =
     Oracles.all;
   check Alcotest.bool "unknown name" true (Oracles.find "nope" = None)
 
+let test_campaign_oracle_green () =
+  (* The campaign-agreement oracle runs at unamplified fault rates, so
+     every one of these systems exercises the rare-event estimator. *)
+  List.iter
+    (fun seed ->
+      match
+        Runner.check_seed ~oracles:[ Oracles.campaign_agreement ] seed
+      with
+      | None -> ()
+      | Some f ->
+        Alcotest.failf "campaign oracle failed on seed %d: %s" seed
+          f.Runner.message)
+    [ 11; 12; 13; 14; 15 ]
+
 (* ------------------------------------------------------------------ *)
 (* Mutation check: a broken bound must be caught and shrunk small. *)
 
@@ -162,6 +176,8 @@ let suite =
       test_runner_deterministic;
     Alcotest.test_case "oracles: find by name" `Quick
       test_all_oracles_named;
+    Alcotest.test_case "oracles: campaign agreement green" `Quick
+      test_campaign_oracle_green;
     Alcotest.test_case "mutation: broken bound caught and shrunk" `Quick
       test_broken_bound_caught_and_shrunk;
     Alcotest.test_case "mutation: failure report renders" `Quick

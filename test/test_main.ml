@@ -5,6 +5,7 @@ let () =
       ("model", Test_model.suite);
       ("hardening", Test_hardening.suite);
       ("reliability", Test_reliability.suite);
+      ("campaign", Test_campaign.suite);
       ("sched", Test_sched.suite);
       ("analysis", Test_analysis.suite);
       ("sim", Test_sim.suite);

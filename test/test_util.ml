@@ -357,6 +357,70 @@ let prop_mean_within_bounds =
       s.Stats.minimum -. 1e-9 <= s.Stats.mean
       && s.Stats.mean <= s.Stats.maximum +. 1e-9)
 
+(* Clopper-Pearson reference values computed with scipy.stats
+   (beta.ppf); the interval is exact, so these are reproducible to the
+   printed precision by any correct implementation. *)
+let test_clopper_pearson_known () =
+  let ci = Alcotest.float 1e-4 in
+  let lo, hi = Stats.clopper_pearson ~successes:0 ~trials:100 () in
+  check ci "0/100 lo" 0. lo;
+  check ci "0/100 hi (rule of three)" 0.0362 hi;
+  let lo, hi = Stats.clopper_pearson ~successes:1 ~trials:10 () in
+  check ci "1/10 lo" 0.00253 lo;
+  check ci "1/10 hi" 0.44502 hi;
+  let lo, hi = Stats.clopper_pearson ~successes:5 ~trials:100 () in
+  check ci "5/100 lo" 0.01643 lo;
+  check ci "5/100 hi" 0.11283 hi
+
+let test_clopper_pearson_edges () =
+  let lo, hi = Stats.clopper_pearson ~successes:0 ~trials:50 () in
+  check (Alcotest.float 1e-12) "k=0 lo pinned" 0. lo;
+  check Alcotest.bool "k=0 hi positive" true (hi > 0.);
+  let lo, hi = Stats.clopper_pearson ~successes:50 ~trials:50 () in
+  check (Alcotest.float 1e-12) "k=n hi pinned" 1. hi;
+  check Alcotest.bool "k=n lo below 1" true (lo < 1.)
+
+let prop_clopper_pearson_contains_mle =
+  QCheck.Test.make ~name:"Clopper-Pearson interval contains k/n"
+    ~count:200
+    QCheck.(pair (int_range 0 60) (int_range 1 60))
+    (fun (k, extra) ->
+      let n = k + extra in
+      let lo, hi = Stats.clopper_pearson ~successes:k ~trials:n () in
+      let p = float_of_int k /. float_of_int n in
+      0. <= lo && lo <= p && p <= hi && hi <= 1.)
+
+let test_weighted_moments () =
+  let w = List.fold_left Stats.weighted_add Stats.weighted_empty
+      [ 1.; 2.; 3.; 4. ] in
+  check Alcotest.int "count" 4 w.Stats.count;
+  check (Alcotest.float 1e-9) "mean" 2.5 (Stats.weighted_mean w);
+  (* unbiased sample variance of 1..4 is 5/3 *)
+  check (Alcotest.float 1e-9) "variance" (5. /. 3.)
+    (Stats.weighted_variance w);
+  let a = List.fold_left Stats.weighted_add Stats.weighted_empty [ 1.; 2. ] in
+  let b = List.fold_left Stats.weighted_add Stats.weighted_empty [ 3.; 4. ] in
+  let m = Stats.weighted_merge a b in
+  check (Alcotest.float 1e-9) "merge mean" (Stats.weighted_mean w)
+    (Stats.weighted_mean m);
+  check (Alcotest.float 1e-9) "merge variance" (Stats.weighted_variance w)
+    (Stats.weighted_variance m);
+  let s = Stats.weighted_of_sums ~count:4 ~sum:10. ~sumsq:30. in
+  check (Alcotest.float 1e-9) "of_sums mean" 2.5 (Stats.weighted_mean s)
+
+let test_weighted_interval () =
+  let w = Stats.weighted_of_sums ~count:400 ~sum:100. ~sumsq:100. in
+  (* mean 0.25, sample variance = (100 - 400*0.0625)/399 = 75/399 *)
+  let lo, hi = Stats.weighted_interval ~z:1.96 w in
+  let half = 1.96 *. sqrt (75. /. 399. /. 400.) in
+  check (Alcotest.float 1e-9) "lo" (0.25 -. half) lo;
+  check (Alcotest.float 1e-9) "hi" (0.25 +. half) hi;
+  (* zero variance collapses to a point *)
+  let z = Stats.weighted_of_sums ~count:10 ~sum:10. ~sumsq:10. in
+  let lo, hi = Stats.weighted_interval z in
+  check (Alcotest.float 1e-12) "degenerate lo" 1. lo;
+  check (Alcotest.float 1e-12) "degenerate hi" 1. hi
+
 (* ------------------------------------------------------------------ *)
 (* Pareto *)
 
@@ -468,6 +532,28 @@ let test_parallel_matches_sequential () =
     check (Alcotest.array Alcotest.int)
       (Printf.sprintf "%d domains" domains)
       (Array.map f arr)
+      (Mcmap_util.Parallel.map_array ~domains f arr)
+  done
+
+(* Self-scheduling regression: with wildly uneven per-item costs the
+   atomic cursor hands late chunks to whichever domain frees up first,
+   so the claim order is nondeterministic — the output placement must
+   not be. *)
+let test_parallel_uneven_costs () =
+  let n = 257 in
+  let arr = Array.init n (fun i -> i) in
+  let f x =
+    let spins = if x mod 17 = 0 then 20_000 else 10 in
+    let acc = ref x in
+    for _ = 1 to spins do
+      acc := (!acc * 48271) mod 2147483647
+    done;
+    !acc in
+  let expected = Array.map f arr in
+  for domains = 2 to 4 do
+    check (Alcotest.array Alcotest.int)
+      (Printf.sprintf "uneven costs, %d domains" domains)
+      expected
       (Mcmap_util.Parallel.map_array ~domains f arr)
   done
 
@@ -601,6 +687,15 @@ let suite =
     Alcotest.test_case "stats: percentile" `Quick test_percentile;
     Alcotest.test_case "stats: ratio" `Quick test_ratio_pct;
     qtest prop_mean_within_bounds;
+    Alcotest.test_case "stats: Clopper-Pearson known values" `Quick
+      test_clopper_pearson_known;
+    Alcotest.test_case "stats: Clopper-Pearson edges" `Quick
+      test_clopper_pearson_edges;
+    qtest prop_clopper_pearson_contains_mle;
+    Alcotest.test_case "stats: weighted moments" `Quick
+      test_weighted_moments;
+    Alcotest.test_case "stats: weighted interval" `Quick
+      test_weighted_interval;
     Alcotest.test_case "pareto: dominates" `Quick test_dominates;
     Alcotest.test_case "pareto: non_dominated" `Quick test_non_dominated;
     Alcotest.test_case "pareto: front_2d sorted" `Quick
@@ -617,6 +712,8 @@ let suite =
       test_parallel_matches_sequential;
     Alcotest.test_case "parallel: edge cases" `Quick
       test_parallel_edge_cases;
+    Alcotest.test_case "parallel: uneven costs self-schedule" `Quick
+      test_parallel_uneven_costs;
     Alcotest.test_case "texttable: render" `Quick test_texttable;
     Alcotest.test_case "json: parse basics" `Quick test_json_parse_basics;
     Alcotest.test_case "json: parse errors" `Quick test_json_parse_errors;
