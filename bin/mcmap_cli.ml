@@ -1,5 +1,5 @@
 (* mcmap command-line interface: analyze | simulate | explore |
-   experiments | campaign | check | stats | list. *)
+   experiments | campaign | check | stats | lint | list. *)
 
 module B = Mcmap_benchmarks
 module H = Mcmap_hardening
@@ -10,6 +10,7 @@ module Sim = Mcmap_sim
 module D = Mcmap_dse
 module E = Mcmap_experiments
 module Spec = Mcmap_spec.Spec
+module L = Mcmap_lint
 module Obs = Mcmap_obs.Obs
 module Histogram = Mcmap_obs.Histogram
 module Sexp = Mcmap_util.Sexp
@@ -99,9 +100,35 @@ let plan_arg =
        & info [ "plan" ]
            ~doc:"A plan file to analyse with --system; without it a                  balanced seeded plan is derived.")
 
+let no_lint_arg =
+  Arg.(value & flag
+       & info [ "no-lint" ]
+           ~doc:"Skip the static lint gate run over --system/--plan \
+                 files before the analysis.")
+
+(* Refuse to analyse files with error-severity diagnostics: a dangling
+   endpoint or colliding replicas would otherwise surface as an
+   exception (or silently wrong numbers) deep inside the pipeline. *)
+let lint_gate ~system ?plan () =
+  match L.Lint.lint_files ~system ?plan () with
+  | Error _ as err -> err
+  | Ok ds ->
+    let errors = L.Diagnostic.error_count ds in
+    if errors = 0 then Ok ()
+    else begin
+      prerr_string (L.Diagnostic.render_human ds);
+      Error
+        (Format.asprintf
+           "%d lint error%s — fix the file or pass --no-lint to bypass \
+            the gate"
+           errors
+           (if errors = 1 then "" else "s"))
+    end
+
 (* Resolve --system/--plan or fall back to a built-in benchmark with a
    seeded balanced plan. *)
-let resolve_problem bench_name system_file plan_file seed =
+let resolve_problem ?(no_lint = false) bench_name system_file plan_file
+    seed =
   match system_file with
   | None ->
     (match find_benchmark bench_name with
@@ -111,16 +138,22 @@ let resolve_problem bench_name system_file plan_file seed =
        and apps = bench.B.Benchmark.apps in
        Ok (arch, apps, B.Sampler.balanced_plan ~seed arch apps))
   | Some path ->
-    (match Spec.load_system path with
-     | Error e -> Error (path ^ ": " ^ e)
-     | Ok system ->
-       let arch = system.Spec.arch and apps = system.Spec.apps in
-       (match plan_file with
-        | None -> Ok (arch, apps, B.Sampler.balanced_plan ~seed arch apps)
-        | Some plan_path ->
-          (match Spec.load_plan system plan_path with
-           | Error e -> Error (plan_path ^ ": " ^ e)
-           | Ok plan -> Ok (arch, apps, plan))))
+    let gate =
+      if no_lint then Ok ()
+      else lint_gate ~system:path ?plan:plan_file () in
+    (match gate with
+     | Error _ as err -> err
+     | Ok () ->
+       match Spec.load_system path with
+       | Error e -> Error (path ^ ": " ^ e)
+       | Ok system ->
+         let arch = system.Spec.arch and apps = system.Spec.apps in
+         (match plan_file with
+          | None -> Ok (arch, apps, B.Sampler.balanced_plan ~seed arch apps)
+          | Some plan_path ->
+            (match Spec.load_plan system plan_path with
+             | Error e -> Error (plan_path ^ ": " ^ e)
+             | Ok plan -> Ok (arch, apps, plan))))
 
 let list_cmd =
   let run () =
@@ -135,9 +168,10 @@ let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List available benchmarks")
     Term.(const (fun () -> run (); 0) $ const ())
 
-let analyze_run bench_name system_file plan_file seed trace metrics =
+let analyze_run bench_name system_file plan_file seed no_lint trace
+    metrics =
   with_obs trace metrics @@ fun () ->
-  match resolve_problem bench_name system_file plan_file seed with
+  match resolve_problem ~no_lint bench_name system_file plan_file seed with
   | Error e -> prerr_endline e; 1
   | Ok (arch, apps, plan) ->
     let happ = H.Happ.build arch apps plan in
@@ -164,12 +198,12 @@ let analyze_cmd =
     (Cmd.info "analyze"
        ~doc:"Run Algorithm 1 on a benchmark mapping or a system file")
     Term.(const analyze_run $ bench_arg $ system_arg $ plan_arg
-          $ seed_arg $ trace_arg $ metrics_arg)
+          $ seed_arg $ no_lint_arg $ trace_arg $ metrics_arg)
 
-let simulate_run bench_name system_file plan_file seed profiles
+let simulate_run bench_name system_file plan_file seed no_lint profiles
     distribution trace metrics =
   with_obs trace metrics @@ fun () ->
-  match resolve_problem bench_name system_file plan_file seed with
+  match resolve_problem ~no_lint bench_name system_file plan_file seed with
   | Error e -> prerr_endline e; 1
   | Ok (arch, apps, plan) ->
     let happ = H.Happ.build arch apps plan in
@@ -199,7 +233,7 @@ let simulate_cmd =
     (Cmd.info "simulate"
        ~doc:"Adhoc trace and Monte-Carlo simulation of a mapping")
     Term.(const simulate_run $ bench_arg $ system_arg $ plan_arg $ seed_arg
-          $ profiles_arg ~default:1000
+          $ no_lint_arg $ profiles_arg ~default:1000
           $ Arg.(value & flag
                  & info [ "distribution" ]
                      ~doc:"Also estimate the response-time distribution \
@@ -208,11 +242,30 @@ let simulate_cmd =
           $ trace_arg $ metrics_arg)
 
 let explore_run bench_name population offspring generations seed quiet
-    trace metrics =
+    no_lint trace metrics =
   with_obs trace metrics @@ fun () ->
   match find_benchmark bench_name with
   | Error e -> prerr_endline e; 1
   | Ok bench ->
+    (* Benchmarks have no file to lint; round-trip through the spec
+       writer so the same gate covers them. *)
+    let lint_ok =
+      no_lint
+      ||
+      let text =
+        Spec.write_system
+          { Spec.arch = bench.B.Benchmark.arch;
+            apps = bench.B.Benchmark.apps } in
+      let ds, _ = L.Lint.lint_system ~file:bench_name text in
+      let errors = L.Diagnostic.error_count ds in
+      if errors > 0 then prerr_string (L.Diagnostic.render_human ds);
+      errors = 0 in
+    if not lint_ok then begin
+      prerr_endline
+        "benchmark failed the lint gate (pass --no-lint to bypass)";
+      1
+    end
+    else begin
     let config = ga_config population offspring generations seed in
     let on_generation (p : D.Explore.progress) =
       if not quiet then
@@ -245,6 +298,7 @@ let explore_run bench_name population offspring generations seed quiet
              (List.map string_of_int (H.Plan.dropped_graphs plan))))
       summary.D.Explore.pareto;
     0
+    end
 
 let explore_cmd =
   Cmd.v
@@ -255,11 +309,12 @@ let explore_cmd =
           $ Arg.(value & flag
                  & info [ "quiet" ]
                      ~doc:"Suppress the per-generation progress lines.")
-          $ trace_arg $ metrics_arg)
+          $ no_lint_arg $ trace_arg $ metrics_arg)
 
-let gantt_run bench_name system_file plan_file seed bias trace metrics =
+let gantt_run bench_name system_file plan_file seed no_lint bias trace
+    metrics =
   with_obs trace metrics @@ fun () ->
-  match resolve_problem bench_name system_file plan_file seed with
+  match resolve_problem ~no_lint bench_name system_file plan_file seed with
   | Error e -> prerr_endline e; 1
   | Ok (arch, apps, plan) ->
     let happ = H.Happ.build arch apps plan in
@@ -280,6 +335,7 @@ let gantt_cmd =
     (Cmd.info "gantt"
        ~doc:"Render ASCII Gantt charts of simulated schedules")
     Term.(const gantt_run $ bench_arg $ system_arg $ plan_arg $ seed_arg
+          $ no_lint_arg
           $ Arg.(value & opt float 0.3
                  & info [ "bias" ] ~doc:"Fault bias of the random profile.")
           $ trace_arg $ metrics_arg)
@@ -485,11 +541,11 @@ let campaign_emit report_file (outcome : Mcmap_campaign.Campaign.outcome) =
     report_file;
   0
 
-let campaign_run_cmd bench_name system_file plan_file seed action trials
-    shard_trials inflate inflate_mean domains checkpoint resume
+let campaign_run_cmd bench_name system_file plan_file seed no_lint action
+    trials shard_trials inflate inflate_mean domains checkpoint resume
     report_file z trace metrics =
   with_obs trace metrics @@ fun () ->
-  match resolve_problem bench_name system_file plan_file seed with
+  match resolve_problem ~no_lint bench_name system_file plan_file seed with
   | Error e -> prerr_endline e; 1
   | Ok (arch, apps, plan) ->
     let module C = Mcmap_campaign in
@@ -529,7 +585,7 @@ let campaign_cmd =
           resumable from an append-only checkpoint; cross-validates the \
           closed-form reliability model at rare-event rates")
     Term.(const campaign_run_cmd $ bench_arg $ system_arg $ plan_arg
-          $ seed_arg $ campaign_action
+          $ seed_arg $ no_lint_arg $ campaign_action
           $ Arg.(value & opt int 200_000
                  & info [ "trials" ]
                      ~doc:"Trial budget per graph, split across strata.")
@@ -653,12 +709,91 @@ let stats_cmd =
                  & info [] ~docv:"FILE"
                      ~doc:"Metrics dump written by a --metrics run."))
 
+(* ------------------------------------------------------------------ *)
+(* lint: static semantic analysis of system/plan files *)
+
+let lint_run system_path plan_path format deny explain =
+  match explain with
+  | Some code ->
+    (match L.Diagnostic.info code with
+     | Some i ->
+       Format.printf "%s (%s, default %s)@.@.%s@." i.L.Diagnostic.i_code
+         i.L.Diagnostic.i_title
+         (L.Diagnostic.severity_to_string i.L.Diagnostic.i_severity)
+         i.L.Diagnostic.i_doc;
+       0
+     | None ->
+       Format.eprintf "unknown diagnostic code %s@." code;
+       1)
+  | None ->
+    (match L.Lint.lint_files ~system:system_path ?plan:plan_path () with
+     | Error e -> prerr_endline e; 2
+     | Ok ds ->
+       (match format with
+        | `Human -> print_string (L.Diagnostic.render_human ds)
+        | `Json -> print_string (L.Diagnostic.render_json ds)
+        | `Sexp -> print_string (L.Diagnostic.render_sexp ds));
+       if L.Diagnostic.error_count ?deny ds > 0 then 1 else 0)
+
+let lint_cmd =
+  let format_arg =
+    Arg.(value
+         & opt
+             (enum [ ("human", `Human); ("json", `Json); ("sexp", `Sexp) ])
+             `Human
+         & info [ "format" ] ~docv:"FORMAT"
+             ~doc:"Output format: $(b,human), $(b,json) or $(b,sexp).") in
+  let deny_arg =
+    Arg.(value
+         & opt
+             (some
+                (enum
+                   [ ("warning", L.Diagnostic.Warning);
+                     ("hint", L.Diagnostic.Hint) ]))
+             None
+         & info [ "deny" ] ~docv:"LEVEL"
+             ~doc:"Treat diagnostics at or above $(docv) as errors: \
+                   $(b,warning) promotes warnings, $(b,hint) also \
+                   promotes hints.") in
+  let explain_arg =
+    Arg.(value & opt (some string) None
+         & info [ "explain" ] ~docv:"CODE"
+             ~doc:"Print the registry entry for a diagnostic code (e.g. \
+                   MC004) and exit.") in
+  let system_pos =
+    (* not Arg.file: --explain works without one, and a missing file is
+       a clean error from the driver *)
+    Arg.(value & pos 0 (some string) None
+         & info [] ~docv:"SYSTEM" ~doc:"System description file.") in
+  let plan_pos =
+    Arg.(value & pos 1 (some string) None
+         & info [] ~docv:"PLAN" ~doc:"Optional plan file.") in
+  let run system plan format deny explain =
+    match explain, system with
+    | None, None ->
+      prerr_endline "lint needs a SYSTEM file (or --explain CODE)";
+      2
+    | _, _ ->
+      (match explain with
+       | Some _ -> lint_run "" plan format deny explain
+       | None -> lint_run (Option.get system) plan format deny explain) in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically analyse a system (and optionally a plan) file: \
+          model well-formedness (MC0xx), plan consistency (MC1xx), \
+          schedulability necessary conditions (MC2xx) and reliability \
+          feasibility (MC3xx); exits non-zero iff an error-severity \
+          (or --deny-promoted) diagnostic fires")
+    Term.(const run $ system_pos $ plan_pos $ format_arg $ deny_arg
+          $ explain_arg)
+
 let main_cmd =
   let doc =
     "Static mapping of mixed-critical applications for fault-tolerant \
      MPSoCs (Kang et al., DAC 2014)" in
   Cmd.group (Cmd.info "mcmap" ~version:"1.0.0" ~doc)
     [ list_cmd; analyze_cmd; simulate_cmd; gantt_cmd; explore_cmd;
-      experiments_cmd; campaign_cmd; check_cmd; stats_cmd ]
+      experiments_cmd; campaign_cmd; check_cmd; stats_cmd; lint_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

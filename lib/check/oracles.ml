@@ -28,6 +28,10 @@ module Monte_carlo = Mcmap_sim.Monte_carlo
 module Reliability = Mcmap_reliability.Analysis
 module Pareto = Mcmap_util.Pareto
 module Stats = Mcmap_util.Stats
+module Sexp = Mcmap_util.Sexp
+module Spec = Mcmap_spec.Spec
+module Lint = Mcmap_lint.Lint
+module Diagnostic = Mcmap_lint.Diagnostic
 
 type t = {
   name : string;
@@ -486,6 +490,146 @@ let check_pareto_front sys =
   | Ok () -> run Mcmap_dse.Ga.Nsga2_selector "nsga2"
 
 (* ------------------------------------------------------------------ *)
+(* Lint soundness: the linter accepts what the generator produces and
+   flags targeted corruptions of it.
+
+   Only structural codes (MC0xx model, MC1xx plan) participate: random
+   systems can legitimately trip the MC2xx/MC3xx feasibility checks (a
+   4-task chain with period 50 has an infeasible critical path), and
+   those checks are exercised by the golden corpus instead. *)
+
+let structural_errors ds =
+  List.filter
+    (fun (d : Diagnostic.t) ->
+      d.Diagnostic.severity = Diagnostic.Error
+      && String.length d.Diagnostic.code = 5
+      && (d.Diagnostic.code.[2] = '0' || d.Diagnostic.code.[2] = '1'))
+    ds
+
+let diag_codes ds =
+  String.concat ","
+    (List.map (fun (d : Diagnostic.t) -> d.Diagnostic.code) ds)
+
+(* Second processor renamed to the first's name; Arch.make does not
+   resolve names, so the corrupt system still prints. *)
+let corrupt_duplicate_proc (sys : Gen.system) =
+  let arch = sys.Gen.arch in
+  if Arch.n_procs arch < 2 then None
+  else begin
+    let first = (Arch.proc arch 0).Proc.name in
+    let procs =
+      Array.mapi
+        (fun i (p : Proc.t) ->
+          if i = 1 then { p with Proc.name = first } else p)
+        arch.Arch.procs in
+    let arch' =
+      Arch.make ~bus_bandwidth:arch.Arch.bus_bandwidth
+        ~bus_latency:arch.Arch.bus_latency procs in
+    Some (Spec.write_system { Spec.arch = arch'; apps = sys.Gen.apps })
+  end
+
+let find_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub s i m = sub then Some i
+    else go (i + 1) in
+  go 0
+
+(* First channel's (from ...) endpoint redirected to a task that does
+   not exist. *)
+let corrupt_dangling_endpoint (sys : Gen.system) sys_text =
+  let channel_src =
+    let found = ref None in
+    Array.iter
+      (fun (g : Graph.t) ->
+        if !found = None && Array.length g.Graph.channels > 0 then
+          found :=
+            Some (Graph.task g g.Graph.channels.(0).Mcmap_model.Channel.src)
+              .Task.name)
+      sys.Gen.apps.Appset.graphs;
+    !found in
+  match channel_src with
+  | None -> None
+  | Some src ->
+    let needle = Format.asprintf "(from %s)" src in
+    (match find_sub sys_text needle with
+     | None -> None
+     | Some i ->
+       Some
+         (String.sub sys_text 0 i
+          ^ "(from __no_such_task__)"
+          ^ String.sub sys_text
+              (i + String.length needle)
+              (String.length sys_text - i - String.length needle)))
+
+(* First (bind ...) entry removed from the plan. *)
+let corrupt_drop_bind plan_text =
+  match Sexp.parse_one plan_text with
+  | Ok (Sexp.List (Sexp.Atom "plan" :: fields)) ->
+    let dropped = ref false in
+    let fields' =
+      List.filter
+        (function
+          | Sexp.List (Sexp.Atom "bind" :: _) when not !dropped ->
+            dropped := true;
+            false
+          | _ -> true)
+        fields in
+    if !dropped then
+      Some (Sexp.to_string (Sexp.List (Sexp.Atom "plan" :: fields')) ^ "\n")
+    else None
+  | _ -> None
+
+let check_lint (sys : Gen.system) =
+  let spec = { Spec.arch = sys.Gen.arch; apps = sys.Gen.apps } in
+  let sys_text = Spec.write_system spec in
+  let plan_text = Spec.write_plan spec sys.Gen.plan in
+  let expect_sys label code text k =
+    let ds, _ = Lint.lint_system text in
+    if
+      List.exists (fun (d : Diagnostic.t) -> d.Diagnostic.code = code) ds
+    then k ()
+    else failf "lint: %s: expected %s, got [%s]" label code (diag_codes ds)
+  in
+  let ds, built = Lint.lint_system sys_text in
+  match structural_errors ds, built with
+  | (d : Diagnostic.t) :: _, _ ->
+    failf "lint: clean system flagged %s: %s" d.Diagnostic.code
+      d.Diagnostic.message
+  | [], None -> failf "lint: written system did not build back"
+  | [], Some spec_sys ->
+    let pds = Lint.lint_plan spec_sys plan_text in
+    (match structural_errors pds with
+     | (d : Diagnostic.t) :: _ ->
+       failf "lint: clean plan flagged %s: %s" d.Diagnostic.code
+         d.Diagnostic.message
+     | [] ->
+       let check_dup k =
+         match corrupt_duplicate_proc sys with
+         | None -> k ()
+         | Some text -> expect_sys "duplicated processor" "MC001" text k
+       in
+       let check_dangling k =
+         match corrupt_dangling_endpoint sys sys_text with
+         | None -> k ()
+         | Some text -> expect_sys "dangling endpoint" "MC004" text k in
+       let check_unbound () =
+         match corrupt_drop_bind plan_text with
+         | None -> Ok ()
+         | Some text ->
+           let ds = Lint.lint_plan spec_sys text in
+           if
+             List.exists
+               (fun (d : Diagnostic.t) -> d.Diagnostic.code = "MC105")
+               ds
+           then Ok ()
+           else
+             failf "lint: removed bind: expected MC105, got [%s]"
+               (diag_codes ds) in
+       check_dup (fun () -> check_dangling check_unbound))
+
+(* ------------------------------------------------------------------ *)
 
 let soundness =
   { name = "wcrt-soundness";
@@ -533,8 +677,18 @@ let pareto_front =
     doc = "SPEA2/NSGA2 archives contain no dominated Pareto points";
     check = check_pareto_front }
 
+let lint_soundness =
+  { name = "lint-soundness";
+    doc =
+      "generator output round-trips through the spec writer lint-clean \
+       of structural errors, and targeted corruptions (duplicated \
+       processor, dangling endpoint, removed bind) are flagged with \
+       their codes";
+    check = check_lint }
+
 let all =
   [ soundness; reliability_agreement; campaign_agreement;
-    hardening_monotonic; wcet_monotonic; dropping_improves; pareto_front ]
+    hardening_monotonic; wcet_monotonic; dropping_improves; pareto_front;
+    lint_soundness ]
 
 let find name = List.find_opt (fun o -> o.name = name) all

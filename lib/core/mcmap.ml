@@ -18,6 +18,8 @@
       (WC-Sim) and the Adhoc trace (§5.1).
     - {!Dse}: SPEA2 genetic mapping optimisation (§4).
     - {!Benchmarks}: Cruise, DT-med/large, Synth-1/2 (§5).
+    - {!Lint}: static semantic analysis of system/plan files with
+      stable diagnostic codes ([mcmap lint]).
     - {!Experiments}: runners regenerating every table and figure of the
       evaluation. *)
 
@@ -116,6 +118,15 @@ module Benchmarks = struct
 end
 
 module Spec = Mcmap_spec.Spec
+
+(** Located parse stage of the spec format (consumed by {!Lint}). *)
+module Spec_ast = Mcmap_spec.Ast
+
+(** Static semantic analysis of systems and plans ([mcmap lint]). *)
+module Lint = struct
+  module Diagnostic = Mcmap_lint.Diagnostic
+  module Lint = Mcmap_lint.Lint
+end
 
 module Experiments = struct
   module Paper = Mcmap_experiments.Paper

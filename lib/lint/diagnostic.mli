@@ -1,0 +1,88 @@
+(** Structured lint diagnostics: stable codes, severities, source
+    spans, fix-it suggestions, and the renderers behind
+    [mcmap lint --format human|json|sexp].
+
+    Code blocks: [MC0xx] model well-formedness, [MC1xx] plan
+    consistency, [MC2xx] schedulability necessary conditions, [MC3xx]
+    reliability feasibility. Codes are stable across releases: new
+    checks take new codes, retired codes are not reused. *)
+
+type severity = Error | Warning | Hint
+
+val severity_to_string : severity -> string
+
+val severity_of_string : string -> severity option
+
+val compare_severity : severity -> severity -> int
+(** Orders by rank: [Hint < Warning < Error]. *)
+
+type t = {
+  code : string;  (** e.g. ["MC004"] *)
+  severity : severity;
+  file : string option;
+  pos : Mcmap_util.Sexp.pos option;
+  message : string;
+  fixit : string option;  (** a suggested remedy, when one is obvious *)
+}
+
+(** {1 Registry} *)
+
+type info = {
+  i_code : string;
+  i_severity : severity;  (** default severity of the check *)
+  i_title : string;  (** short kebab-case name, e.g. [dependency-cycle] *)
+  i_doc : string;  (** one-paragraph description *)
+}
+
+val registry : info list
+(** Every diagnostic the linter can produce, in code order. *)
+
+val info : string -> info option
+
+val default_severity : string -> severity
+(** @raise Invalid_argument on a code not in the registry. *)
+
+val make :
+  ?file:string ->
+  ?pos:Mcmap_util.Sexp.pos ->
+  ?fixit:string ->
+  ?severity:severity ->
+  code:string ->
+  string ->
+  t
+(** Build a diagnostic; the severity defaults to the registry's default
+    for the code.
+    @raise Invalid_argument on a code not in the registry. *)
+
+(** {1 Deny levels and exit logic} *)
+
+val effective_severity : ?deny:severity -> t -> severity
+(** [--deny warning] promotes warnings (and above) to errors,
+    [--deny hint] promotes everything. *)
+
+val error_count : ?deny:severity -> t list -> int
+(** Diagnostics whose effective severity is [Error] — the CLI exits
+    non-zero iff this is positive. *)
+
+val sort : t list -> t list
+(** Stable order: by file, then position (unpositioned last), then
+    code. *)
+
+(** {1 Renderers} *)
+
+val pp_human : Format.formatter -> t -> unit
+(** [file:line:col: severity[CODE]: message], with an indented
+    [fix:] line when a suggestion exists. *)
+
+val render_human : t list -> string
+(** One line per diagnostic plus a count summary line. *)
+
+val to_json : t -> Mcmap_util.Json.t
+
+val render_json : t list -> string
+(** A JSON array of diagnostic objects. *)
+
+val render_sexp : t list -> string
+(** [(diagnostics (diagnostic (code ...) ...) ...)]; free text is
+    emitted word-per-atom so the output re-parses with
+    [Mcmap_util.Sexp.parse]. *)

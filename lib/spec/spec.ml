@@ -14,6 +14,10 @@ type system = {
   apps : Appset.t;
 }
 
+type error = Ast.error = { epos : Sexp.pos option; msg : string }
+
+let error_to_string = Ast.error_to_string
+
 let ( let* ) = Result.bind
 
 let rec collect f = function
@@ -23,259 +27,241 @@ let rec collect f = function
     let* ys = collect f rest in
     Ok (y :: ys)
 
-let protect_invalid f =
-  try Ok (f ()) with Invalid_argument msg -> Error msg
+let errf ?pos fmt =
+  Format.kasprintf (fun msg -> Error { epos = pos; msg }) fmt
+
+(* Model constructors signal invariant breaches with [Invalid_argument];
+   attach the position of the block being built. *)
+let protect_at pos f =
+  try Ok (f ()) with
+  | Invalid_argument msg -> Error { epos = Some pos; msg }
 
 (* ------------------------------------------------------------------ *)
-(* Reading *)
+(* Building the model from the raw AST *)
 
-let read_processor id fields =
-  let* name = Sexp.assoc_atom "name" fields in
-  let* proc_type = Sexp.assoc_atom_opt "type" fields in
-  let* static_power = Sexp.assoc_float_opt "static" fields in
-  let* dynamic_power = Sexp.assoc_float_opt "dynamic" fields in
-  let* fault_rate = Sexp.assoc_float_opt "fault-rate" fields in
-  let* speed = Sexp.assoc_float_opt "speed" fields in
-  let* policy_name = Sexp.assoc_atom_opt "policy" fields in
+let build_proc id (p : Ast.proc) =
   let* policy =
-    match policy_name with
-    | None | Some "preemptive" -> Ok Proc.Preemptive_fp
-    | Some "non-preemptive" -> Ok Proc.Non_preemptive_fp
-    | Some other ->
-      Error
-        (Format.asprintf
-           "processor %s: unknown policy %s (expected preemptive or \
-            non-preemptive)"
-           name other) in
-  protect_invalid (fun () ->
-      Proc.make ?proc_type ?static_power ?dynamic_power ?fault_rate ?speed
-        ~policy ~id ~name ())
+    match p.Ast.p_policy with
+    | None -> Ok Proc.Preemptive_fp
+    | Some { v = "preemptive"; _ } -> Ok Proc.Preemptive_fp
+    | Some { v = "non-preemptive"; _ } -> Ok Proc.Non_preemptive_fp
+    | Some { v = other; pos } ->
+      errf ~pos
+        "processor %s: unknown policy %s (expected preemptive or \
+         non-preemptive)"
+        p.Ast.p_name.Ast.v other in
+  let value o = Option.map (fun (l : _ Ast.located) -> l.Ast.v) o in
+  protect_at p.Ast.p_pos (fun () ->
+      Proc.make
+        ?proc_type:(value p.Ast.p_type)
+        ?static_power:(value p.Ast.p_static)
+        ?dynamic_power:(value p.Ast.p_dynamic)
+        ?fault_rate:(value p.Ast.p_fault_rate)
+        ?speed:(value p.Ast.p_speed)
+        ~policy ~id ~name:p.Ast.p_name.Ast.v ())
 
-let read_architecture fields =
-  let bus = Option.value ~default:[] (Sexp.assoc "bus" fields) in
-  let* bus_bandwidth = Sexp.assoc_int_opt "bandwidth" bus in
-  let* bus_latency = Sexp.assoc_int_opt "latency" bus in
-  let proc_fields = Sexp.fields "processor" fields in
-  if proc_fields = [] then Error "architecture: no processors"
+let check_unique ~what names =
+  let seen = Hashtbl.create 16 in
+  let rec go = function
+    | [] -> Ok ()
+    | (name : string Ast.located) :: rest ->
+      if Hashtbl.mem seen name.Ast.v then
+        errf ~pos:name.Ast.pos "duplicate %s %s" what name.Ast.v
+      else begin
+        Hashtbl.add seen name.Ast.v ();
+        go rest
+      end in
+  go names
+
+let build_arch (a : Ast.arch) =
+  if a.Ast.a_procs = [] then
+    errf ~pos:a.Ast.a_pos "architecture: no processors"
   else begin
+    let* () =
+      check_unique ~what:"processor name"
+        (List.map (fun (p : Ast.proc) -> p.Ast.p_name) a.Ast.a_procs) in
     let* procs =
       collect
-        (fun (id, f) -> read_processor id f)
-        (List.mapi (fun id f -> (id, f)) proc_fields) in
-    protect_invalid (fun () ->
-        Arch.make ?bus_bandwidth ?bus_latency (Array.of_list procs))
+        (fun (id, p) -> build_proc id p)
+        (List.mapi (fun id p -> (id, p)) a.Ast.a_procs) in
+    let value o = Option.map (fun (l : _ Ast.located) -> l.Ast.v) o in
+    protect_at a.Ast.a_pos (fun () ->
+        Arch.make
+          ?bus_bandwidth:(value a.Ast.a_bandwidth)
+          ?bus_latency:(value a.Ast.a_latency)
+          (Array.of_list procs))
   end
 
-let read_task id fields =
-  let* name = Sexp.assoc_atom "name" fields in
-  let* wcet = Sexp.assoc_int "wcet" fields in
-  let* bcet = Sexp.assoc_int_opt "bcet" fields in
-  let* detect = Sexp.assoc_int_opt "detect" fields in
-  let* vote = Sexp.assoc_int_opt "vote" fields in
-  protect_invalid (fun () ->
-      Task.make ?bcet
-        ?detection_overhead:detect ?voting_overhead:vote ~id ~name ~wcet ())
+let build_task id (t : Ast.task) =
+  let value o = Option.map (fun (l : _ Ast.located) -> l.Ast.v) o in
+  protect_at t.Ast.t_pos (fun () ->
+      Task.make
+        ?bcet:(value t.Ast.t_bcet)
+        ?detection_overhead:(value t.Ast.t_detect)
+        ?voting_overhead:(value t.Ast.t_vote)
+        ~id ~name:t.Ast.t_name.Ast.v ~wcet:t.Ast.t_wcet.Ast.v ())
 
-let read_channel ~task_index fields =
-  let* from_name = Sexp.assoc_atom "from" fields in
-  let* to_name = Sexp.assoc_atom "to" fields in
-  let* size = Sexp.assoc_int_opt "size" fields in
-  let resolve name =
-    match Hashtbl.find_opt task_index name with
-    | Some id -> Ok id
-    | None -> Error (Format.asprintf "channel: unknown task %s" name) in
-  let* src = resolve from_name in
-  let* dst = resolve to_name in
-  protect_invalid (fun () -> Channel.make ?size ~src ~dst ())
-
-let read_application fields =
-  let* name = Sexp.assoc_atom "name" fields in
-  let* period = Sexp.assoc_int "period" fields in
-  let* deadline = Sexp.assoc_int_opt "deadline" fields in
-  let* critical = Sexp.assoc_float_opt "critical" fields in
-  let* droppable = Sexp.assoc_float_opt "droppable" fields in
+let build_app (g : Ast.app) =
+  let name = g.Ast.g_name.Ast.v in
   let* criticality =
-    match critical, droppable with
-    | Some f, None -> protect_invalid (fun () -> Criticality.critical f)
-    | None, Some sv -> protect_invalid (fun () -> Criticality.droppable sv)
-    | Some _, Some _ ->
-      Error
-        (Format.asprintf
-           "application %s: both (critical ...) and (droppable ...)" name)
+    match g.Ast.g_critical, g.Ast.g_droppable with
+    | Some f, None ->
+      protect_at f.Ast.pos (fun () -> Criticality.critical f.Ast.v)
+    | None, Some sv ->
+      protect_at sv.Ast.pos (fun () -> Criticality.droppable sv.Ast.v)
+    | Some _, Some d ->
+      errf ~pos:d.Ast.pos
+        "application %s: both (critical ...) and (droppable ...)" name
     | None, None ->
-      Error
-        (Format.asprintf
-           "application %s: needs (critical <rate>) or (droppable <sv>)"
-           name) in
+      errf ~pos:g.Ast.g_pos
+        "application %s: needs (critical <rate>) or (droppable <sv>)" name
+  in
+  let* () =
+    check_unique ~what:("task in application " ^ name)
+      (List.map (fun (t : Ast.task) -> t.Ast.t_name) g.Ast.g_tasks) in
   let* tasks =
     collect
-      (fun (id, f) -> read_task id f)
-      (List.mapi (fun id f -> (id, f)) (Sexp.fields "task" fields)) in
+      (fun (id, t) -> build_task id t)
+      (List.mapi (fun id t -> (id, t)) g.Ast.g_tasks) in
   let task_index = Hashtbl.create 16 in
-  let* () =
-    let rec register = function
-      | [] -> Ok ()
-      | (t : Task.t) :: rest ->
-        if Hashtbl.mem task_index t.Task.name then
-          Error
-            (Format.asprintf "application %s: duplicate task %s" name
-               t.Task.name)
-        else begin
-          Hashtbl.add task_index t.Task.name t.Task.id;
-          register rest
-        end in
-    register tasks in
+  List.iter
+    (fun (t : Task.t) -> Hashtbl.add task_index t.Task.name t.Task.id)
+    tasks;
   let* channels =
-    collect (read_channel ~task_index) (Sexp.fields "channel" fields) in
-  protect_invalid (fun () ->
+    collect
+      (fun (c : Ast.channel) ->
+        let resolve (n : string Ast.located) =
+          match Hashtbl.find_opt task_index n.Ast.v with
+          | Some id -> Ok id
+          | None ->
+            errf ~pos:n.Ast.pos "channel: unknown task %s" n.Ast.v in
+        let* src = resolve c.Ast.c_from in
+        let* dst = resolve c.Ast.c_to in
+        let size =
+          Option.map (fun (l : _ Ast.located) -> l.Ast.v) c.Ast.c_size in
+        protect_at c.Ast.c_pos (fun () -> Channel.make ?size ~src ~dst ()))
+      g.Ast.g_channels in
+  let deadline =
+    Option.map (fun (l : _ Ast.located) -> l.Ast.v) g.Ast.g_deadline in
+  protect_at g.Ast.g_pos (fun () ->
       Graph.make ?deadline ~name ~tasks:(Array.of_list tasks)
-        ~channels:(Array.of_list channels) ~period ~criticality ())
+        ~channels:(Array.of_list channels)
+        ~period:g.Ast.g_period.Ast.v ~criticality ())
+
+let build_system (raw : Ast.system) =
+  let* arch = build_arch raw.Ast.sys_arch in
+  let* () =
+    check_unique ~what:"application name"
+      (List.map (fun (g : Ast.app) -> g.Ast.g_name) raw.Ast.sys_apps) in
+  let* graphs = collect build_app raw.Ast.sys_apps in
+  let* apps =
+    match raw.Ast.sys_apps with
+    | [] -> errf "no (application ...) blocks"
+    | g :: _ ->
+      protect_at g.Ast.g_pos (fun () -> Appset.make (Array.of_list graphs))
+  in
+  Ok { arch; apps }
+
+let parse_system = Ast.system_of_string
 
 let read_system input =
-  let* exprs = Sexp.parse input in
-  let tops =
-    List.filter_map
-      (function Sexp.List l -> Some l | Sexp.Atom _ -> None)
-      exprs in
-  let arch_fields =
-    List.filter_map
-      (function
-        | Sexp.Atom "architecture" :: rest -> Some rest
-        | _ -> None)
-      tops in
-  let* arch =
-    match arch_fields with
-    | [ fields ] -> read_architecture fields
-    | [] -> Error "missing (architecture ...)"
-    | _ :: _ :: _ -> Error "more than one (architecture ...)" in
-  let app_fields =
-    List.filter_map
-      (function
-        | Sexp.Atom "application" :: rest -> Some rest
-        | _ -> None)
-      tops in
-  if app_fields = [] then Error "no (application ...) blocks"
-  else begin
-    let* graphs = collect read_application app_fields in
-    let* apps =
-      protect_invalid (fun () -> Appset.make (Array.of_list graphs)) in
-    Ok { arch; apps }
-  end
+  match Result.bind (parse_system input) build_system with
+  | Ok _ as ok -> ok
+  | Error e -> Error (error_to_string e)
 
 (* ------------------------------------------------------------------ *)
 (* Plans *)
 
-let proc_id_of_name { arch; _ } name =
+let proc_id_of_name { arch; _ } (name : string Ast.located) =
   let n = Arch.n_procs arch in
   let rec find i =
-    if i >= n then Error (Format.asprintf "unknown processor %s" name)
-    else if (Arch.proc arch i).Proc.name = name then Ok i
+    if i >= n then
+      errf ~pos:name.Ast.pos "unknown processor %s" name.Ast.v
+    else if (Arch.proc arch i).Proc.name = name.Ast.v then Ok i
     else find (i + 1) in
   find 0
 
-let graph_id_of_name { apps; _ } name =
-  match Appset.graph_index apps name with
+let graph_id_of_name { apps; _ } (name : string Ast.located) =
+  match Appset.graph_index apps name.Ast.v with
   | i -> Ok i
   | exception Not_found ->
-    Error (Format.asprintf "unknown application %s" name)
+    errf ~pos:name.Ast.pos "unknown application %s" name.Ast.v
 
-let task_id_of_name { apps; _ } gi name =
+let task_id_of_name { apps; _ } gi (name : string Ast.located) =
   let g = Appset.graph apps gi in
   let n = Graph.n_tasks g in
   let rec find i =
     if i >= n then
-      Error
-        (Format.asprintf "unknown task %s in application %s" name
-           g.Graph.name)
-    else if (Graph.task g i).Task.name = name then Ok i
+      errf ~pos:name.Ast.pos "unknown task %s in application %s" name.Ast.v
+        g.Graph.name
+    else if (Graph.task g i).Task.name = name.Ast.v then Ok i
     else find (i + 1) in
   find 0
 
-let read_harden fields =
-  match Sexp.assoc "harden" fields with
+let build_technique (h : Ast.harden Ast.located option) =
+  match h with
   | None -> Ok Technique.No_hardening
-  | Some [ Sexp.List [ Sexp.Atom "reexec"; Sexp.Atom k ] ] ->
-    (match int_of_string_opt k with
-     | Some k -> protect_invalid (fun () -> Technique.re_execution k)
-     | None -> Error "harden: (reexec <k>) expects an integer")
-  | Some [ Sexp.List [ Sexp.Atom "checkpoint"; Sexp.Atom n; Sexp.Atom k ] ]
-    ->
-    (match int_of_string_opt n, int_of_string_opt k with
-     | Some segments, Some k ->
-       protect_invalid (fun () -> Technique.checkpointing ~segments ~k)
-     | _, _ -> Error "harden: (checkpoint <n> <k>) expects two integers")
-  | Some [ Sexp.List [ Sexp.Atom "active"; Sexp.Atom n ] ] ->
-    (match int_of_string_opt n with
-     | Some n -> protect_invalid (fun () -> Technique.active_replication n)
-     | None -> Error "harden: (active <n>) expects an integer")
-  | Some [ Sexp.List [ Sexp.Atom "passive"; Sexp.Atom m ] ] ->
-    (match int_of_string_opt m with
-     | Some m -> protect_invalid (fun () -> Technique.passive_replication m)
-     | None -> Error "harden: (passive <m>) expects an integer")
-  | Some _ ->
-    Error
-      "harden: expected (reexec <k>), (checkpoint <n> <k>), (active <n>) \
-       or (passive <m>)"
+  | Some { Ast.v = h; pos } ->
+    protect_at pos (fun () ->
+        match h with
+        | Ast.Reexec k -> Technique.re_execution k.Ast.v
+        | Ast.Checkpoint (n, k) ->
+          Technique.checkpointing ~segments:n.Ast.v ~k:k.Ast.v
+        | Ast.Active n -> Technique.active_replication n.Ast.v
+        | Ast.Passive m -> Technique.passive_replication m.Ast.v)
 
-let read_bind system fields =
-  let* app_name = Sexp.assoc_atom "app" fields in
-  let* task_name = Sexp.assoc_atom "task" fields in
-  let* proc_name = Sexp.assoc_atom "proc" fields in
-  let* gi = graph_id_of_name system app_name in
-  let* ti = task_id_of_name system gi task_name in
-  let* primary = proc_id_of_name system proc_name in
-  let* technique = read_harden fields in
+let build_bind system (b : Ast.bind) =
+  let* gi = graph_id_of_name system b.Ast.b_app in
+  let* ti = task_id_of_name system gi b.Ast.b_task in
+  let* primary = proc_id_of_name system b.Ast.b_proc in
+  let* technique = build_technique b.Ast.b_harden in
   let* replicas =
-    match Sexp.assoc "replicas" fields with
+    match b.Ast.b_replicas with
     | None -> Ok [||]
-    | Some items ->
-      let* names = collect Sexp.atom items in
+    | Some { Ast.v = names; _ } ->
       let* ids = collect (proc_id_of_name system) names in
       Ok (Array.of_list ids) in
   let* voter =
-    match Sexp.assoc "voter" fields with
+    match b.Ast.b_voter with
     | None -> Ok primary
-    | Some [ Sexp.Atom name ] -> proc_id_of_name system name
-    | Some _ -> Error "voter: expected one processor name" in
+    | Some name -> proc_id_of_name system name in
   let expected = Technique.replica_count technique - 1 in
   if Array.length replicas <> expected then
-    Error
-      (Format.asprintf
-         "bind %s.%s: technique needs %d replica processors, got %d"
-         app_name task_name expected (Array.length replicas))
+    errf ~pos:b.Ast.b_pos
+      "bind %s.%s: technique needs %d replica processors, got %d"
+      b.Ast.b_app.Ast.v b.Ast.b_task.Ast.v expected (Array.length replicas)
   else
     Ok
       (gi, ti,
        { Plan.technique; primary_proc = primary; replica_procs = replicas;
          voter_proc = voter })
 
-let read_plan system input =
-  let* exprs = Sexp.parse input in
-  let* fields =
-    match exprs with
-    | [ Sexp.List (Sexp.Atom "plan" :: rest) ] -> Ok rest
-    | _ -> Error "expected a single (plan ...) expression" in
-  let* dropped_names =
-    match Sexp.assoc "dropped" fields with
+let build_plan system (raw : Ast.plan) =
+  let* dropped_ids =
+    match raw.Ast.pl_dropped with
     | None -> Ok []
-    | Some items -> collect Sexp.atom items in
-  let* dropped_ids = collect (graph_id_of_name system) dropped_names in
+    | Some { Ast.v = names; _ } ->
+      collect (graph_id_of_name system) names in
   let apps = system.apps in
   let dropped = Array.make (Appset.n_graphs apps) false in
   List.iter (fun gi -> dropped.(gi) <- true) dropped_ids;
   let decisions =
     Array.init (Appset.n_graphs apps) (fun gi ->
         Array.make (Graph.n_tasks (Appset.graph apps gi)) None) in
-  let* binds = collect (read_bind system) (Sexp.fields "bind" fields) in
+  let* binds =
+    collect
+      (fun (b : Ast.bind) ->
+        let* resolved = build_bind system b in
+        Ok (b.Ast.b_pos, resolved))
+      raw.Ast.pl_binds in
   let* () =
     let rec apply = function
       | [] -> Ok ()
-      | (gi, ti, d) :: rest ->
+      | (pos, (gi, ti, d)) :: rest ->
         if decisions.(gi).(ti) <> None then
-          Error
-            (Format.asprintf "task %s.%s bound twice"
-               (Appset.graph apps gi).Graph.name
-               (Graph.task (Appset.graph apps gi) ti).Task.name)
+          errf ~pos "task %s.%s bound twice"
+            (Appset.graph apps gi).Graph.name
+            (Graph.task (Appset.graph apps gi) ti).Task.name
         else begin
           decisions.(gi).(ti) <- Some d;
           apply rest
@@ -296,12 +282,19 @@ let read_plan system input =
     decisions;
   match !missing with
   | _ :: _ ->
-    Error
-      (Format.asprintf "unbound tasks: %s"
-         (String.concat ", " (List.rev !missing)))
+    errf ~pos:raw.Ast.pl_pos "unbound tasks: %s"
+      (String.concat ", " (List.rev !missing))
   | [] ->
     let decisions = Array.map (Array.map Option.get) decisions in
-    protect_invalid (fun () -> Plan.make apps ~decisions ~dropped)
+    protect_at raw.Ast.pl_pos (fun () ->
+        Plan.make apps ~decisions ~dropped)
+
+let parse_plan = Ast.plan_of_string
+
+let read_plan system input =
+  match Result.bind (parse_plan input) (build_plan system) with
+  | Ok _ as ok -> ok
+  | Error e -> Error (error_to_string e)
 
 (* ------------------------------------------------------------------ *)
 (* Writing *)

@@ -40,17 +40,44 @@ type system = {
   apps : Mcmap_model.Appset.t;
 }
 
+type error = Ast.error = {
+  epos : Mcmap_util.Sexp.pos option;
+  msg : string;
+}
+(** A reading error, located when a source position applies. *)
+
+val error_to_string : error -> string
+
+val parse_system : string -> (Ast.system, error) result
+(** Stage one: shape the text into the raw located AST (see {!Ast}). *)
+
+val build_system : Ast.system -> (system, error) result
+(** Stage two: resolve names and build the validated model. Duplicate
+    processor/application/task names and dangling channel endpoints are
+    rejected with the position of the offending name. *)
+
 val read_system : string -> (system, string) result
-(** Parse a system from the textual format. Errors are human-readable
-    and carry positions or the offending name. *)
+(** [parse_system] then [build_system], with errors rendered as
+    ["line:col: message"] strings. *)
 
 val write_system : system -> string
+
+val parse_plan : string -> (Ast.plan, error) result
+(** Stage one for plans: shape a single [(plan ...)] expression. *)
+
+val build_plan :
+  system -> Ast.plan -> (Mcmap_hardening.Plan.t, error) result
+(** Stage two for plans: resolve names against the system; every task
+    must be bound exactly once. *)
 
 val read_plan : system -> string -> (Mcmap_hardening.Plan.t, string) result
 (** Parse a plan against a system (names are resolved; every task must
     be bound exactly once). *)
 
 val write_plan : system -> Mcmap_hardening.Plan.t -> string
+
+val read_file : string -> (string, string) result
+(** Read a whole file; [Sys_error] messages become [Error]. *)
 
 val load_system : string -> (system, string) result
 (** [load_system path] reads and parses a file. *)

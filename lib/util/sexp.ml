@@ -1,5 +1,16 @@
 type t = Atom of string | List of t list
 
+type pos = { line : int; col : int }
+
+let pp_pos ppf p = Format.fprintf ppf "%d:%d" p.line p.col
+
+let pos_to_string p = Format.asprintf "%a" pp_pos p
+
+module Loc = struct
+  type sexp = { v : value; pos : pos }
+  and value = Atom of string | List of sexp list
+end
+
 (* ------------------------------------------------------------------ *)
 (* Parsing *)
 
@@ -56,6 +67,7 @@ let read_atom c =
 
 let rec read_expr c =
   skip_blank c;
+  let here = { line = c.line; col = c.col } in
   match peek c with
   | None -> error c "unexpected end of input"
   | Some ')' -> error c "unexpected ')'"
@@ -66,16 +78,21 @@ let rec read_expr c =
       match peek c with
       | Some ')' ->
         advance c;
-        Ok (List (List.rev acc))
+        Ok { Loc.v = Loc.List (List.rev acc); pos = here }
       | None -> error c "unclosed '('"
       | Some _ ->
         (match read_expr c with
          | Ok e -> items (e :: acc)
          | Error _ as err -> err) in
     items []
-  | Some _ -> Ok (Atom (read_atom c))
+  | Some _ -> Ok { Loc.v = Loc.Atom (read_atom c); pos = here }
 
-let parse input =
+let rec strip (e : Loc.sexp) =
+  match e.Loc.v with
+  | Loc.Atom a -> Atom a
+  | Loc.List items -> List (List.map strip items)
+
+let parse_loc input =
   let c = { input; pos = 0; line = 1; col = 1 } in
   let rec loop acc =
     skip_blank c;
@@ -86,6 +103,8 @@ let parse input =
        | Ok e -> loop (e :: acc)
        | Error _ as err -> err) in
   loop []
+
+let parse input = Result.map (List.map strip) (parse_loc input)
 
 let parse_one input =
   match parse input with

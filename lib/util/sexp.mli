@@ -7,9 +7,32 @@
 
 type t = Atom of string | List of t list
 
+type pos = { line : int; col : int }
+(** A 1-based source position. *)
+
+val pp_pos : Format.formatter -> pos -> unit
+(** Prints [line:col]. *)
+
+val pos_to_string : pos -> string
+
+(** Position-annotated trees: every atom carries the position of its
+    first character, every list the position of its opening
+    parenthesis. The substrate of located diagnostics ([Mcmap_lint]). *)
+module Loc : sig
+  type sexp = { v : value; pos : pos }
+  and value = Atom of string | List of sexp list
+end
+
 val parse : string -> (t list, string) result
 (** Parse every top-level expression in the input. Errors carry a
     line/column position. *)
+
+val parse_loc : string -> (Loc.sexp list, string) result
+(** Like {!parse} but keeps source positions on every node. *)
+
+val strip : Loc.sexp -> t
+(** Forget the positions. [parse] is [parse_loc] composed with
+    [strip]. *)
 
 val parse_one : string -> (t, string) result
 (** Parse exactly one expression (and nothing else but whitespace). *)

@@ -12,5 +12,6 @@ let () =
       ("dse", Test_dse.suite);
       ("benchmarks", Test_benchmarks.suite);
       ("spec", Test_spec.suite);
+      ("lint", Test_lint.suite);
       ("experiments", Test_experiments.suite);
       ("check", Test_check.suite) ]

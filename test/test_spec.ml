@@ -164,6 +164,46 @@ let test_system_errors () =
          (application (name a) (period 10) (critical 0.1)
            (task (name t) (wcet 5)))|})
 
+(* Parser error paths must report where the problem is: messages from
+   [read_system] start with "line:col:" for shaping errors, and carry
+   an embedded position for raw sexp errors. *)
+let test_error_positions () =
+  let starts_with prefix s =
+    String.length s >= String.length prefix
+    && String.sub s 0 (String.length prefix) = prefix in
+  let expect_located what input prefix =
+    match Spec.read_system input with
+    | Ok _ -> Alcotest.fail (what ^ ": expected an error")
+    | Error msg ->
+      if not (starts_with prefix msg) then
+        Alcotest.failf "%s: error %S does not start with %S" what msg
+          prefix in
+  expect_located "unknown field"
+    "(architecture\n\
+    \  (processor (name p0)\n\
+    \    (frequency 2)))\n\
+     (application (name a) (period 10) (droppable 1)\n\
+    \  (task (name t) (wcet 5)))"
+    "3:5: processor: unknown field (frequency";
+  expect_located "wrong arity"
+    "(architecture\n\
+    \  (processor (name p0 extra)))\n\
+     (application (name a) (period 10) (droppable 1)\n\
+    \  (task (name t) (wcet 5)))"
+    "2:14: processor: field (name ...) expects one atom";
+  expect_located "malformed number"
+    "(architecture\n\
+    \  (processor (name p0)))\n\
+     (application (name a) (period 10) (droppable 1)\n\
+    \  (task (name t) (wcet abc)))"
+    "4:24: task: field (wcet abc): expected an integer";
+  (* raw sexp errors position inside the message itself *)
+  (match Spec.read_system "(architecture\n  (processor (name p0)" with
+   | Ok _ -> Alcotest.fail "unclosed: expected an error"
+   | Error msg ->
+     if not (starts_with "2:23: unclosed" msg) then
+       Alcotest.failf "unclosed: error %S lacks its position" msg)
+
 let test_plan_errors () =
   match Spec.read_system sample_system_text with
   | Error e -> Alcotest.fail e
@@ -315,6 +355,8 @@ let suite =
     Alcotest.test_case "system: read" `Quick test_read_system;
     Alcotest.test_case "plan: read" `Quick test_read_plan;
     Alcotest.test_case "system: errors" `Quick test_system_errors;
+    Alcotest.test_case "system: error positions" `Quick
+      test_error_positions;
     Alcotest.test_case "plan: errors" `Quick test_plan_errors;
     Alcotest.test_case "round-trip: benchmarks" `Quick
       test_roundtrip_benchmarks;
