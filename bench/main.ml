@@ -141,6 +141,25 @@ let micro_ga =
     D.Ga.population = 8; offspring = 8; generations = 2;
     check_rescue = false }
 
+(* Evaluator-session kernels (DT-large, the heaviest benchmark):
+   [evaluator_cold] pays a fresh session + full analysis per run,
+   [evaluator_warm] queries a pre-warmed session (the result-cache hit
+   path every optimisation loop rides on — the contract is warm >= 3x
+   cold), [eval_population] evaluates a 16-plan population on a fresh
+   multi-domain session per run. *)
+let evaluator_ctx =
+  lazy
+    (let bench = B.Registry.find_exn "dt-large" in
+     let arch = bench.B.Benchmark.arch
+     and apps = bench.B.Benchmark.apps in
+     let plan = B.Sampler.balanced_plan ~seed:42 arch apps in
+     let population =
+       Array.init 16 (fun i -> B.Sampler.plan ~seed:(100 + i) arch apps) in
+     let warm = D.Evaluator.create arch apps in
+     ignore (D.Evaluator.eval warm plan);
+     let domains = min 4 (Mcmap_util.Parallel.recommended_domains ()) in
+     (arch, apps, plan, population, warm, domains))
+
 let tests =
   let open Bechamel in
   [ (* Table 2 column "Proposed": one full Algorithm 1 run *)
@@ -182,7 +201,23 @@ let tests =
     Test.make ~name:"campaign/shard(512 trials)"
       (Staged.stage (fun () ->
            let cplan, shard = Lazy.force campaign_shard in
-           ignore (C.Shard.execute cplan shard))) ]
+           ignore (C.Shard.execute cplan shard)));
+    (* Evaluator sessions: cold vs warm vs population (DT-large) *)
+    Test.make ~name:"evaluator_cold"
+      (Staged.stage (fun () ->
+           let arch, apps, plan, _, _, _ = Lazy.force evaluator_ctx in
+           let session = D.Evaluator.create arch apps in
+           ignore (D.Evaluator.eval session plan)));
+    Test.make ~name:"evaluator_warm"
+      (Staged.stage (fun () ->
+           let _, _, plan, _, warm, _ = Lazy.force evaluator_ctx in
+           ignore (D.Evaluator.eval warm plan)));
+    Test.make ~name:"eval_population"
+      (Staged.stage (fun () ->
+           let arch, apps, _, population, _, domains =
+             Lazy.force evaluator_ctx in
+           let session = D.Evaluator.create ~domains arch apps in
+           ignore (D.Evaluator.eval_population session population))) ]
 
 (* Runs every kernel, prints the text report and returns the estimates
    as [(name, ns_per_run option)] for the JSON summary. *)

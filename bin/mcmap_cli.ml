@@ -61,9 +61,10 @@ let bench_arg =
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
 
-let ga_config population offspring generations seed =
+let ga_config ?(domains = 1) ?(eval_cache = 4096) population offspring
+    generations seed =
   { D.Ga.default_config with
-    D.Ga.population; offspring; generations; seed }
+    D.Ga.population; offspring; generations; seed; domains; eval_cache }
 
 let population_arg =
   Arg.(value & opt int 40 & info [ "population" ] ~doc:"GA archive size.")
@@ -241,8 +242,8 @@ let simulate_cmd =
                            analysis style of Table 1's ref [5]).")
           $ trace_arg $ metrics_arg)
 
-let explore_run bench_name population offspring generations seed quiet
-    no_lint trace metrics =
+let explore_run bench_name population offspring generations seed domains
+    eval_cache quiet no_lint trace metrics =
   with_obs trace metrics @@ fun () ->
   match find_benchmark bench_name with
   | Error e -> prerr_endline e; 1
@@ -266,7 +267,9 @@ let explore_run bench_name population offspring generations seed quiet
       1
     end
     else begin
-    let config = ga_config population offspring generations seed in
+    let config =
+      ga_config ~domains ~eval_cache population offspring generations
+        seed in
     let on_generation (p : D.Explore.progress) =
       if not quiet then
         Printf.printf
@@ -306,6 +309,14 @@ let explore_cmd =
        ~doc:"SPEA2 design-space exploration of a benchmark")
     Term.(const explore_run $ bench_arg $ population_arg $ offspring_arg
           $ generations_arg $ seed_arg
+          $ Arg.(value & opt int 1
+                 & info [ "domains" ]
+                     ~doc:"Domains evaluating candidates in parallel \
+                           (results are identical for any count).")
+          $ Arg.(value & opt int 4096
+                 & info [ "eval-cache" ]
+                     ~doc:"Evaluator-session result-cache capacity \
+                           (0 disables caching).")
           $ Arg.(value & flag
                  & info [ "quiet" ]
                      ~doc:"Suppress the per-generation progress lines.")

@@ -18,6 +18,27 @@ type report = {
    fault, so over multi-hyperperiod horizons a job is only *certainly*
    dropped when it is also released inside the earliest possible
    critical window of the trigger. *)
+(* A non-triggering job only sees the trigger through two scalars: the
+   earliest time the fault can occur ([min_start] of the trigger) and the
+   latest time it can surface ([max_finish]). The evaluator session
+   exploits this: a trigger in another processor component is fully
+   summarised by that pair, so scenario analyses can be memoised per
+   component and shared between all external triggers with equal pairs. *)
+let external_exec ~base ~min_start ~max_finish
+    (nb : Bounds.job_bounds array) (w : Job.t) =
+  if nb.(w.Job.id).Bounds.max_finish < min_start then
+    (* Certainly completed before the first fault: normal state. *)
+    Bounds.nominal_exec w
+  else if w.Job.in_dropped_set then begin
+    let earliest_restore = ((min_start / base) + 1) * base in
+    if nb.(w.Job.id).Bounds.min_start > max_finish
+       && w.Job.release < earliest_restore then
+      (0, 0) (* certainly dropped: never released *)
+    else (0, w.Job.wcet) (* transition: either executed or dropped *)
+  end
+  else if w.Job.passive then (0, w.Job.wcet) (* may be invoked *)
+  else (w.Job.bcet, w.Job.critical_wcet)
+
 let scenario_exec ~base (nb : Bounds.job_bounds array) (v : Job.t)
     (w : Job.t) =
   if w.Job.id = v.Job.id then begin
@@ -26,20 +47,9 @@ let scenario_exec ~base (nb : Bounds.job_bounds array) (v : Job.t)
     if w.Job.passive then (0, w.Job.wcet)
     else (w.Job.bcet, w.Job.critical_wcet)
   end
-  else if nb.(w.Job.id).Bounds.max_finish < nb.(v.Job.id).Bounds.min_start
-  then
-    (* Certainly completed before the first fault: normal state. *)
-    Bounds.nominal_exec w
-  else if w.Job.in_dropped_set then begin
-    let earliest_restore =
-      ((nb.(v.Job.id).Bounds.min_start / base) + 1) * base in
-    if nb.(w.Job.id).Bounds.min_start > nb.(v.Job.id).Bounds.max_finish
-       && w.Job.release < earliest_restore then
-      (0, 0) (* certainly dropped: never released *)
-    else (0, w.Job.wcet) (* transition: either executed or dropped *)
-  end
-  else if w.Job.passive then (0, w.Job.wcet) (* may be invoked *)
-  else (w.Job.bcet, w.Job.critical_wcet)
+  else
+    external_exec ~base ~min_start:nb.(v.Job.id).Bounds.min_start
+      ~max_finish:nb.(v.Job.id).Bounds.max_finish nb w
 
 let analyze_spanned ?max_iterations ctx =
   let js = Bounds.jobset ctx in

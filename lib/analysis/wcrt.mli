@@ -35,7 +35,38 @@ type report = {
 }
 
 val analyze : ?max_iterations:int -> Mcmap_sched.Bounds.ctx -> report
-(** Run Algorithm 1 on a prepared bounds context. *)
+(** Run Algorithm 1 on a prepared bounds context. [max_iterations]
+    defaults to {!Mcmap_sched.Bounds.default_max_iterations}, the one
+    shared fixed-point cap of the analysis stack — callers forwarding the
+    option (evaluator sessions, the GA) inherit the same default and must
+    not restate it. *)
+
+val scenario_exec :
+  base:int ->
+  Mcmap_sched.Bounds.job_bounds array ->
+  Mcmap_sched.Job.t ->
+  Mcmap_sched.Job.t ->
+  int * int
+(** [scenario_exec ~base nb v w]: the per-job execution bounds of the
+    trigger scenario of job [v], given normal-state bounds [nb] and the
+    application hyperperiod [base] (Algorithm 1 lines 12-29 — the
+    chronology cases documented above). Exposed for the evaluator
+    session, which replays single-component scenarios incrementally. *)
+
+val external_exec :
+  base:int ->
+  min_start:int ->
+  max_finish:int ->
+  Mcmap_sched.Bounds.job_bounds array ->
+  Mcmap_sched.Job.t ->
+  int * int
+(** {!scenario_exec} for a trigger that lies outside the analysed jobset:
+    every chronology case of a non-triggering job depends on the trigger
+    only through its normal-state [min_start]/[max_finish], so a remote
+    trigger is fully summarised by that pair. For a trigger [v] inside
+    the jobset, [scenario_exec ~base nb v] and
+    [external_exec ~base ~min_start:nb.(v.id).min_start
+    ~max_finish:nb.(v.id).max_finish nb] agree on every other job. *)
 
 val schedulable : Mcmap_sched.Jobset.t -> report -> bool
 (** Every graph's [required_wcrt] meets its relative deadline. *)

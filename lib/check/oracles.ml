@@ -630,6 +630,108 @@ let check_lint (sys : Gen.system) =
        check_dup (fun () -> check_dangling check_unbound))
 
 (* ------------------------------------------------------------------ *)
+(* (i) Evaluator sessions: cached/incremental evaluation must equal the
+   fresh reference exactly — field for field, bit for bit on floats —
+   along random mutation chains that exercise every cache layer: drop
+   toggles (scheduling + service), rebinds (component invalidation) and
+   technique/replica-arity edits (hardened-graph and reliability rows). *)
+
+module Evaluator = Mcmap_dse.Evaluator
+module Evaluate = Mcmap_dse.Evaluate
+module Prng = Mcmap_util.Prng
+
+let evaluations_equal (a : Evaluate.t) (b : Evaluate.t) =
+  Float.compare a.Evaluate.power b.Evaluate.power = 0
+  && Float.compare a.Evaluate.service b.Evaluate.service = 0
+  && a.Evaluate.schedulable = b.Evaluate.schedulable
+  && a.Evaluate.reliable = b.Evaluate.reliable
+  && Float.compare a.Evaluate.violation b.Evaluate.violation = 0
+  && a.Evaluate.rescued = b.Evaluate.rescued
+  && Array.length a.Evaluate.objectives = Array.length b.Evaluate.objectives
+  && Array.for_all2
+       (fun x y -> Float.compare x y = 0)
+       a.Evaluate.objectives b.Evaluate.objectives
+
+let mutate_plan rng arch apps (plan : Plan.t) =
+  let n_graphs = Appset.n_graphs apps in
+  let n_procs = Arch.n_procs arch in
+  let droppable =
+    List.filter
+      (fun gi -> Graph.is_droppable (Appset.graph apps gi))
+      (List.init n_graphs Fun.id) in
+  let reroll_decision () =
+    let gi = Prng.int rng n_graphs in
+    let g = Appset.graph apps gi in
+    let ti = Prng.int rng (Graph.n_tasks g) in
+    let candidates =
+      [ Technique.No_hardening;
+        Technique.Re_execution (Prng.int_in rng 1 2);
+        Technique.Checkpointing (Prng.int_in rng 1 3, Prng.int_in rng 1 2) ]
+      @ (if n_procs >= 2 then [ Technique.Active_replication 2 ] else [])
+      @
+      if n_procs >= 3 then
+        [ Technique.Active_replication 3; Technique.Passive_replication 1 ]
+      else [] in
+    let technique = Prng.pick_list rng candidates in
+    let order = Array.init n_procs Fun.id in
+    Prng.shuffle rng order;
+    let count = Technique.replica_count technique in
+    let d =
+      { Plan.technique; primary_proc = order.(0);
+        replica_procs = Array.sub order 1 (count - 1);
+        voter_proc = Prng.int rng n_procs } in
+    Plan.with_decision plan ~graph:gi ~task:ti d in
+  match droppable with
+  | gs when gs <> [] && Prng.bernoulli rng 0.3 ->
+    let gi = Prng.pick_list rng gs in
+    Plan.with_dropped plan ~graph:gi (not plan.Plan.dropped.(gi))
+  | _ -> reroll_decision ()
+
+let check_evaluator_agreement (sys : Gen.system) =
+  let arch = sys.Gen.arch and apps = sys.Gen.apps in
+  let session = Evaluator.create arch apps in
+  let rng = Prng.create (sys.Gen.seed + 7919) in
+  let steps = 8 in
+  let explain step (cached : Evaluate.t) (fresh : Evaluate.t) what =
+    failf
+      "evaluator: step %d (%s): session disagrees with fresh evaluation: \
+       power %.17g vs %.17g, service %.17g vs %.17g, violation %.17g vs \
+       %.17g, schedulable %b/%b, reliable %b/%b, rescued %b/%b"
+      step what cached.Evaluate.power fresh.Evaluate.power
+      cached.Evaluate.service fresh.Evaluate.service
+      cached.Evaluate.violation fresh.Evaluate.violation
+      cached.Evaluate.schedulable fresh.Evaluate.schedulable
+      cached.Evaluate.reliable fresh.Evaluate.reliable
+      cached.Evaluate.rescued fresh.Evaluate.rescued in
+  let rec go step plan =
+    if step >= steps then Ok ()
+    else begin
+      let fresh = Evaluate.evaluate arch apps plan in
+      let cached = Evaluator.eval session plan in
+      if not (cached.Evaluate.plan == plan) then
+        failf "evaluator: step %d: result does not carry the queried plan"
+          step
+      else if not (evaluations_equal cached fresh) then
+        explain step cached fresh "first query"
+      else begin
+        (* The replay must be served from the result cache and still
+           agree exactly. *)
+        let replay = Evaluator.eval session plan in
+        if not (evaluations_equal replay fresh) then
+          explain step replay fresh "cache-hit replay"
+        else if
+          Float.compare (Evaluator.power session plan)
+            (Evaluate.power_of_plan arch apps plan)
+          <> 0
+        then
+          failf "evaluator: step %d: session power differs from \
+                 power_of_plan" step
+        else go (step + 1) (mutate_plan rng arch apps plan)
+      end
+    end in
+  go 0 sys.Gen.plan
+
+(* ------------------------------------------------------------------ *)
 
 let soundness =
   { name = "wcrt-soundness";
@@ -686,9 +788,17 @@ let lint_soundness =
        their codes";
     check = check_lint }
 
+let evaluator_agreement =
+  { name = "evaluator-agreement";
+    doc =
+      "session-cached/incremental evaluation equals the fresh reference \
+       exactly (bit for bit) along random mutation chains: drop-set \
+       toggles, rebinds, technique and replica-arity edits";
+    check = check_evaluator_agreement }
+
 let all =
   [ soundness; reliability_agreement; campaign_agreement;
     hardening_monotonic; wcet_monotonic; dropping_improves; pareto_front;
-    lint_soundness ]
+    lint_soundness; evaluator_agreement ]
 
 let find name = List.find_opt (fun o -> o.name = name) all

@@ -37,7 +37,10 @@ let check_oracle (o : Oracles.t) sys =
   match o.Oracles.check sys with
   | r -> r
   | exception e ->
-    Error (Format.asprintf "uncaught exception: %s" (Printexc.to_string e))
+    let bt = Printexc.get_backtrace () in
+    Error
+      (Format.asprintf "uncaught exception: %s%s" (Printexc.to_string e)
+         (if bt = "" then "" else "\n" ^ String.trim bt))
 
 let first_failure oracles sys =
   List.find_map

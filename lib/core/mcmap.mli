@@ -1,8 +1,15 @@
 (** Umbrella module: the full mcmap API under one namespace.
 
+    This interface is the supported surface of the library — each
+    sub-namespace is an alias of the corresponding internal library, so
+    [Mcmap.Dse.Evaluator] is {!Mcmap_dse.Evaluator} and so on. New code
+    should open (or dot into) [Mcmap] rather than the [Mcmap_*]
+    libraries directly.
+
     {1 Layers}
 
-    - {!Util}: PRNG, heaps, statistics, Pareto helpers.
+    - {!Util}: PRNG, heaps, statistics, Pareto helpers, fingerprints
+      and LRU caches.
     - {!Model}: MPSoC architecture and mixed-criticality applications
       (paper §2.1).
     - {!Hardening}: re-execution / replication plans and the hardened
@@ -16,14 +23,15 @@
       (§3).
     - {!Sim}: fault-injecting discrete-event simulator, Monte-Carlo
       (WC-Sim) and the Adhoc trace (§5.1).
-    - {!Dse}: SPEA2 genetic mapping optimisation (§4).
+    - {!Dse}: SPEA2 genetic mapping optimisation (§4), including the
+      session-based {!Dse.Evaluator} evaluation API.
     - {!Benchmarks}: Cruise, DT-med/large, Synth-1/2 (§5).
     - {!Lint}: static semantic analysis of system/plan files with
       stable diagnostic codes ([mcmap lint]).
     - {!Experiments}: runners regenerating every table and figure of the
       evaluation. *)
 
-module Util = struct
+module Util : sig
   module Prng = Mcmap_util.Prng
   module Mathx = Mcmap_util.Mathx
   module Heap = Mcmap_util.Heap
@@ -39,12 +47,12 @@ module Util = struct
 end
 
 (** Observability: metrics, spans and exporters (see [lib/obs]). *)
-module Obs = struct
+module Obs : sig
   module Histogram = Mcmap_obs.Histogram
   module Recorder = Mcmap_obs.Obs
 end
 
-module Model = struct
+module Model : sig
   module Proc = Mcmap_model.Proc
   module Arch = Mcmap_model.Arch
   module Criticality = Mcmap_model.Criticality
@@ -54,18 +62,18 @@ module Model = struct
   module Appset = Mcmap_model.Appset
 end
 
-module Hardening = struct
+module Hardening : sig
   module Technique = Mcmap_hardening.Technique
   module Plan = Mcmap_hardening.Plan
   module Happ = Mcmap_hardening.Happ
 end
 
-module Reliability = struct
+module Reliability : sig
   module Fault_model = Mcmap_reliability.Fault_model
   module Analysis = Mcmap_reliability.Analysis
 end
 
-module Campaign = struct
+module Campaign : sig
   module Events = Mcmap_campaign.Events
   module Estimator = Mcmap_campaign.Estimator
   module Shard = Mcmap_campaign.Shard
@@ -74,7 +82,7 @@ module Campaign = struct
   module Campaign = Mcmap_campaign.Campaign
 end
 
-module Sched = struct
+module Sched : sig
   module Priority = Mcmap_sched.Priority
   module Job = Mcmap_sched.Job
   module Jobset = Mcmap_sched.Jobset
@@ -82,13 +90,13 @@ module Sched = struct
   module Static_schedule = Mcmap_sched.Static_schedule
 end
 
-module Analysis = struct
+module Analysis : sig
   module Verdict = Mcmap_analysis.Verdict
   module Wcrt = Mcmap_analysis.Wcrt
   module Naive = Mcmap_analysis.Naive
 end
 
-module Sim = struct
+module Sim : sig
   module Fault_profile = Mcmap_sim.Fault_profile
   module Engine = Mcmap_sim.Engine
   module Monte_carlo = Mcmap_sim.Monte_carlo
@@ -97,7 +105,7 @@ module Sim = struct
   module Gantt = Mcmap_sim.Gantt
 end
 
-module Dse = struct
+module Dse : sig
   module Genome = Mcmap_dse.Genome
   module Decode = Mcmap_dse.Decode
   module Evaluate = Mcmap_dse.Evaluate
@@ -109,7 +117,7 @@ module Dse = struct
   module Explore = Mcmap_dse.Explore
 end
 
-module Benchmarks = struct
+module Benchmarks : sig
   module Benchmark = Mcmap_benchmarks.Benchmark
   module Builder = Mcmap_benchmarks.Builder
   module Platforms = Mcmap_benchmarks.Platforms
@@ -126,12 +134,12 @@ module Spec = Mcmap_spec.Spec
 module Spec_ast = Mcmap_spec.Ast
 
 (** Static semantic analysis of systems and plans ([mcmap lint]). *)
-module Lint = struct
+module Lint : sig
   module Diagnostic = Mcmap_lint.Diagnostic
   module Lint = Mcmap_lint.Lint
 end
 
-module Experiments = struct
+module Experiments : sig
   module Paper = Mcmap_experiments.Paper
   module Table1 = Mcmap_experiments.Table1
   module Table2 = Mcmap_experiments.Table2
@@ -145,11 +153,12 @@ end
 
 (** {1 Convenience pipeline} *)
 
+val analyze_plan :
+  Mcmap_model.Arch.t ->
+  Mcmap_model.Appset.t ->
+  Mcmap_hardening.Plan.t ->
+  Mcmap_hardening.Happ.t * Mcmap_sched.Jobset.t * Mcmap_analysis.Wcrt.report
 (** Build the hardened application, its job set and a WCRT report for a
-    plan in one call. *)
-let analyze_plan arch apps plan =
-  let happ = Mcmap_hardening.Happ.build arch apps plan in
-  let js = Mcmap_sched.Jobset.build happ in
-  let ctx = Mcmap_sched.Bounds.make js in
-  let report = Mcmap_analysis.Wcrt.analyze ctx in
-  (happ, js, report)
+    plan in one call. One-shot convenience: inside optimisation loops
+    prefer an {!Dse.Evaluator} session, which caches analyses across
+    plans. *)

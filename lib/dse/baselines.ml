@@ -13,11 +13,19 @@ let score (e : Evaluate.t) =
   if Evaluate.feasible e then e.Evaluate.power
   else 1e6 +. e.Evaluate.violation
 
-let evaluate rng arch apps genome =
-  let plan = Decode.decode rng arch apps genome in
-  Evaluate.evaluate ~check_rescue:false arch apps plan
+(* Both searches share one evaluator session per run (rescue checking
+   off: single-objective baselines never report the §5.2 ratio). The
+   decode consumes the same generator draws as before, so seeds
+   reproduce historical runs; annealing in particular revisits its
+   current/best neighbourhood constantly and hits the result cache. *)
+let evaluate session rng genome =
+  let plan =
+    Decode.decode rng (Evaluator.arch session) (Evaluator.apps session)
+      genome in
+  Evaluator.eval session plan
 
 let random_search ~budget ~seed arch apps =
+  let session = Evaluator.create ~check_rescue:false arch apps in
   let rng = Prng.create seed in
   let best = ref None in
   let feasible = ref 0 in
@@ -25,7 +33,7 @@ let random_search ~budget ~seed arch apps =
     let genome =
       if i = 0 then Genome.seeded rng arch apps
       else Genome.random rng arch apps in
-    let e = evaluate rng arch apps genome in
+    let e = evaluate session rng genome in
     if Evaluate.feasible e then incr feasible;
     match !best with
     | Some (_, b) when score b <= score e -> ()
@@ -38,6 +46,7 @@ let random_search ~budget ~seed arch apps =
 
 let simulated_annealing ~budget ~seed ?(initial_temperature = 1.0) ?cooling
     arch apps =
+  let session = Evaluator.create ~check_rescue:false arch apps in
   let rng = Prng.create seed in
   let cooling =
     match cooling with
@@ -46,13 +55,13 @@ let simulated_annealing ~budget ~seed ?(initial_temperature = 1.0) ?cooling
       (* reach ~1 % of the initial temperature by the end of the budget *)
       exp (log 0.01 /. float_of_int (max 1 budget)) in
   let current = ref (Genome.seeded rng arch apps) in
-  let current_eval = ref (evaluate rng arch apps !current) in
+  let current_eval = ref (evaluate session rng !current) in
   let best = ref (!current, !current_eval) in
   let feasible = ref (if Evaluate.feasible !current_eval then 1 else 0) in
   let temperature = ref initial_temperature in
   for _ = 2 to budget do
     let candidate = Genome.mutate rng ~rate:0.08 arch apps !current in
-    let e = evaluate rng arch apps candidate in
+    let e = evaluate session rng candidate in
     if Evaluate.feasible e then incr feasible;
     let delta = score e -. score !current_eval in
     let accept =

@@ -74,25 +74,34 @@ let service_of_plan apps (plan : Plan.t) =
   !total
 
 (* Aggregate constraint violation for constraint-domination among
-   infeasible candidates. *)
-let violation_magnitude js report reliability_violations =
+   infeasible candidates. Shared between the free evaluation below and
+   the session path of [Evaluator], so both aggregate in the same
+   floating-point order and agree bit for bit. *)
+let violation_of ~deadlines required reliability_violations =
   let sched = ref 0. in
   Array.iteri
     (fun g verdict ->
-      let deadline = Happ.deadline (Happ.graph js.Jobset.happ g) in
+      let deadline = deadlines.(g) in
       match verdict with
       | Verdict.Unbounded -> sched := !sched +. 10.
       | Verdict.Finite w ->
         if w > deadline then
           sched :=
             !sched +. (float_of_int (w - deadline) /. float_of_int deadline))
-    report.Wcrt.required_wcrt;
+    required;
   let rel =
     List.fold_left
       (fun acc (v : Reliability.violation) ->
         acc +. min 10. (log10 (v.Reliability.failure_rate /. v.Reliability.bound)))
       0. reliability_violations in
   !sched +. rel
+
+let violation_magnitude js report reliability_violations =
+  let happ = js.Jobset.happ in
+  let deadlines =
+    Array.init (Happ.n_graphs happ) (fun g ->
+        Happ.deadline (Happ.graph happ g)) in
+  violation_of ~deadlines report.Wcrt.required_wcrt reliability_violations
 
 let schedulable_of_plan ?max_iterations arch apps plan =
   let happ = Happ.build arch apps plan in

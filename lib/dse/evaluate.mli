@@ -27,12 +27,37 @@ type t = {
 
 val feasible : t -> bool
 
+val power_of_happ : Mcmap_model.Arch.t -> Mcmap_hardening.Happ.t -> float
+(** The power objective of an already-hardened application set — the
+    computation both {!power_of_plan} and the session-cached
+    [Evaluator.power] bottom out in, so their results are bit-identical. *)
+
 val power_of_plan :
   Mcmap_model.Arch.t ->
   Mcmap_model.Appset.t ->
   Mcmap_hardening.Plan.t ->
   float
-(** The power objective alone (no scheduling analysis). *)
+(** The power objective alone (no scheduling analysis).
+
+    Deprecated as an optimisation-loop entry point: it rebuilds the
+    hardened application set per call. Inside loops, create an
+    [Evaluator] session and use [Evaluator.power], which reuses cached
+    hardened graphs; this shim remains for one-shot callers. *)
+
+val service_of_plan :
+  Mcmap_model.Appset.t -> Mcmap_hardening.Plan.t -> float
+(** Quality of service delivered by the plan: summed [sv_t] of droppable
+    graphs kept out of the dropped set. *)
+
+val violation_of :
+  deadlines:int array ->
+  Mcmap_analysis.Verdict.t array ->
+  Mcmap_reliability.Analysis.violation list ->
+  float
+(** [violation_of ~deadlines required rel_violations]: the aggregate
+    constraint-violation magnitude over per-graph required WCRT verdicts
+    and reliability violations. Exposed so the session evaluator
+    aggregates in exactly the same floating-point order as {!evaluate}. *)
 
 val evaluate :
   ?check_rescue:bool ->
@@ -44,4 +69,11 @@ val evaluate :
 (** Full evaluation. [check_rescue] (default true) additionally analyses
     the same plan with an empty dropped set to detect dropping-rescued
     candidates; pass [false] to halve analysis cost when the statistic is
-    not needed. *)
+    not needed.
+
+    Deprecated as an optimisation-loop entry point: every call starts
+    from nothing. Inside loops, create an [Evaluator] session once and
+    call [Evaluator.eval] — same result (exactly, field for field), with
+    memoisation across near-identical candidates. This free function
+    remains as the reference implementation (the [evaluator-agreement]
+    check oracle holds the session to it) and for one-shot callers. *)

@@ -1,0 +1,632 @@
+module Arch = Mcmap_model.Arch
+module Appset = Mcmap_model.Appset
+module Graph = Mcmap_model.Graph
+module Criticality = Mcmap_model.Criticality
+module Plan = Mcmap_hardening.Plan
+module Technique = Mcmap_hardening.Technique
+module Happ = Mcmap_hardening.Happ
+module Reliability = Mcmap_reliability.Analysis
+module Job = Mcmap_sched.Job
+module Jobset = Mcmap_sched.Jobset
+module Bounds = Mcmap_sched.Bounds
+module Wcrt = Mcmap_analysis.Wcrt
+module Verdict = Mcmap_analysis.Verdict
+module Fingerprint = Mcmap_util.Fingerprint
+module Lru = Mcmap_util.Lru
+module Parallel = Mcmap_util.Parallel
+module Obs = Mcmap_obs.Obs
+
+(* ------------------------------------------------------------------ *)
+(* Canonical plan fingerprints.                                        *)
+
+let technique_fp fp (t : Technique.t) =
+  match t with
+  | Technique.No_hardening -> Fingerprint.int fp 1
+  | Technique.Re_execution k -> Fingerprint.int (Fingerprint.int fp 2) k
+  | Technique.Checkpointing (segments, k) ->
+    Fingerprint.int (Fingerprint.int (Fingerprint.int fp 3) segments) k
+  | Technique.Active_replication n ->
+    Fingerprint.int (Fingerprint.int fp 4) n
+  | Technique.Passive_replication m ->
+    Fingerprint.int (Fingerprint.int fp 5) m
+
+(* The voter binding is semantically inert without a voter (see
+   {!Plan.decision}), so it is excluded from the canonical encoding:
+   plans differing only there evaluate identically and should share one
+   cache entry. *)
+let decision_fp fp ~graph ~task (d : Plan.decision) =
+  let fp = Fingerprint.int (Fingerprint.int fp graph) task in
+  let fp = technique_fp fp d.Plan.technique in
+  let fp = Fingerprint.int fp d.Plan.primary_proc in
+  let fp = Fingerprint.int_array fp d.Plan.replica_procs in
+  if Technique.needs_voter d.Plan.technique then
+    Fingerprint.int fp d.Plan.voter_proc
+  else fp
+
+let drop_gene_tag = 0x4452 (* "DR": domain-separates drop genes *)
+
+let fingerprint (plan : Plan.t) =
+  (* Order-independent over genes: each bind/technique/drop gene is
+     hashed with its coordinates and aggregated commutatively, so the
+     encoding does not depend on any traversal order. *)
+  let acc = ref Fingerprint.unordered_zero in
+  Array.iteri
+    (fun gi row ->
+      Array.iteri
+        (fun ti d ->
+          acc :=
+            Fingerprint.unordered_add !acc
+              (decision_fp Fingerprint.empty ~graph:gi ~task:ti d))
+        row)
+    plan.Plan.decisions;
+  Array.iteri
+    (fun gi dropped ->
+      if dropped then
+        acc :=
+          Fingerprint.unordered_add !acc
+            (Fingerprint.int
+               (Fingerprint.int Fingerprint.empty drop_gene_tag)
+               gi))
+    plan.Plan.dropped;
+  Fingerprint.combine
+    (Fingerprint.int Fingerprint.empty (Array.length plan.Plan.dropped))
+    !acc
+
+let row_fingerprint (plan : Plan.t) gi =
+  let fp = ref (Fingerprint.int Fingerprint.empty gi) in
+  Array.iteri
+    (fun ti d -> fp := decision_fp !fp ~graph:gi ~task:ti d)
+    plan.Plan.decisions.(gi);
+  !fp
+
+let decision_canonical_equal (a : Plan.decision) (b : Plan.decision) =
+  a.Plan.technique = b.Plan.technique
+  && a.Plan.primary_proc = b.Plan.primary_proc
+  && a.Plan.replica_procs = b.Plan.replica_procs
+  && ((not (Technique.needs_voter a.Plan.technique))
+      || a.Plan.voter_proc = b.Plan.voter_proc)
+
+(* Structural equality modulo the canonically-ignored coordinates — the
+   collision guard behind every fingerprint-keyed result reuse. *)
+let canonical_equal (a : Plan.t) (b : Plan.t) =
+  a.Plan.dropped = b.Plan.dropped
+  && Array.length a.Plan.decisions = Array.length b.Plan.decisions
+  && begin
+    try
+      Array.iteri
+        (fun gi row ->
+          let row_b = b.Plan.decisions.(gi) in
+          if Array.length row <> Array.length row_b then raise Exit;
+          Array.iteri
+            (fun ti d ->
+              if not (decision_canonical_equal d row_b.(ti)) then raise Exit)
+            row)
+        a.Plan.decisions;
+      true
+    with Exit -> false
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Session state.                                                      *)
+
+type sched_info = {
+  required : Verdict.t array;  (* per source graph: required WCRT *)
+  ok : bool;  (* every required verdict meets its deadline *)
+}
+
+(* One trigger scenario's result over a component's graphs. *)
+type outcome = {
+  o_diverged : bool;
+  o_verdicts : Verdict.t array;  (* aligned with [ce_graphs] *)
+}
+
+(* Memoised analysis of one processor-connected component: the restricted
+   jobset's normal-state fixed point, one scenario per internal trigger,
+   and a lazily-grown table of external-trigger scenarios keyed by the
+   trigger's (min_start, max_finish) summary — the only channel through
+   which a remote fault is visible here (see {!Wcrt.external_exec}). *)
+type centry = {
+  ce_ctx : Bounds.ctx;
+  ce_graphs : int array;  (* ascending source graph indices *)
+  ce_normal : Bounds.result;
+  ce_normal_verdicts : Verdict.t array;
+  ce_triggers : Job.t array;
+  ce_summaries : (int * int) array;  (* per trigger: (min_start, max_finish) *)
+  ce_internal : outcome array;  (* per trigger; empty if normal diverged *)
+  ce_external : (int * int, outcome) Hashtbl.t;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  sched_hits : int;
+  sched_misses : int;
+  component_hits : int;
+  component_misses : int;
+  external_scenarios : int;
+  evictions : int;
+}
+
+type t = {
+  arch : Arch.t;
+  apps : Appset.t;
+  check_rescue : bool;
+  max_iterations : int;
+  domains : int;
+  n_graphs : int;
+  deadlines : int array;
+  rel_bounds : float option array;
+  base : int;  (* application hyperperiod *)
+  horizon : int;  (* full-jobset divergence horizon, plan-independent *)
+  lock : Mutex.t;
+  results : (Fingerprint.t, Evaluate.t) Lru.t;
+  sched : (Fingerprint.t, sched_info) Lru.t;
+  components : (Fingerprint.t, centry) Lru.t;
+  rows : (Fingerprint.t, Happ.hgraph) Lru.t;
+  rates : (Fingerprint.t, float) Lru.t;
+  mutable n_hits : int;
+  mutable n_misses : int;
+  mutable n_sched_hits : int;
+  mutable n_sched_misses : int;
+  mutable n_component_hits : int;
+  mutable n_component_misses : int;
+  mutable n_external : int;
+}
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  match f () with
+  | v ->
+    Mutex.unlock t.lock;
+    v
+  | exception e ->
+    Mutex.unlock t.lock;
+    raise e
+
+let create ?(cache_capacity = 4096) ?(component_capacity = 64)
+    ?(domains = 1) ?(check_rescue = true)
+    ?(max_iterations = Bounds.default_max_iterations) arch apps =
+  if domains < 1 then invalid_arg "Evaluator.create: domains < 1";
+  if cache_capacity < 0 then
+    invalid_arg "Evaluator.create: negative cache capacity";
+  let n_graphs = Appset.n_graphs apps in
+  let deadlines =
+    Array.init n_graphs (fun g -> (Appset.graph apps g).Graph.deadline) in
+  let rel_bounds =
+    Array.init n_graphs (fun g ->
+        Criticality.max_failure_rate (Appset.graph apps g).Graph.criticality)
+  in
+  let base = Appset.hyperperiod apps in
+  (* The full jobset's horizon ([Bounds.make]'s default: 4 hyperperiods
+     plus the latest absolute deadline) is plan-independent — per graph
+     the latest release is [H - period] — so every restricted analysis
+     can be run against the same cap and diverge exactly when the full
+     analysis would. *)
+  let horizon =
+    let max_deadline = ref 0 in
+    for g = 0 to n_graphs - 1 do
+      let graph = Appset.graph apps g in
+      if Graph.n_tasks graph > 0 then
+        max_deadline :=
+          max !max_deadline (base - graph.Graph.period + graph.Graph.deadline)
+    done;
+    (4 * base) + !max_deadline in
+  { arch; apps; check_rescue; max_iterations; domains; n_graphs; deadlines;
+    rel_bounds; base; horizon; lock = Mutex.create ();
+    results = Lru.create ~capacity:cache_capacity ();
+    sched = Lru.create ~capacity:cache_capacity ();
+    components = Lru.create ~capacity:component_capacity ();
+    rows = Lru.create ~capacity:(4 * (cache_capacity + 1)) ();
+    rates = Lru.create ~capacity:(4 * (cache_capacity + 1)) ();
+    n_hits = 0; n_misses = 0; n_sched_hits = 0; n_sched_misses = 0;
+    n_component_hits = 0; n_component_misses = 0; n_external = 0 }
+
+let arch t = t.arch
+
+let apps t = t.apps
+
+(* ------------------------------------------------------------------ *)
+(* Hardened-graph and reliability caches (keyed per decision row).     *)
+
+let hgraph_for t plan gi =
+  let key = row_fingerprint plan gi in
+  match with_lock t (fun () -> Lru.find t.rows key) with
+  | Some hg -> hg
+  | None ->
+    let hg = Happ.hardened_graph t.arch t.apps plan gi in
+    with_lock t (fun () -> Lru.add t.rows key hg);
+    hg
+
+let happ_of t plan =
+  (* Validate before touching per-row constructors, with the same error
+     as the fresh [Happ.build] path. *)
+  (match Plan.errors t.arch t.apps plan with
+   | [] -> ()
+   | msg :: _ -> invalid_arg ("Happ.build: " ^ msg));
+  let graphs = Array.init t.n_graphs (fun gi -> hgraph_for t plan gi) in
+  Happ.assemble t.arch t.apps plan graphs
+
+let rate_of t plan gi =
+  let key = row_fingerprint plan gi in
+  match with_lock t (fun () -> Lru.find t.rates key) with
+  | Some r -> r
+  | None ->
+    let r = Reliability.graph_failure_rate t.arch t.apps plan ~graph:gi in
+    with_lock t (fun () -> Lru.add t.rates key r);
+    r
+
+(* Same iteration order and float comparisons as
+   [Reliability.violations]; the cached rate is the identical double. *)
+let violations_of t plan =
+  let acc = ref [] in
+  for gi = t.n_graphs - 1 downto 0 do
+    match t.rel_bounds.(gi) with
+    | None -> ()
+    | Some bound ->
+      let failure_rate = rate_of t plan gi in
+      if failure_rate > bound then
+        acc := { Reliability.graph = gi; failure_rate; bound } :: !acc
+  done;
+  !acc
+
+(* ------------------------------------------------------------------ *)
+(* Scheduling: processor-component decomposition of Algorithm 1.       *)
+
+(* Partition source graphs into classes connected by processor sharing:
+   interference is per-processor and precedence per-graph, so each class
+   analyses independently of the others (given trigger summaries). *)
+let components_of t (happ : Happ.t) =
+  let n_procs = Arch.n_procs t.arch in
+  let parent = Array.init n_procs Fun.id in
+  let rec find p = if parent.(p) = p then p else find parent.(p) in
+  let union a b =
+    let ra = find a and rb = find b in
+    if ra <> rb then parent.(max ra rb) <- min ra rb in
+  let anchor = Array.make t.n_graphs (-1) in
+  Array.iteri
+    (fun gi hg ->
+      Array.iter
+        (fun (ht : Happ.htask) ->
+          if anchor.(gi) < 0 then anchor.(gi) <- ht.Happ.proc
+          else union anchor.(gi) ht.Happ.proc)
+        hg.Happ.tasks)
+    happ.Happ.graphs;
+  (* Group graphs by root processor, keeping ascending graph order;
+     task-less graphs become singleton components. *)
+  let buckets = Hashtbl.create 16 in
+  let order = ref [] in
+  for gi = t.n_graphs - 1 downto 0 do
+    let key = if anchor.(gi) < 0 then -1 - gi else find anchor.(gi) in
+    (match Hashtbl.find_opt buckets key with
+     | Some members -> Hashtbl.replace buckets key (gi :: members)
+     | None ->
+       Hashtbl.replace buckets key [ gi ];
+       order := key :: !order)
+  done;
+  (* [order] lists roots by ascending minimal member graph. *)
+  List.map
+    (fun key -> Array.of_list (Hashtbl.find buckets key))
+    (List.sort
+       (fun a b ->
+         compare
+           (List.hd (Hashtbl.find buckets a))
+           (List.hd (Hashtbl.find buckets b)))
+       !order)
+  |> Array.of_list
+
+let structure_fp rjs =
+  let fp = ref (Fingerprint.int Fingerprint.empty (Jobset.n_jobs rjs)) in
+  Array.iter
+    (fun (j : Job.t) ->
+      let f = !fp in
+      let f = Fingerprint.int f j.Job.graph in
+      let f = Fingerprint.int f j.Job.task in
+      let f = Fingerprint.int f j.Job.instance in
+      let f = Fingerprint.int f j.Job.release in
+      let f = Fingerprint.int f j.Job.abs_deadline in
+      let f = Fingerprint.int f j.Job.proc in
+      let f = Fingerprint.int f j.Job.priority in
+      let f = Fingerprint.int f j.Job.bcet in
+      let f = Fingerprint.int f j.Job.wcet in
+      let f = Fingerprint.int f j.Job.critical_wcet in
+      let f = Fingerprint.int f j.Job.reexec_k in
+      let f = Fingerprint.int f j.Job.recovery in
+      let f = Fingerprint.bool f j.Job.passive in
+      let f = Fingerprint.bool f j.Job.voter in
+      let f = Fingerprint.int f j.Job.origin in
+      let f = Fingerprint.bool f j.Job.droppable in
+      let f = Fingerprint.bool f j.Job.in_dropped_set in
+      fp := f)
+    rjs.Jobset.jobs;
+  Array.iter
+    (fun edges ->
+      fp := Fingerprint.int !fp (Array.length edges);
+      Array.iter
+        (fun (p, delay) -> fp := Fingerprint.int (Fingerprint.int !fp p) delay)
+        edges)
+    rjs.Jobset.preds;
+  fp := Fingerprint.int_array !fp rjs.Jobset.topo;
+  !fp
+
+let per_graph_outcome rjs graphs res =
+  { o_diverged = not res.Bounds.converged;
+    o_verdicts =
+      Array.map
+        (fun g -> Verdict.of_option (Bounds.graph_wcrt rjs res ~graph:g))
+        graphs }
+
+let centry_for t js graphs =
+  let rjs = Jobset.restrict js ~graphs in
+  let key = structure_fp rjs in
+  match with_lock t (fun () -> Lru.find t.components key) with
+  | Some entry ->
+    t.n_component_hits <- t.n_component_hits + 1;
+    if Obs.enabled () then Obs.incr "evaluator.component_hits";
+    entry
+  | None ->
+    if Obs.enabled () then Obs.incr "evaluator.component_misses";
+    let ctx = Bounds.make ~horizon:t.horizon rjs in
+    let normal =
+      Bounds.analyze ~max_iterations:t.max_iterations ctx
+        ~exec:Bounds.nominal_exec in
+    let normal_verdicts =
+      Array.map
+        (fun g -> Verdict.of_option (Bounds.graph_wcrt rjs normal ~graph:g))
+        graphs in
+    let triggers = Array.of_list (Jobset.triggers rjs) in
+    let summaries =
+      Array.map
+        (fun (v : Job.t) ->
+          ( normal.Bounds.bounds.(v.Job.id).Bounds.min_start,
+            normal.Bounds.bounds.(v.Job.id).Bounds.max_finish ))
+        triggers in
+    let internal =
+      if normal.Bounds.converged then
+        Array.map
+          (fun (v : Job.t) ->
+            let exec =
+              Wcrt.scenario_exec ~base:t.base normal.Bounds.bounds v in
+            per_graph_outcome rjs graphs
+              (Bounds.analyze ~max_iterations:t.max_iterations ctx ~exec))
+          triggers
+      else [||] in
+    let entry =
+      { ce_ctx = ctx; ce_graphs = graphs; ce_normal = normal;
+        ce_normal_verdicts = normal_verdicts; ce_triggers = triggers;
+        ce_summaries = summaries; ce_internal = internal;
+        ce_external = Hashtbl.create 16 } in
+    with_lock t (fun () ->
+        t.n_component_misses <- t.n_component_misses + 1;
+        Lru.add t.components key entry);
+    entry
+
+(* The scenario of a trigger outside this component, summarised by its
+   (min_start, max_finish) pair; memoised per entry, so all external
+   triggers with equal summaries share one fixed-point run. Racing
+   domains may compute the same outcome twice — results are equal, the
+   first insert wins. *)
+let external_outcome t entry (ms, mf) =
+  match
+    with_lock t (fun () -> Hashtbl.find_opt entry.ce_external (ms, mf))
+  with
+  | Some o -> o
+  | None ->
+    let exec =
+      Wcrt.external_exec ~base:t.base ~min_start:ms ~max_finish:mf
+        entry.ce_normal.Bounds.bounds in
+    let res = Bounds.analyze ~max_iterations:t.max_iterations entry.ce_ctx ~exec in
+    let o =
+      per_graph_outcome (Bounds.jobset entry.ce_ctx) entry.ce_graphs res in
+    if Obs.enabled () then Obs.incr "evaluator.external_scenarios";
+    with_lock t (fun () ->
+        t.n_external <- t.n_external + 1;
+        if not (Hashtbl.mem entry.ce_external (ms, mf)) then
+          Hashtbl.add entry.ce_external (ms, mf) o);
+    o
+
+(* Reassemble the full Algorithm 1 verdicts from per-component pieces.
+   Exactness relies on three facts established in DESIGN.md §11: the
+   restricted sweeps replay the full Gauss-Seidel sweeps verbatim (same
+   job order, same horizon, same iteration cap), a remote trigger acts
+   on a component only through its (min_start, max_finish) summary, and
+   divergence anywhere must poison the whole scenario exactly as the
+   full analysis's [converged = false] does. *)
+let compute_sched t (happ : Happ.t) =
+  let js = Jobset.build happ in
+  let comps = components_of t happ in
+  let entries = Array.map (fun graphs -> centry_for t js graphs) comps in
+  let required = Array.make t.n_graphs Verdict.Unbounded in
+  if
+    Array.exists
+      (fun e -> not e.ce_normal.Bounds.converged)
+      entries
+  then
+    (* The full normal-state analysis would not converge: every graph is
+       unbounded and no trigger scenario is examined. *)
+    { required; ok = false }
+  else begin
+    let position = Array.make t.n_graphs (-1, -1) in
+    Array.iteri
+      (fun ci entry ->
+        Array.iteri
+          (fun k g ->
+            position.(g) <- (ci, k);
+            required.(g) <- entry.ce_normal_verdicts.(k))
+          entry.ce_graphs)
+      entries;
+    Array.iteri
+      (fun ci entry ->
+        Array.iteri
+          (fun ti _v ->
+            let summary = entry.ce_summaries.(ti) in
+            let outcomes =
+              Array.mapi
+                (fun cj other ->
+                  if cj = ci then entry.ce_internal.(ti)
+                  else external_outcome t other summary)
+                entries in
+            let diverged =
+              Array.exists (fun o -> o.o_diverged) outcomes in
+            for g = 0 to t.n_graphs - 1 do
+              (* Dropped-set graphs owe their deadline only in the
+                 normal state (cf. [Wcrt.analyze]). *)
+              if not (Happ.graph_in_dropped_set happ g) then begin
+                let contribution =
+                  if diverged then Verdict.Unbounded
+                  else begin
+                    let cj, k = position.(g) in
+                    outcomes.(cj).o_verdicts.(k)
+                  end in
+                required.(g) <- Verdict.max required.(g) contribution
+              end
+            done)
+          entry.ce_triggers)
+      entries;
+    let ok = ref true in
+    Array.iteri
+      (fun g verdict ->
+        if not (Verdict.within verdict t.deadlines.(g)) then ok := false)
+      required;
+    { required; ok = !ok }
+  end
+
+let sched_of t fp (happ : Happ.t Lazy.t) =
+  match with_lock t (fun () -> Lru.find t.sched fp) with
+  | Some info ->
+    t.n_sched_hits <- t.n_sched_hits + 1;
+    if Obs.enabled () then Obs.incr "evaluator.sched_hits";
+    info
+  | None ->
+    if Obs.enabled () then Obs.incr "evaluator.sched_misses";
+    let info = compute_sched t (Lazy.force happ) in
+    with_lock t (fun () ->
+        t.n_sched_misses <- t.n_sched_misses + 1;
+        Lru.add t.sched fp info);
+    info
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation.                                                         *)
+
+let power t plan = Evaluate.power_of_happ t.arch (happ_of t plan)
+
+let eval_fresh t fp plan =
+  let happ = happ_of t plan in
+  let sinfo = sched_of t fp (lazy happ) in
+  let reliability_violations = violations_of t plan in
+  let reliable = reliability_violations = [] in
+  let power = Evaluate.power_of_happ t.arch happ in
+  let service = Evaluate.service_of_plan t.apps plan in
+  let violation =
+    if sinfo.ok && reliable then 0.
+    else
+      Evaluate.violation_of ~deadlines:t.deadlines sinfo.required
+        reliability_violations in
+  let rescued =
+    if (not t.check_rescue) || not sinfo.ok then false
+    else if Plan.dropped_graphs plan = [] then false
+    else begin
+      let no_drop =
+        Plan.make t.apps
+          ~decisions:(Array.map Array.copy plan.Plan.decisions)
+          ~dropped:(Array.make t.n_graphs false) in
+      let ninfo =
+        sched_of t (fingerprint no_drop) (lazy (happ_of t no_drop)) in
+      not ninfo.ok
+    end in
+  { Evaluate.plan; power; service; schedulable = sinfo.ok; reliable;
+    violation; rescued; objectives = [| power; -.service |] }
+
+let find_cached t fp plan =
+  with_lock t (fun () ->
+      match Lru.find t.results fp with
+      | Some e when canonical_equal e.Evaluate.plan plan ->
+        t.n_hits <- t.n_hits + 1;
+        Some e
+      | Some _ (* fingerprint collision: treat as a miss *) | None -> None)
+
+let eval t plan =
+  Obs.with_span "evaluator.eval" (fun () ->
+      let fp = fingerprint plan in
+      match find_cached t fp plan with
+      | Some e ->
+        if Obs.enabled () then Obs.incr "evaluator.hits";
+        { e with Evaluate.plan }
+      | None ->
+        if Obs.enabled () then Obs.incr "evaluator.misses";
+        let e = eval_fresh t fp plan in
+        with_lock t (fun () ->
+            t.n_misses <- t.n_misses + 1;
+            Lru.add t.results fp e);
+        e)
+
+let eval_population t plans =
+  Obs.with_span "evaluator.eval_population" (fun () ->
+      let n = Array.length plans in
+      let fps = Array.map fingerprint plans in
+      (* Representative of each canonical-equality class: the first
+         occurrence. Classes are found via the fingerprint with a
+         structural guard, so colliding-but-different plans stay
+         separate. *)
+      let rep = Array.make n (-1) in
+      let classes = Hashtbl.create (2 * n) in
+      for i = 0 to n - 1 do
+        let seen =
+          Option.value ~default:[] (Hashtbl.find_opt classes fps.(i)) in
+        match
+          List.find_opt (fun j -> canonical_equal plans.(j) plans.(i)) seen
+        with
+        | Some j -> rep.(i) <- j
+        | None ->
+          rep.(i) <- i;
+          Hashtbl.replace classes fps.(i) (i :: seen)
+      done;
+      let results = Array.make n None in
+      let work = ref [] in
+      for i = n - 1 downto 0 do
+        if rep.(i) = i then begin
+          match find_cached t fps.(i) plans.(i) with
+          | Some e ->
+            if Obs.enabled () then Obs.incr "evaluator.hits";
+            results.(i) <- Some { e with Evaluate.plan = plans.(i) }
+          | None -> work := i :: !work
+        end
+      done;
+      let work = Array.of_list !work in
+      (* Unevaluated representatives fan out over domains; [eval] guards
+         every shared cache with the session lock and any racy duplicate
+         work produces bit-identical results, so the merge below is
+         deterministic for any domain count. *)
+      let fresh =
+        Parallel.map_array ~domains:t.domains
+          (fun i -> eval t plans.(i))
+          work in
+      Array.iteri (fun k i -> results.(i) <- Some fresh.(k)) work;
+      Array.init n (fun i ->
+          match results.(rep.(i)) with
+          | Some e ->
+            if rep.(i) = i then e else { e with Evaluate.plan = plans.(i) }
+          | None -> assert false))
+
+let stats t =
+  with_lock t (fun () ->
+      { hits = t.n_hits; misses = t.n_misses; sched_hits = t.n_sched_hits;
+        sched_misses = t.n_sched_misses;
+        component_hits = t.n_component_hits;
+        component_misses = t.n_component_misses;
+        external_scenarios = t.n_external;
+        evictions =
+          Lru.evictions t.results + Lru.evictions t.sched
+          + Lru.evictions t.components + Lru.evictions t.rows
+          + Lru.evictions t.rates })
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "@[<v>evaluator: %d hits / %d misses (%.1f%% hit rate)@,\
+     sched: %d hits / %d misses; components: %d hits / %d misses@,\
+     external scenarios: %d; evictions: %d@]"
+    s.hits s.misses
+    (100.
+     *. float_of_int s.hits
+     /. float_of_int (max 1 (s.hits + s.misses)))
+    s.sched_hits s.sched_misses s.component_hits s.component_misses
+    s.external_scenarios s.evictions

@@ -1,0 +1,101 @@
+(** Evaluator sessions: the handle-based analysis API of the design-space
+    exploration (DESIGN.md §11).
+
+    A session [create arch apps] precomputes everything plan-independent
+    — deadlines, reliability bounds, the application hyperperiod and the
+    analysis horizon — and memoises everything plan-dependent behind
+    canonical 128-bit fingerprints:
+
+    - a bounded LRU of full evaluation results keyed by the plan
+      fingerprint (crossover/mutation duplicates and GA re-elites are
+      near-free), guarded by structural plan equality against collisions;
+    - hardened graphs and reliability rates keyed per decision row, so a
+      mutation touching one graph rebuilds only that graph's image;
+    - Algorithm 1 analyses decomposed by processor-connected components
+      and keyed by the restricted job structure, so a mutation touching
+      one component only re-solves the components whose job multisets
+      changed; triggers in other components are summarised by their
+      (min_start, max_finish) pair and the matching scenarios are
+      memoised per component.
+
+    Every cached path reproduces [Evaluate.evaluate] {e exactly} — field
+    for field, bit for bit on floats — which the [evaluator-agreement]
+    check oracle enforces; determinism of {!eval_population} for any
+    domain count follows. *)
+
+type t
+
+val create :
+  ?cache_capacity:int ->
+  ?component_capacity:int ->
+  ?domains:int ->
+  ?check_rescue:bool ->
+  ?max_iterations:int ->
+  Mcmap_model.Arch.t ->
+  Mcmap_model.Appset.t ->
+  t
+(** [cache_capacity] (default 4096) bounds the result and scheduling
+    LRUs; 0 disables caching (every call analyses afresh — useful for
+    measuring). [component_capacity] (default 64) bounds the
+    per-component analysis cache, whose entries hold job sets and
+    precedence matrices and are therefore larger. [domains] (default 1)
+    parallelises {!eval_population}. [check_rescue] and [max_iterations]
+    are the session-wide analysis options previously restated at every
+    [Evaluate.evaluate] call site; [max_iterations] defaults to
+    {!Mcmap_sched.Bounds.default_max_iterations}.
+    @raise Invalid_argument if [domains < 1] or [cache_capacity < 0]. *)
+
+val arch : t -> Mcmap_model.Arch.t
+
+val apps : t -> Mcmap_model.Appset.t
+
+val eval : t -> Mcmap_hardening.Plan.t -> Evaluate.t
+(** Evaluate one plan through the session caches. Exactly equal to
+    [Evaluate.evaluate ~check_rescue ~max_iterations arch apps plan]
+    (with the session's option values), except the returned [plan] field
+    is the argument itself. Safe to call from several domains. *)
+
+val eval_population :
+  t -> Mcmap_hardening.Plan.t array -> Evaluate.t array
+(** Evaluate a population: canonical duplicates are folded onto one
+    representative, cached results are served, and the remaining fresh
+    evaluations fan out over the session's domains. The result array is
+    index-aligned and byte-identical for any domain count. *)
+
+val power : t -> Mcmap_hardening.Plan.t -> float
+(** The power objective through the session's cached hardened graphs;
+    bit-identical to [Evaluate.power_of_plan]. *)
+
+val fingerprint : Mcmap_hardening.Plan.t -> Mcmap_util.Fingerprint.t
+(** The canonical plan fingerprint: an order-independent hash over
+    bind/technique/drop genes. Coordinates that cannot influence any
+    result — a voter binding under a voterless technique — are excluded,
+    so such plans share cache entries. *)
+
+val canonical_equal : Mcmap_hardening.Plan.t -> Mcmap_hardening.Plan.t -> bool
+(** Structural equality modulo canonically-ignored coordinates: the
+    equivalence whose classes {!fingerprint} keys, used as the collision
+    guard on every result-cache hit. *)
+
+type stats = {
+  hits : int;  (** result-cache hits (incl. population dedup hits) *)
+  misses : int;  (** full fresh evaluations *)
+  sched_hits : int;  (** scheduling-info cache hits *)
+  sched_misses : int;
+  component_hits : int;  (** per-component analysis reuses *)
+  component_misses : int;
+  external_scenarios : int;
+      (** external-trigger scenarios solved (each shared by all equal
+          trigger summaries) *)
+  evictions : int;  (** total LRU evictions over all session caches *)
+}
+
+val stats : t -> stats
+(** Counters since [create]. The same events are mirrored to
+    {!Mcmap_obs.Obs} counters ([evaluator.hits], [evaluator.misses],
+    [evaluator.sched_hits], [evaluator.sched_misses],
+    [evaluator.component_hits], [evaluator.component_misses],
+    [evaluator.external_scenarios]) and spans ([evaluator.eval],
+    [evaluator.eval_population]) when the recorder is enabled. *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -6,6 +6,7 @@ module Arch = Mcmap_model.Arch
 module Proc = Mcmap_model.Proc
 module Plan = Mcmap_hardening.Plan
 module Technique = Mcmap_hardening.Technique
+module Bounds = Mcmap_sched.Bounds
 
 type selector = Spea2_selector | Nsga2_selector
 
@@ -20,13 +21,14 @@ type config = {
   max_iterations : int;
   selector : selector;
   domains : int;
+  eval_cache : int;
 }
 
 let default_config =
   { population = 40; offspring = 40; generations = 40;
     mutation_rate = 0.05; seed = 1; force_no_dropping = false;
-    check_rescue = true; max_iterations = 64; selector = Spea2_selector;
-    domains = 1 }
+    check_rescue = true; max_iterations = Bounds.default_max_iterations;
+    selector = Spea2_selector; domains = 1; eval_cache = 4096 }
 
 type generation_stats = {
   generation : int;
@@ -91,17 +93,19 @@ let optimize ?on_generation config arch apps =
     ref
       { evaluations = 0; feasible_evaluations = 0; rescued_evaluations = 0;
         reexec_hardened = 0; hardened = 0; history = [] } in
-  (* Decode + analyse one candidate with its own pre-split generator —
-     a pure function, safe to run on any domain. *)
-  let evaluate_candidate (genome, candidate_rng) =
-    let plan =
-      Decode.decode candidate_rng
-        ~force_no_dropping:config.force_no_dropping arch apps genome in
-    let e =
-      Evaluate.evaluate ~check_rescue:config.check_rescue
-        ~max_iterations:config.max_iterations arch apps plan in
-    Spea2.make_individual ~payload:(genome, e)
-      ~objectives:e.Evaluate.objectives ~violation:e.Evaluate.violation in
+  (* One evaluator session per run: decode stays a pure per-candidate
+     function (each candidate carries its own pre-split generator), while
+     analyses flow through the session's fingerprint caches —
+     crossover/mutation duplicates and re-decoded elites are served from
+     the result cache, mutations that touch one processor re-solve only
+     the changed components. *)
+  let session =
+    Evaluator.create ~cache_capacity:config.eval_cache
+      ~domains:config.domains ~check_rescue:config.check_rescue
+      ~max_iterations:config.max_iterations arch apps in
+  let decode_candidate (genome, candidate_rng) =
+    Decode.decode candidate_rng
+      ~force_no_dropping:config.force_no_dropping arch apps genome in
   let account ~generation individuals =
     let batch_feasible = ref 0 and batch_rescued = ref 0 in
     Array.iter
@@ -136,9 +140,17 @@ let optimize ?on_generation config arch apps =
         let t0 = if Obs.enabled () then Obs.now_ns () else 0L in
         let with_rngs =
           Array.map (fun genome -> (genome, Prng.split rng)) genomes in
-        let individuals =
-          Parallel.map_array ~domains:config.domains evaluate_candidate
+        let plans =
+          Parallel.map_array ~domains:config.domains decode_candidate
             with_rngs in
+        let evaluations = Evaluator.eval_population session plans in
+        let individuals =
+          Array.map2
+            (fun genome (e : Evaluate.t) ->
+              Spea2.make_individual ~payload:(genome, e)
+                ~objectives:e.Evaluate.objectives
+                ~violation:e.Evaluate.violation)
+            genomes evaluations in
         account ~generation individuals;
         if Obs.enabled () then
           Obs.series "dse.eval_ms" ~x:generation

@@ -4,10 +4,13 @@
     mutation on Figure-4 genomes, with decode-and-repair before every
     evaluation.
 
-    Candidate evaluations are pure and may run on several domains in
-    parallel ([domains > 1]) — the paper evaluates candidates with
-    multiple threads; determinism is preserved because each candidate
-    carries its own pre-split PRNG.
+    Candidates are decoded by pure per-candidate functions (each carries
+    its own pre-split PRNG) and analysed through one {!Evaluator} session
+    per run, whose fingerprint caches serve crossover/mutation duplicates
+    and re-decoded elites for free. With [domains > 1] decoding and the
+    session's population evaluation fan out over OCaml domains — the
+    paper evaluates candidates with multiple threads; results are
+    byte-identical for any domain count.
 
     The paper runs population / parents / offspring of 100 for 5,000
     generations; defaults here are scaled to laptop single-core budgets
@@ -28,6 +31,9 @@ type config = {
   max_iterations : int;  (** fixed-point sweep cap of the backend *)
   selector : selector;  (** default {!Spea2_selector} *)
   domains : int;  (** parallel evaluation domains (default 1) *)
+  eval_cache : int;
+      (** result-cache capacity of the run's {!Evaluator} session
+          (default 4096); 0 disables caching *)
 }
 
 val default_config : config

@@ -23,7 +23,9 @@ type ctx = {
   non_preemptive : bool array; (* per processor *)
 }
 
-let make js =
+let default_max_iterations = 64
+
+let make ?horizon js =
   let n = Jobset.n_jobs js in
   let related = Array.init n (fun _ -> Bytes.make n '\000') in
   (* Mark ancestors: forward closure along the topological order. *)
@@ -45,11 +47,15 @@ let make js =
         Bytes.set related.(k) j '\001'
     done
   done;
-  let max_deadline =
-    Array.fold_left
-      (fun acc (j : Job.t) -> max acc (j.Job.abs_deadline))
-      0 js.Jobset.jobs in
-  let horizon = (4 * js.Jobset.hyperperiod) + max_deadline in
+  let horizon =
+    match horizon with
+    | Some h -> h
+    | None ->
+      let max_deadline =
+        Array.fold_left
+          (fun acc (j : Job.t) -> max acc (j.Job.abs_deadline))
+          0 js.Jobset.jobs in
+      (4 * js.Jobset.hyperperiod) + max_deadline in
   let arch = js.Jobset.happ.Mcmap_hardening.Happ.arch in
   let non_preemptive =
     Array.init (Arch.n_procs arch) (fun p ->
@@ -94,7 +100,7 @@ module Bitset = struct
     !total
 end
 
-let analyze ?(max_iterations = 64) ctx ~exec =
+let analyze ?(max_iterations = default_max_iterations) ctx ~exec =
   let js = ctx.js in
   let n = Jobset.n_jobs js in
   (* hoisted so the disabled path costs one branch on an immutable bool *)

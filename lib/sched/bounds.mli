@@ -42,16 +42,26 @@ type ctx
     per-processor job lists). Build once per jobset, reuse across the many
     scenario analyses of Algorithm 1. *)
 
-val make : Jobset.t -> ctx
+val make : ?horizon:int -> Jobset.t -> ctx
+(** Default horizon: [4 * hyperperiod + max abs_deadline] over the jobs.
+    Pass [?horizon] explicitly when analysing a restricted jobset
+    ({!Jobset.restrict}) that must diverge at exactly the same cap as the
+    full analysis it stands in for. *)
 
 val jobset : ctx -> Jobset.t
+
+val default_max_iterations : int
+(** The single shared fixed-point sweep cap (64). Every layer that
+    forwards a [?max_iterations] — {!analyze}, [Wcrt.analyze],
+    [Evaluator.create], [Ga.config] — defaults to this value; callers
+    should not restate the constant. *)
 
 val analyze :
   ?max_iterations:int -> ctx -> exec:(Job.t -> int * int) -> result
 (** [analyze ctx ~exec] runs the analysis with per-job execution bounds
     [exec job = (bcet', wcet')] — the scenario hook Algorithm 1 uses to
     encode normal / transition / critical states. Default iteration cap:
-    64 sweeps.
+    {!default_max_iterations} sweeps.
     @raise Invalid_argument if some [bcet' > wcet'] or a bound is
     negative. *)
 

@@ -33,6 +33,19 @@ val build :
     {!Priority.Criticality_first} for the ablation order); precedences
     carry {!Mcmap_model.Arch.comm_delay} costs. *)
 
+val restrict : t -> graphs:int array -> t
+(** The sub-jobset of the given source graphs, with job ids renumbered
+    contiguously and priorities renumbered densely, everything else
+    (relative job order, edges, processor buckets, topological order,
+    [happ], horizons) preserved. When [graphs] is closed under processor
+    sharing — no member graph shares a processor with a non-member — the
+    restriction analyses exactly like the same jobs inside the full set:
+    interference is per-processor and precedence per-graph, so the
+    evaluator session memoises per-component analyses keyed by the
+    restricted structure. Priorities stay comparable because the analysis
+    only compares same-processor jobs, all of which are kept together.
+    @raise Invalid_argument on an out-of-range graph index. *)
+
 val n_jobs : t -> int
 
 val job : t -> int -> Job.t

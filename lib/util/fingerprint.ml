@@ -1,0 +1,61 @@
+type t = { lo : int64; hi : int64 }
+
+(* Murmur3's 64-bit finaliser: a bijective avalanche mix. *)
+let mix64 z =
+  let z = Int64.logxor z (Int64.shift_right_logical z 33) in
+  let z = Int64.mul z 0xff51afd7ed558ccdL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 33) in
+  let z = Int64.mul z 0xc4ceb9fe1a85ec53L in
+  Int64.logxor z (Int64.shift_right_logical z 33)
+
+(* The two lanes absorb the same values premultiplied by different odd
+   constants, so a collision requires both independent mixes to agree. *)
+let lane_a = 0x9e3779b97f4a7c15L (* golden-ratio increment (splitmix64) *)
+
+let lane_b = 0xd1b54a32d192ed03L
+
+let absorb t v =
+  { lo = mix64 (Int64.add (Int64.logxor t.lo v) lane_a);
+    hi = mix64 (Int64.add (Int64.logxor t.hi (Int64.mul v lane_b)) lane_b) }
+
+let empty = { lo = 0x243f6a8885a308d3L; hi = 0x13198a2e03707344L }
+
+let int64 t v = absorb t v
+
+let int t v = absorb t (Int64.of_int v)
+
+let bool t v = absorb t (if v then 1L else 2L)
+
+let float t v = absorb t (Int64.bits_of_float v)
+
+let string t s =
+  let t = int t (String.length s) in
+  let acc = ref t in
+  String.iter (fun c -> acc := int !acc (Char.code c)) s;
+  !acc
+
+let int_array t a = Array.fold_left int (int t (Array.length a)) a
+
+let combine t sub =
+  let t = absorb t sub.lo in
+  absorb t sub.hi
+
+(* Commutative monoid for order-independent aggregation: componentwise
+   wrapping sums of already-mixed fingerprints. Fold the result back into
+   a parent with {!combine}. *)
+let unordered_zero = { lo = 0L; hi = 0L }
+
+let unordered_add a b = { lo = Int64.add a.lo b.lo; hi = Int64.add a.hi b.hi }
+
+let equal a b = Int64.equal a.lo b.lo && Int64.equal a.hi b.hi
+
+let compare a b =
+  match Int64.compare a.lo b.lo with
+  | 0 -> Int64.compare a.hi b.hi
+  | c -> c
+
+let hash t = Int64.to_int t.lo
+
+let to_hex t = Format.asprintf "%016Lx%016Lx" t.hi t.lo
+
+let pp ppf t = Format.pp_print_string ppf (to_hex t)

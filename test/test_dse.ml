@@ -14,6 +14,7 @@ module Evaluate = Mcmap_dse.Evaluate
 module Spea2 = Mcmap_dse.Spea2
 module Ga = Mcmap_dse.Ga
 module Explore = Mcmap_dse.Explore
+module Evaluator = Mcmap_dse.Evaluator
 module Reliability = Mcmap_reliability.Analysis
 module Prng = Mcmap_util.Prng
 
@@ -376,6 +377,120 @@ let test_explore_pareto_is_front () =
         points)
     points
 
+(* ------------------------------------------------------------------ *)
+(* Evaluator sessions *)
+
+let check_evaluation_equal msg (a : Evaluate.t) (b : Evaluate.t) =
+  check Alcotest.bool msg true
+    (Float.compare a.Evaluate.power b.Evaluate.power = 0
+    && Float.compare a.Evaluate.service b.Evaluate.service = 0
+    && a.Evaluate.schedulable = b.Evaluate.schedulable
+    && a.Evaluate.reliable = b.Evaluate.reliable
+    && Float.compare a.Evaluate.violation b.Evaluate.violation = 0
+    && a.Evaluate.rescued = b.Evaluate.rescued
+    && Array.for_all2
+         (fun x y -> Float.compare x y = 0)
+         a.Evaluate.objectives b.Evaluate.objectives)
+
+(* Plans of a small system, pairwise distinct, derived by the sampler. *)
+let sample_plans arch apps n =
+  Array.init n (fun i ->
+      Mcmap_benchmarks.Sampler.plan ~seed:(1000 + i) arch apps)
+
+let test_evaluator_fingerprint_canonical () =
+  let sys = Test_gen.random_system 31 in
+  let plan = sys.Test_gen.plan in
+  let copy =
+    Plan.make sys.Test_gen.apps
+      ~decisions:(Array.map Array.copy plan.Plan.decisions)
+      ~dropped:(Array.copy plan.Plan.dropped) in
+  check Alcotest.bool "equal plans, equal fingerprints" true
+    (Mcmap_util.Fingerprint.equal (Evaluator.fingerprint plan)
+       (Evaluator.fingerprint copy));
+  check Alcotest.bool "equal plans are canonically equal" true
+    (Evaluator.canonical_equal plan copy);
+  (* The voter binding of a voterless technique cannot influence any
+     result, so re-rolling it must not change the fingerprint... *)
+  let d = plan.Plan.decisions.(0).(0) in
+  if not (Technique.needs_voter d.Plan.technique) then begin
+    let moved =
+      Plan.with_decision plan ~graph:0 ~task:0
+        { d with Plan.voter_proc = (d.Plan.voter_proc + 1)
+                                   mod Arch.n_procs sys.Test_gen.arch } in
+    check Alcotest.bool "voterless voter binding is canonical" true
+      (Mcmap_util.Fingerprint.equal (Evaluator.fingerprint plan)
+         (Evaluator.fingerprint moved));
+    check Alcotest.bool "voterless voter binding: canonical_equal" true
+      (Evaluator.canonical_equal plan moved)
+  end;
+  (* ...while moving the primary binding must. *)
+  let rebound =
+    Plan.with_decision plan ~graph:0 ~task:0
+      { d with Plan.primary_proc = (d.Plan.primary_proc + 1)
+                                   mod Arch.n_procs sys.Test_gen.arch } in
+  check Alcotest.bool "rebinding changes the fingerprint" false
+    (Mcmap_util.Fingerprint.equal (Evaluator.fingerprint plan)
+       (Evaluator.fingerprint rebound));
+  check Alcotest.bool "rebinding breaks canonical equality" false
+    (Evaluator.canonical_equal plan rebound)
+
+let test_evaluator_matches_fresh () =
+  let sys = Test_gen.random_system 32 in
+  let arch = sys.Test_gen.arch and apps = sys.Test_gen.apps in
+  (* A tiny result cache forces evictions along the chain; correctness
+     must not depend on hit rate. *)
+  let session = Evaluator.create ~cache_capacity:2 arch apps in
+  let plans = sample_plans arch apps 6 in
+  Array.iter
+    (fun plan ->
+      let fresh = Evaluate.evaluate arch apps plan in
+      check_evaluation_equal "session = fresh"
+        (Evaluator.eval session plan) fresh;
+      check_evaluation_equal "session replay = fresh"
+        (Evaluator.eval session plan) fresh)
+    plans;
+  let stats = Evaluator.stats session in
+  check Alcotest.bool "replays hit the result cache" true
+    (stats.Evaluator.hits >= 1);
+  check Alcotest.bool "tiny cache evicts" true
+    (stats.Evaluator.evictions >= 1)
+
+let test_evaluator_power_matches () =
+  let sys = Test_gen.random_system 33 in
+  let arch = sys.Test_gen.arch and apps = sys.Test_gen.apps in
+  let session = Evaluator.create arch apps in
+  Array.iter
+    (fun plan ->
+      check Alcotest.bool "session power = power_of_plan" true
+        (Float.compare (Evaluator.power session plan)
+           (Evaluate.power_of_plan arch apps plan)
+        = 0))
+    (sample_plans arch apps 4)
+
+let test_eval_population_deterministic () =
+  let sys = Test_gen.random_system 34 in
+  let arch = sys.Test_gen.arch and apps = sys.Test_gen.apps in
+  let base = sample_plans arch apps 5 in
+  (* Duplicates (physical and structural) must be folded and still land
+     on the right indices. *)
+  let population =
+    Array.init 12 (fun i -> base.(i mod Array.length base)) in
+  let eval_with domains =
+    Evaluator.eval_population
+      (Evaluator.create ~domains arch apps)
+      population in
+  let seq = eval_with 1 and par = eval_with 4 in
+  check Alcotest.int "index-aligned" (Array.length population)
+    (Array.length seq);
+  Array.iteri
+    (fun i e ->
+      check Alcotest.bool "result carries its own plan" true
+        (e.Evaluate.plan == population.(i));
+      check_evaluation_equal "1 domain = 4 domains" e par.(i);
+      check_evaluation_equal "population = fresh" e
+        (Evaluate.evaluate arch apps population.(i)))
+    seq
+
 let suite =
   [ qtest prop_random_genome_shape;
     qtest prop_seeded_genome_shape;
@@ -414,4 +529,12 @@ let suite =
       test_baselines_annealing;
     Alcotest.test_case "explore: summary" `Quick test_explore_summary;
     Alcotest.test_case "explore: pareto front" `Quick
-      test_explore_pareto_is_front ]
+      test_explore_pareto_is_front;
+    Alcotest.test_case "evaluator: canonical fingerprints" `Quick
+      test_evaluator_fingerprint_canonical;
+    Alcotest.test_case "evaluator: matches fresh evaluation" `Quick
+      test_evaluator_matches_fresh;
+    Alcotest.test_case "evaluator: power shim" `Quick
+      test_evaluator_power_matches;
+    Alcotest.test_case "evaluator: population determinism" `Quick
+      test_eval_population_deterministic ]

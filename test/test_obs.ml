@@ -307,10 +307,16 @@ let test_explore_records_metrics () =
      check Alcotest.bool "fixpoint iterations observed" true
        (h.Histogram.count > 0)
    | _ -> Alcotest.fail "bounds.fixpoint_iterations is not a histogram");
-  match metric "wcrt.analyses" with
+  (* candidate analyses flow through the evaluator session, whose
+     misses stand where one wcrt.analyses count per candidate used to *)
+  (match metric "evaluator.misses" with
+   | Obs.Counter n ->
+     check Alcotest.bool "evaluator misses counted" true (n > 0)
+   | _ -> Alcotest.fail "evaluator.misses is not a counter");
+  match metric "evaluator.sched_misses" with
   | Obs.Counter n ->
-    check Alcotest.bool "wcrt analyses counted" true (n > 0)
-  | _ -> Alcotest.fail "wcrt.analyses is not a counter"
+    check Alcotest.bool "evaluator sched analyses counted" true (n > 0)
+  | _ -> Alcotest.fail "evaluator.sched_misses is not a counter"
 
 let suite =
   [ Alcotest.test_case "histogram bucket boundaries" `Quick

@@ -8,6 +8,8 @@ module Pareto = Mcmap_util.Pareto
 module Texttable = Mcmap_util.Texttable
 module Heap = Mcmap_util.Heap
 module Json = Mcmap_util.Json
+module Fingerprint = Mcmap_util.Fingerprint
+module Lru = Mcmap_util.Lru
 
 module Int_heap = Heap.Make (Int)
 
@@ -649,6 +651,91 @@ let prop_json_minified_roundtrip =
     (QCheck.make json_gen)
     (fun j -> Json.parse (Json.to_string ~minify:true j) = Ok j)
 
+(* ------------------------------------------------------------------ *)
+(* Fingerprint *)
+
+let test_fingerprint_combinators () =
+  let fp ops = ops Fingerprint.empty in
+  let a = fp (fun t -> Fingerprint.int (Fingerprint.int t 1) 2) in
+  let b = fp (fun t -> Fingerprint.int (Fingerprint.int t 1) 2) in
+  check Alcotest.bool "same absorptions, same fingerprint" true
+    (Fingerprint.equal a b);
+  check Alcotest.int "compare agrees with equal" 0 (Fingerprint.compare a b);
+  check Alcotest.int "hash agrees with equal" (Fingerprint.hash a)
+    (Fingerprint.hash b);
+  let swapped = fp (fun t -> Fingerprint.int (Fingerprint.int t 2) 1) in
+  check Alcotest.bool "ordered absorption is order-sensitive" false
+    (Fingerprint.equal a swapped);
+  check Alcotest.bool "int/bool/float/string lanes differ" true
+    (List.for_all
+       (fun x -> not (Fingerprint.equal a x))
+       [ fp (fun t -> Fingerprint.int t 1);
+         fp (fun t -> Fingerprint.bool t true);
+         fp (fun t -> Fingerprint.float t 1.);
+         fp (fun t -> Fingerprint.string t "1") ]);
+  (* -0.0 and 0.0 have distinct IEEE bits; fingerprints must see them *)
+  check Alcotest.bool "float uses IEEE bits" false
+    (Fingerprint.equal
+       (fp (fun t -> Fingerprint.float t 0.))
+       (fp (fun t -> Fingerprint.float t (-0.))));
+  check Alcotest.int "hex digest is 128-bit" 32
+    (String.length (Fingerprint.to_hex a))
+
+let test_fingerprint_unordered () =
+  let item v = Fingerprint.int Fingerprint.empty v in
+  let sum vs =
+    List.fold_left
+      (fun acc v -> Fingerprint.unordered_add acc (item v))
+      Fingerprint.unordered_zero vs in
+  check Alcotest.bool "multiset hash is order-independent" true
+    (Fingerprint.equal (sum [ 1; 2; 3 ]) (sum [ 3; 1; 2 ]));
+  check Alcotest.bool "multiset hash counts multiplicity" false
+    (Fingerprint.equal (sum [ 1; 2 ]) (sum [ 1; 1; 2 ]));
+  check Alcotest.bool "different multisets differ" false
+    (Fingerprint.equal (sum [ 1; 2; 3 ]) (sum [ 1; 2; 4 ]))
+
+(* ------------------------------------------------------------------ *)
+(* Lru *)
+
+let test_lru_eviction () =
+  let c = Lru.create ~capacity:2 () in
+  Lru.add c 1 "one";
+  Lru.add c 2 "two";
+  (* touching 1 makes 2 the eviction victim *)
+  check (Alcotest.option Alcotest.string) "find touches" (Some "one")
+    (Lru.find c 1);
+  Lru.add c 3 "three";
+  check (Alcotest.option Alcotest.string) "lru evicted" None (Lru.find c 2);
+  check (Alcotest.option Alcotest.string) "touched survives" (Some "one")
+    (Lru.find c 1);
+  check (Alcotest.option Alcotest.string) "new entry present"
+    (Some "three") (Lru.find c 3);
+  check Alcotest.int "one eviction" 1 (Lru.evictions c);
+  check Alcotest.int "length at capacity" 2 (Lru.length c);
+  Lru.add c 3 "replaced";
+  check (Alcotest.option Alcotest.string) "replace in place"
+    (Some "replaced") (Lru.find c 3);
+  check Alcotest.int "replace does not evict" 1 (Lru.evictions c)
+
+let test_lru_edge_cases () =
+  let disabled = Lru.create ~capacity:0 () in
+  Lru.add disabled 1 "x";
+  check (Alcotest.option Alcotest.string) "capacity 0 stores nothing" None
+    (Lru.find disabled 1);
+  check Alcotest.int "capacity 0 length" 0 (Lru.length disabled);
+  Alcotest.check_raises "negative capacity rejected"
+    (Invalid_argument "Lru.create: negative capacity") (fun () ->
+      ignore (Lru.create ~capacity:(-1) ()));
+  let c = Lru.create ~capacity:3 () in
+  for i = 1 to 10 do
+    Lru.add c i i
+  done;
+  check Alcotest.int "bounded" 3 (Lru.length c);
+  check Alcotest.bool "mem does not touch" true (Lru.mem c 10);
+  Lru.clear c;
+  check Alcotest.int "clear empties" 0 (Lru.length c);
+  check (Alcotest.option Alcotest.int) "cleared" None (Lru.find c 10)
+
 let suite =
   [ Alcotest.test_case "prng: deterministic" `Quick test_prng_deterministic;
     Alcotest.test_case "prng: seed sensitivity" `Quick
@@ -714,6 +801,13 @@ let suite =
       test_parallel_edge_cases;
     Alcotest.test_case "parallel: uneven costs self-schedule" `Quick
       test_parallel_uneven_costs;
+    Alcotest.test_case "fingerprint: combinators" `Quick
+      test_fingerprint_combinators;
+    Alcotest.test_case "fingerprint: unordered" `Quick
+      test_fingerprint_unordered;
+    Alcotest.test_case "lru: eviction order" `Quick test_lru_eviction;
+    Alcotest.test_case "lru: disabled and edge cases" `Quick
+      test_lru_edge_cases;
     Alcotest.test_case "texttable: render" `Quick test_texttable;
     Alcotest.test_case "json: parse basics" `Quick test_json_parse_basics;
     Alcotest.test_case "json: parse errors" `Quick test_json_parse_errors;
