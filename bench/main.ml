@@ -142,7 +142,11 @@ let micro_ga =
     check_rescue = false }
 
 (* Evaluator-session kernels (DT-large, the heaviest benchmark):
-   [evaluator_cold] pays a fresh session + full analysis per run,
+   [evaluator_cold] pays a fresh session + full analysis per run on the
+   reference engine (pinned, so it stays the denominator of the flat
+   speedup contract), [flat_cold] is the same cold evaluation on the
+   flat kernel — the contract, written to BENCH.json as
+   [flat_vs_reference] and gated in CI, is flat >= 3x faster —
    [evaluator_warm] queries a pre-warmed session (the result-cache hit
    path every optimisation loop rides on — the contract is warm >= 3x
    cold), [eval_population] evaluates a 16-plan population on a fresh
@@ -206,7 +210,14 @@ let tests =
     Test.make ~name:"evaluator_cold"
       (Staged.stage (fun () ->
            let arch, apps, plan, _, _, _ = Lazy.force evaluator_ctx in
-           let session = D.Evaluator.create arch apps in
+           let session =
+             D.Evaluator.create ~engine:D.Evaluator.Reference arch apps in
+           ignore (D.Evaluator.eval session plan)));
+    Test.make ~name:"flat_cold"
+      (Staged.stage (fun () ->
+           let arch, apps, plan, _, _, _ = Lazy.force evaluator_ctx in
+           let session =
+             D.Evaluator.create ~engine:D.Evaluator.Flat arch apps in
            ignore (D.Evaluator.eval session plan)));
     Test.make ~name:"evaluator_warm"
       (Staged.stage (fun () ->
@@ -277,10 +288,32 @@ let json_of_metric : Obs.metric -> Json.t = function
          (fun (x, v) -> Json.List [ Json.Int x; Json.Float v ])
          points)
 
+(* The flat-kernel speedup contract: cold DT-large evaluation on the
+   flat engine must be at least [min_speedup] times faster than the same
+   evaluation on the reference engine. Written into BENCH.json so CI can
+   gate on it without re-deriving the kernel names. *)
+let flat_contract kernels =
+  let find name =
+    match List.assoc_opt name kernels with
+    | Some (Some ns) -> Some ns
+    | Some None | None -> None in
+  match (find "evaluator_cold", find "flat_cold") with
+  | Some reference_ns, Some flat_ns when flat_ns > 0. ->
+    let min_speedup = 3.0 in
+    let speedup = reference_ns /. flat_ns in
+    [ ( "flat_vs_reference",
+        Json.Obj
+          [ ("reference_ns", Json.Float reference_ns);
+            ("flat_ns", Json.Float flat_ns);
+            ("speedup", Json.Float speedup);
+            ("min_speedup", Json.Float min_speedup);
+            ("ok", Json.Bool (speedup >= min_speedup)) ] ) ]
+  | _ -> []
+
 let write_summary ~kernels ~(snapshot : Obs.snapshot) =
   let json =
     Json.Obj
-      [ ("fast", Json.Bool fast);
+      ([ ("fast", Json.Bool fast);
         ( "ga_config",
           Json.Obj
             [ ("population", Json.Int ga_config.D.Ga.population);
@@ -300,7 +333,8 @@ let write_summary ~kernels ~(snapshot : Obs.snapshot) =
           Json.Obj
             (List.map
                (fun (name, m) -> (name, json_of_metric m))
-               snapshot.Obs.metrics) ) ] in
+               snapshot.Obs.metrics) ) ]
+       @ flat_contract kernels) in
   let oc = open_out bench_out in
   output_string oc (Json.to_string json);
   output_char oc '\n';

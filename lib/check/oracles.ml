@@ -732,6 +732,120 @@ let check_evaluator_agreement (sys : Gen.system) =
   go 0 sys.Gen.plan
 
 (* ------------------------------------------------------------------ *)
+(* (j) Flat kernel: the structure-of-arrays engine must reproduce the
+   reference {!Bounds} fixed point exactly — per-job intervals and the
+   converged flag — for every exec hook, iteration cap and horizon.
+   Agreement is checked at several caps (so the engines agree sweep for
+   sweep, not only at the fixed point), on every trigger scenario, under
+   horizon truncation, and at full-evaluation level with one session per
+   engine walking the same mutation chain. *)
+
+module Flat = Mcmap_sched.Flat
+
+let ( let* ) = Result.bind
+
+let results_equal (a : Bounds.result) (b : Bounds.result) =
+  a.Bounds.converged = b.Bounds.converged
+  && a.Bounds.bounds = b.Bounds.bounds
+
+let flat_disagreement label (r : Bounds.result) (f : Bounds.result) =
+  if r.Bounds.converged <> f.Bounds.converged then
+    failf "flat: %s: converged %b (reference) vs %b (flat)" label
+      r.Bounds.converged f.Bounds.converged
+  else begin
+    let n = Array.length r.Bounds.bounds in
+    let rec go j =
+      if j >= n then
+        failf "flat: %s: results differ but no job field differs" label
+      else if r.Bounds.bounds.(j) <> f.Bounds.bounds.(j) then begin
+        let a = r.Bounds.bounds.(j) and b = f.Bounds.bounds.(j) in
+        failf
+          "flat: %s: job %d: reference start [%d,%d] finish [%d,%d] vs \
+           flat start [%d,%d] finish [%d,%d]"
+          label j a.Bounds.min_start a.Bounds.max_start a.Bounds.min_finish
+          a.Bounds.max_finish b.Bounds.min_start b.Bounds.max_start
+          b.Bounds.min_finish b.Bounds.max_finish
+      end
+      else go (j + 1) in
+    go 0
+  end
+
+(* Caps below, at and above typical convergence: agreement at every cap
+   pins per-sweep behaviour, including the truncated [converged = false]
+   prefixes. *)
+let flat_caps = [ 1; 3; Bounds.default_max_iterations ]
+
+let check_flat_agreement (sys : Gen.system) =
+  let arch = sys.Gen.arch and apps = sys.Gen.apps in
+  let happ = Happ.build arch apps sys.Gen.plan in
+  let js = Jobset.build happ in
+  let base = Appset.hyperperiod apps in
+  let rctx = Bounds.make js and fctx = Flat.make js in
+  let compare_at label ~max_iterations rctx fctx ~exec =
+    let r = Bounds.analyze ~max_iterations rctx ~exec in
+    let f = Flat.analyze ~max_iterations fctx ~exec in
+    if results_equal r f then Ok () else flat_disagreement label r f in
+  let compare_caps label rctx fctx ~exec =
+    List.fold_left
+      (fun acc cap ->
+        let* () = acc in
+        compare_at
+          (Printf.sprintf "%s, cap %d" label cap)
+          ~max_iterations:cap rctx fctx ~exec)
+      (Ok ()) flat_caps in
+  let* () = compare_caps "normal state" rctx fctx ~exec:Bounds.nominal_exec in
+  (* Every trigger scenario of Algorithm 1, through the same exec hook
+     the evaluator feeds both engines. *)
+  let normal = Bounds.analyze rctx ~exec:Bounds.nominal_exec in
+  let* () =
+    if not normal.Bounds.converged then Ok ()
+    else
+      List.fold_left
+        (fun acc (v : Job.t) ->
+          let* () = acc in
+          let exec = Wcrt.scenario_exec ~base normal.Bounds.bounds v in
+          compare_at
+            (Printf.sprintf "trigger scenario of job %d" v.Job.id)
+            ~max_iterations:Bounds.default_max_iterations rctx fctx ~exec)
+        (Ok ()) (Jobset.triggers js) in
+  (* Horizon truncation parity: both engines must overflow at exactly
+     the same cap and return the same truncated intervals. *)
+  let* () =
+    List.fold_left
+      (fun acc horizon ->
+        let* () = acc in
+        compare_caps
+          (Printf.sprintf "horizon %d" horizon)
+          (Bounds.make ~horizon js)
+          (Flat.make ~horizon js)
+          ~exec:Bounds.nominal_exec)
+      (Ok ())
+      [ 1; base ] in
+  (* Full-evaluation level: one session per engine walks the same
+     mutation chain; restricted component jobsets, scenario memoisation
+     and external-trigger summaries all sit on the engine under test. *)
+  let ref_session = Evaluator.create ~engine:Evaluator.Reference arch apps in
+  let flat_session = Evaluator.create ~engine:Evaluator.Flat arch apps in
+  let rng = Prng.create (sys.Gen.seed + 104729) in
+  let rec chain step plan =
+    if step >= 6 then Ok ()
+    else begin
+      let r = Evaluator.eval ref_session plan in
+      let f = Evaluator.eval flat_session plan in
+      if not (evaluations_equal r f) then
+        failf
+          "flat: mutation step %d: engines disagree at evaluation level: \
+           power %.17g vs %.17g, service %.17g vs %.17g, violation %.17g \
+           vs %.17g, schedulable %b/%b, reliable %b/%b, rescued %b/%b"
+          step r.Evaluate.power f.Evaluate.power r.Evaluate.service
+          f.Evaluate.service r.Evaluate.violation f.Evaluate.violation
+          r.Evaluate.schedulable f.Evaluate.schedulable r.Evaluate.reliable
+          f.Evaluate.reliable r.Evaluate.rescued f.Evaluate.rescued
+      else chain (step + 1) (mutate_plan rng arch apps plan)
+    end in
+  chain 0 sys.Gen.plan
+
+(* ------------------------------------------------------------------ *)
 
 let soundness =
   { name = "wcrt-soundness";
@@ -796,9 +910,18 @@ let evaluator_agreement =
        toggles, rebinds, technique and replica-arity edits";
     check = check_evaluator_agreement }
 
+let flat_agreement =
+  { name = "flat-agreement";
+    doc =
+      "the flat structure-of-arrays kernel reproduces the reference \
+       fixed point exactly — per-job intervals and convergence — at \
+       every iteration cap, on every trigger scenario, under horizon \
+       truncation, and at evaluation level along mutation chains";
+    check = check_flat_agreement }
+
 let all =
   [ soundness; reliability_agreement; campaign_agreement;
     hardening_monotonic; wcet_monotonic; dropping_improves; pareto_front;
-    lint_soundness; evaluator_agreement ]
+    lint_soundness; evaluator_agreement; flat_agreement ]
 
 let find name = List.find_opt (fun o -> o.name = name) all

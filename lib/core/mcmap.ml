@@ -33,6 +33,7 @@ module Util = struct
   module Parallel = Mcmap_util.Parallel
   module Fingerprint = Mcmap_util.Fingerprint
   module Lru = Mcmap_util.Lru
+  module Bitset = Mcmap_util.Bitset
   module Sexp = Mcmap_util.Sexp
   module Json = Mcmap_util.Json
   module Texttable = Mcmap_util.Texttable
@@ -79,6 +80,7 @@ module Sched = struct
   module Job = Mcmap_sched.Job
   module Jobset = Mcmap_sched.Jobset
   module Bounds = Mcmap_sched.Bounds
+  module Flat = Mcmap_sched.Flat
   module Static_schedule = Mcmap_sched.Static_schedule
 end
 

@@ -41,6 +41,7 @@ module Util : sig
   module Parallel = Mcmap_util.Parallel
   module Fingerprint = Mcmap_util.Fingerprint
   module Lru = Mcmap_util.Lru
+  module Bitset = Mcmap_util.Bitset
   module Sexp = Mcmap_util.Sexp
   module Json = Mcmap_util.Json
   module Texttable = Mcmap_util.Texttable
@@ -87,6 +88,7 @@ module Sched : sig
   module Job = Mcmap_sched.Job
   module Jobset = Mcmap_sched.Jobset
   module Bounds = Mcmap_sched.Bounds
+  module Flat = Mcmap_sched.Flat
   module Static_schedule = Mcmap_sched.Static_schedule
 end
 

@@ -9,6 +9,7 @@ module Reliability = Mcmap_reliability.Analysis
 module Job = Mcmap_sched.Job
 module Jobset = Mcmap_sched.Jobset
 module Bounds = Mcmap_sched.Bounds
+module Flat = Mcmap_sched.Flat
 module Wcrt = Mcmap_analysis.Wcrt
 module Verdict = Mcmap_analysis.Verdict
 module Fingerprint = Mcmap_util.Fingerprint
@@ -109,6 +110,25 @@ let canonical_equal (a : Plan.t) (b : Plan.t) =
 (* ------------------------------------------------------------------ *)
 (* Session state.                                                      *)
 
+type engine = Reference | Flat
+
+(* The two Algorithm 1 backends behind one face: the reference
+   interval analysis ([Bounds]) and its flat structure-of-arrays twin
+   ([Flat]). They agree field-for-field on every input — the
+   [flat-agreement] oracle enforces it — so engine choice changes
+   wall-clock only, never results. *)
+type ectx = Ref_ctx of Bounds.ctx | Flat_ctx of Flat.ctx
+
+let make_ectx engine ~horizon rjs =
+  match engine with
+  | Reference -> Ref_ctx (Bounds.make ~horizon rjs)
+  | Flat -> Flat_ctx (Flat.make ~horizon rjs)
+
+let analyze_ectx ~max_iterations ectx ~exec =
+  match ectx with
+  | Ref_ctx ctx -> Bounds.analyze ~max_iterations ctx ~exec
+  | Flat_ctx ctx -> Flat.analyze ~max_iterations ctx ~exec
+
 type sched_info = {
   required : Verdict.t array;  (* per source graph: required WCRT *)
   ok : bool;  (* every required verdict meets its deadline *)
@@ -126,8 +146,12 @@ type outcome = {
    trigger's (min_start, max_finish) summary — the only channel through
    which a remote fault is visible here (see {!Wcrt.external_exec}). *)
 type centry = {
-  ce_ctx : Bounds.ctx;
+  ce_ctx : ectx;
   ce_graphs : int array;  (* ascending source graph indices *)
+  ce_response : Job.t array array;
+      (* per graph: its sink-task response jobs — static per restricted
+         jobset, cached so each scenario outcome is a max-fold rather
+         than a sink recomputation and jobset scan per graph *)
   ce_normal : Bounds.result;
   ce_normal_verdicts : Verdict.t array;
   ce_triggers : Job.t array;
@@ -150,6 +174,7 @@ type stats = {
 type t = {
   arch : Arch.t;
   apps : Appset.t;
+  engine : engine;
   check_rescue : bool;
   max_iterations : int;
   domains : int;
@@ -184,7 +209,7 @@ let with_lock t f =
     raise e
 
 let create ?(cache_capacity = 4096) ?(component_capacity = 64)
-    ?(domains = 1) ?(check_rescue = true)
+    ?(domains = 1) ?(engine = Flat) ?(check_rescue = true)
     ?(max_iterations = Bounds.default_max_iterations) arch apps =
   if domains < 1 then invalid_arg "Evaluator.create: domains < 1";
   if cache_capacity < 0 then
@@ -211,7 +236,8 @@ let create ?(cache_capacity = 4096) ?(component_capacity = 64)
           max !max_deadline (base - graph.Graph.period + graph.Graph.deadline)
     done;
     (4 * base) + !max_deadline in
-  { arch; apps; check_rescue; max_iterations; domains; n_graphs; deadlines;
+  { arch; apps; engine; check_rescue; max_iterations; domains; n_graphs;
+    deadlines;
     rel_bounds; base; horizon; lock = Mutex.create ();
     results = Lru.create ~capacity:cache_capacity ();
     sched = Lru.create ~capacity:cache_capacity ();
@@ -348,12 +374,31 @@ let structure_fp rjs =
   fp := Fingerprint.int_array !fp rjs.Jobset.topo;
   !fp
 
-let per_graph_outcome rjs graphs res =
+let response_jobs_for rjs graphs =
+  Array.map
+    (fun g -> Array.of_list (Jobset.response_jobs rjs ~graph:g))
+    graphs
+
+(* [Bounds.graph_wcrt] over the precomputed response jobs: the same
+   max-fold on the same jobs, minus the per-call sink lookup. *)
+let per_graph_outcome response res =
   { o_diverged = not res.Bounds.converged;
     o_verdicts =
       Array.map
-        (fun g -> Verdict.of_option (Bounds.graph_wcrt rjs res ~graph:g))
-        graphs }
+        (fun jobs ->
+          Verdict.of_option
+            (if not res.Bounds.converged then None
+             else begin
+               let worst = ref 0 in
+               Array.iter
+                 (fun (j : Job.t) ->
+                   let finish =
+                     res.Bounds.bounds.(j.Job.id).Bounds.max_finish in
+                   worst := max !worst (Job.response j ~finish))
+                 jobs;
+               Some !worst
+             end))
+        response }
 
 let centry_for t js graphs =
   let rjs = Jobset.restrict js ~graphs in
@@ -365,14 +410,12 @@ let centry_for t js graphs =
     entry
   | None ->
     if Obs.enabled () then Obs.incr "evaluator.component_misses";
-    let ctx = Bounds.make ~horizon:t.horizon rjs in
+    let ctx = make_ectx t.engine ~horizon:t.horizon rjs in
+    let response = response_jobs_for rjs graphs in
     let normal =
-      Bounds.analyze ~max_iterations:t.max_iterations ctx
+      analyze_ectx ~max_iterations:t.max_iterations ctx
         ~exec:Bounds.nominal_exec in
-    let normal_verdicts =
-      Array.map
-        (fun g -> Verdict.of_option (Bounds.graph_wcrt rjs normal ~graph:g))
-        graphs in
+    let normal_verdicts = (per_graph_outcome response normal).o_verdicts in
     let triggers = Array.of_list (Jobset.triggers rjs) in
     let summaries =
       Array.map
@@ -386,12 +429,13 @@ let centry_for t js graphs =
           (fun (v : Job.t) ->
             let exec =
               Wcrt.scenario_exec ~base:t.base normal.Bounds.bounds v in
-            per_graph_outcome rjs graphs
-              (Bounds.analyze ~max_iterations:t.max_iterations ctx ~exec))
+            per_graph_outcome response
+              (analyze_ectx ~max_iterations:t.max_iterations ctx ~exec))
           triggers
       else [||] in
     let entry =
-      { ce_ctx = ctx; ce_graphs = graphs; ce_normal = normal;
+      { ce_ctx = ctx; ce_graphs = graphs; ce_response = response;
+        ce_normal = normal;
         ce_normal_verdicts = normal_verdicts; ce_triggers = triggers;
         ce_summaries = summaries; ce_internal = internal;
         ce_external = Hashtbl.create 16 } in
@@ -414,9 +458,9 @@ let external_outcome t entry (ms, mf) =
     let exec =
       Wcrt.external_exec ~base:t.base ~min_start:ms ~max_finish:mf
         entry.ce_normal.Bounds.bounds in
-    let res = Bounds.analyze ~max_iterations:t.max_iterations entry.ce_ctx ~exec in
-    let o =
-      per_graph_outcome (Bounds.jobset entry.ce_ctx) entry.ce_graphs res in
+    let res =
+      analyze_ectx ~max_iterations:t.max_iterations entry.ce_ctx ~exec in
+    let o = per_graph_outcome entry.ce_response res in
     if Obs.enabled () then Obs.incr "evaluator.external_scenarios";
     with_lock t (fun () ->
         t.n_external <- t.n_external + 1;

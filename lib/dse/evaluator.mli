@@ -25,10 +25,21 @@
 
 type t
 
+type engine =
+  | Reference  (** {!Mcmap_sched.Bounds} — the record-based oracle *)
+  | Flat  (** {!Mcmap_sched.Flat} — the zero-allocation flat kernel *)
+(** Which Algorithm 1 fixed-point implementation the session runs. Both
+    return equal results on every input — the [flat-agreement] check
+    oracle enforces exact agreement — so the choice affects speed only:
+    [Flat] (the default) is the structure-of-arrays kernel, [Reference]
+    keeps the original {!Mcmap_sched.Bounds} engine as the differential
+    baseline. *)
+
 val create :
   ?cache_capacity:int ->
   ?component_capacity:int ->
   ?domains:int ->
+  ?engine:engine ->
   ?check_rescue:bool ->
   ?max_iterations:int ->
   Mcmap_model.Arch.t ->
@@ -39,7 +50,8 @@ val create :
     measuring). [component_capacity] (default 64) bounds the
     per-component analysis cache, whose entries hold job sets and
     precedence matrices and are therefore larger. [domains] (default 1)
-    parallelises {!eval_population}. [check_rescue] and [max_iterations]
+    parallelises {!eval_population}. [engine] (default {!Flat}) selects
+    the fixed-point implementation. [check_rescue] and [max_iterations]
     are the session-wide analysis options previously restated at every
     [Evaluate.evaluate] call site; [max_iterations] defaults to
     {!Mcmap_sched.Bounds.default_max_iterations}.

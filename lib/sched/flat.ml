@@ -1,0 +1,492 @@
+module Arch = Mcmap_model.Arch
+module Proc = Mcmap_model.Proc
+module Obs = Mcmap_obs.Obs
+module Bitset = Mcmap_util.Bitset
+
+(* Structure-of-arrays twin of [Bounds]. The algorithm is the reference
+   fixed point verbatim (same sweeps in the same topological order, same
+   pay-once / busy-chain-restart rules, same horizon and iteration cap)
+   — only the data layout differs, so the two engines must agree field
+   for field on every input. The [flat-agreement] oracle holds us to
+   that. *)
+
+type ctx = {
+  js : Jobset.t;
+  n : int;
+  horizon : int;
+  release : int array;
+  topo : int array;
+  (* Precedence in CSR form, edges in [Jobset.preds] order. *)
+  pred_off : int array;  (* length n + 1 *)
+  pred_job : int array;
+  pred_delay : int array;
+  (* Interference candidates as one bitset row per job: the
+     same-processor, non-precedence-related jobs of higher-or-equal
+     priority. Relatedness and priorities are static per jobset, so the
+     sweep only re-tests the dynamic parts (silence and window
+     overlap) — and it does so over [cand ∧ ¬paid] word-wise, so jobs
+     whose burst is already paid cost nothing to skip. *)
+  cand_mask : Bitset.t array;
+  (* Blocking candidates: same-processor, non-related jobs of strictly
+     lower priority on non-preemptive processors (always empty on
+     preemptive ones). *)
+  block_off : int array;
+  block_job : int array;
+  (* Successors (reverse precedence), for dirty propagation. *)
+  succ_off : int array;
+  succ_job : int array;
+  (* Processor membership for the precise peer wake-up: [proc_jobs] is
+     the concatenation of the [by_proc] rows and [proc_off] its CSR
+     offsets (one slice per processor); [proc_of.(j)] is [j]'s
+     processor. *)
+  proc_of : int array;
+  proc_off : int array;  (* length n_procs + 1 *)
+  proc_jobs : int array;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Scratch arena: one per domain, reused across evaluations. Grows
+   monotonically to the largest jobset analysed on that domain;
+   [analyze] allocates only when the arena must grow (and for the final
+   result record, which the caller keeps). Per-domain storage makes the
+   engine safe under the evaluator's multi-domain population sweeps
+   without any locking. *)
+
+type arena = {
+  mutable cap : int;
+  mutable bc : int array;
+  mutable wc : int array;
+  mutable a_min_start : int array;
+  mutable a_min_finish : int array;
+  mutable a_max_ready : int array;
+  mutable a_max_finish : int array;
+  mutable charged : Bitset.t array;
+  mutable paid : Bitset.t;
+  (* Dirty flags for the delta sweeps (see [analyze]). *)
+  mutable dirty : Bytes.t;
+  (* Per-processor job slices sorted by [min_start], rebuilt each
+     analysis for the interval wake-up. *)
+  mutable sorted : int array;
+}
+
+let arena_key =
+  Domain.DLS.new_key (fun () ->
+      { cap = 0; bc = [||]; wc = [||]; a_min_start = [||];
+        a_min_finish = [||]; a_max_ready = [||]; a_max_finish = [||];
+        charged = [||]; paid = Bitset.create 0; dirty = Bytes.empty;
+        sorted = [||] })
+
+let arena_for n =
+  let a = Domain.DLS.get arena_key in
+  if a.cap < n then begin
+    a.cap <- n;
+    a.bc <- Array.make n 0;
+    a.wc <- Array.make n 0;
+    a.a_min_start <- Array.make n 0;
+    a.a_min_finish <- Array.make n 0;
+    a.a_max_ready <- Array.make n 0;
+    a.a_max_finish <- Array.make n 0;
+    a.charged <- Array.init n (fun _ -> Bitset.create n);
+    a.paid <- Bitset.create n;
+    a.dirty <- Bytes.make n '\000';
+    a.sorted <- Array.make n 0
+  end;
+  a
+
+let scratch_capacity () = (Domain.DLS.get arena_key).cap
+
+(* ------------------------------------------------------------------ *)
+(* Context construction: flatten the jobset and resolve every static
+   test of the reference inner loop ([related], priorities, the
+   non-preemptive policy) into candidate lists. *)
+
+let make ?horizon js =
+  let n = Jobset.n_jobs js in
+  let jobs = js.Jobset.jobs in
+  (* Precedence relatedness, as in [Bounds.make]: ancestors by a forward
+     closure along the topological order, then symmetrised — here as
+     bitset rows, so the closure unions whole words. *)
+  let related = Array.init n (fun _ -> Bitset.create n) in
+  Array.iter
+    (fun j ->
+      Bitset.add related.(j) j;
+      Array.iter
+        (fun (p, _) -> Bitset.union_into ~dst:related.(j) related.(p))
+        js.Jobset.preds.(j))
+    js.Jobset.topo;
+  for j = 0 to n - 1 do
+    Bitset.iter (fun k -> Bitset.add related.(k) j) related.(j)
+  done;
+  let horizon =
+    match horizon with
+    | Some h -> h
+    | None ->
+      let max_deadline =
+        Array.fold_left
+          (fun acc (j : Job.t) -> max acc j.Job.abs_deadline)
+          0 jobs in
+      (4 * js.Jobset.hyperperiod) + max_deadline in
+  let arch = js.Jobset.happ.Mcmap_hardening.Happ.arch in
+  let non_preemptive =
+    Array.init (Arch.n_procs arch) (fun p ->
+        match (Arch.proc arch p).Proc.policy with
+        | Proc.Non_preemptive_fp -> true
+        | Proc.Preemptive_fp -> false) in
+  let release = Array.map (fun (j : Job.t) -> j.Job.release) jobs in
+  (* CSR precedence. *)
+  let pred_off = Array.make (n + 1) 0 in
+  for j = 0 to n - 1 do
+    pred_off.(j + 1) <- pred_off.(j) + Array.length js.Jobset.preds.(j)
+  done;
+  let n_edges = pred_off.(n) in
+  let pred_job = Array.make (max 1 n_edges) 0 in
+  let pred_delay = Array.make (max 1 n_edges) 0 in
+  for j = 0 to n - 1 do
+    Array.iteri
+      (fun i (p, delay) ->
+        pred_job.(pred_off.(j) + i) <- p;
+        pred_delay.(pred_off.(j) + i) <- delay)
+      js.Jobset.preds.(j)
+  done;
+  (* Candidate partition: interference candidates as bitset rows
+     (iterated word-wise against [paid] in the sweep — membership order
+     is immaterial because pay-once adds are independent and the
+     interference term is a plain sum), blocking candidates in CSR form
+     (counted, then filled in [by_proc] order). *)
+  let cand_mask = Array.init n (fun _ -> Bitset.create n) in
+  let block_off = Array.make (n + 1) 0 in
+  let classify j k =
+    (* 0 = skipped, 1 = interference candidate, 2 = blocking candidate *)
+    if k = j || Bitset.mem related.(j) k then 0
+    else if jobs.(k).Job.priority <= jobs.(j).Job.priority then 1
+    else if non_preemptive.(jobs.(j).Job.proc) then 2
+    else 0 in
+  for j = 0 to n - 1 do
+    let nb = ref 0 in
+    Array.iter
+      (fun k ->
+        match classify j k with
+        | 1 -> Bitset.add cand_mask.(j) k
+        | 2 -> incr nb
+        | _ -> ())
+      js.Jobset.by_proc.(jobs.(j).Job.proc);
+    block_off.(j + 1) <- block_off.(j) + !nb
+  done;
+  let block_job = Array.make (max 1 block_off.(n)) 0 in
+  for j = 0 to n - 1 do
+    let b = ref block_off.(j) in
+    Array.iter
+      (fun k -> if classify j k = 2 then begin
+          block_job.(!b) <- k;
+          incr b
+        end)
+      js.Jobset.by_proc.(jobs.(j).Job.proc)
+  done;
+  (* Reverse CSR: successors, for dirty propagation only (unordered). *)
+  let succ_off = Array.make (n + 1) 0 in
+  for e = 0 to n_edges - 1 do
+    let p = pred_job.(e) in
+    succ_off.(p + 1) <- succ_off.(p + 1) + 1
+  done;
+  for p = 0 to n - 1 do
+    succ_off.(p + 1) <- succ_off.(p + 1) + succ_off.(p)
+  done;
+  let succ_job = Array.make (max 1 n_edges) 0 in
+  let cursor = Array.copy succ_off in
+  for j = 0 to n - 1 do
+    for e = pred_off.(j) to pred_off.(j + 1) - 1 do
+      let p = pred_job.(e) in
+      succ_job.(cursor.(p)) <- j;
+      cursor.(p) <- cursor.(p) + 1
+    done
+  done;
+  let n_procs = Arch.n_procs arch in
+  let proc_of = Array.map (fun (j : Job.t) -> j.Job.proc) jobs in
+  let proc_off = Array.make (n_procs + 1) 0 in
+  for p = 0 to n_procs - 1 do
+    proc_off.(p + 1) <- proc_off.(p) + Array.length js.Jobset.by_proc.(p)
+  done;
+  let proc_jobs = Array.make (max 1 n) 0 in
+  for p = 0 to n_procs - 1 do
+    Array.iteri
+      (fun i k -> proc_jobs.(proc_off.(p) + i) <- k)
+      js.Jobset.by_proc.(p)
+  done;
+  { js; n; horizon; release; topo = js.Jobset.topo;
+    pred_off; pred_job; pred_delay; cand_mask; block_off;
+    block_job; succ_off; succ_job; proc_of; proc_off; proc_jobs }
+
+let jobset ctx = ctx.js
+
+(* ------------------------------------------------------------------ *)
+(* The fixed point. Mirrors [Bounds.analyze] sweep for sweep; scalar
+   accumulators are hoisted refs and all indices are in-bounds by
+   construction, so the loop body performs no allocation and no
+   redundant checks. *)
+
+let analyze ?(max_iterations = Bounds.default_max_iterations) ctx ~exec =
+  let n = ctx.n in
+  let a = arena_for n in
+  let bc = a.bc and wc = a.wc in
+  let min_start = a.a_min_start and min_finish = a.a_min_finish in
+  let max_ready = a.a_max_ready and max_finish = a.a_max_finish in
+  let charged = a.charged and paid = a.paid in
+  Array.iter
+    (fun (j : Job.t) ->
+      let b, w = exec j in
+      if b < 0 || b > w then
+        invalid_arg "Flat.analyze: invalid execution bounds";
+      bc.(j.Job.id) <- b;
+      wc.(j.Job.id) <- w)
+    ctx.js.Jobset.jobs;
+  let topo = ctx.topo in
+  let release = ctx.release in
+  let pred_off = ctx.pred_off
+  and pred_job = ctx.pred_job
+  and pred_delay = ctx.pred_delay in
+  let cand_mask = ctx.cand_mask in
+  let paid_words = Bitset.words paid in
+  let block_off = ctx.block_off and block_job = ctx.block_job in
+  (* Best case: interference-free forward pass; silent predecessors
+     (wcet' = 0) contribute no data (cf. the reference). *)
+  let acc = ref 0 in
+  for t = 0 to n - 1 do
+    let j = Array.unsafe_get topo t in
+    acc := Array.unsafe_get release j;
+    for e = Array.unsafe_get pred_off j to Array.unsafe_get pred_off (j + 1) - 1 do
+      let p = Array.unsafe_get pred_job e in
+      if Array.unsafe_get wc p <> 0 then begin
+        let f = Array.unsafe_get min_finish p + Array.unsafe_get pred_delay e in
+        if f > !acc then acc := f
+      end
+    done;
+    Array.unsafe_set min_start j !acc;
+    Array.unsafe_set min_finish j (!acc + Array.unsafe_get bc j)
+  done;
+  (* Worst case: data-ready + wcet, no interference yet. *)
+  for t = 0 to n - 1 do
+    let j = Array.unsafe_get topo t in
+    acc := Array.unsafe_get release j;
+    for e = Array.unsafe_get pred_off j to Array.unsafe_get pred_off (j + 1) - 1 do
+      let f =
+        Array.unsafe_get max_finish (Array.unsafe_get pred_job e)
+        + Array.unsafe_get pred_delay e in
+      if f > !acc then acc := f
+    done;
+    Array.unsafe_set max_ready j !acc;
+    Array.unsafe_set max_finish j (!acc + Array.unsafe_get wc j)
+  done;
+  (* Stale charged state from a previous evaluation is never read (each
+     row is rewritten before any successor reads it, in topological
+     order), but a cleared arena keeps the engine's state independent of
+     analysis history — cheap insurance for exactness. *)
+  for j = 0 to n - 1 do
+    Bitset.clear charged.(j)
+  done;
+  (* Sort each processor's job slice by [min_start] (fixed for the rest
+     of this analysis) so finish-growth wake-ups can binary-search the
+     affected peers. Insertion sort: the [by_proc] rows arrive roughly
+     in release order, which correlates with [min_start], so this is
+     near-linear in practice. *)
+  let sorted = a.sorted in
+  let proc_off = ctx.proc_off in
+  Array.blit ctx.proc_jobs 0 sorted 0 n;
+  for p = 0 to Array.length proc_off - 2 do
+    let lo = proc_off.(p) in
+    for i = lo + 1 to proc_off.(p + 1) - 1 do
+      let v = Array.unsafe_get sorted i in
+      let key = Array.unsafe_get min_start v in
+      let m = ref i in
+      while
+        !m > lo
+        && Array.unsafe_get min_start
+             (Array.unsafe_get sorted (!m - 1))
+           > key
+      do
+        Array.unsafe_set sorted !m (Array.unsafe_get sorted (!m - 1));
+        decr m
+      done;
+      Array.unsafe_set sorted !m v
+    done
+  done;
+  (* Delta sweeps. A job's step is a deterministic function of its
+     dynamic inputs: the [max_finish] and [charged] rows of its
+     predecessors, the [max_finish] of its same-processor peers
+     (candidates and blockers), and its own [max_finish] (the overlap
+     tests read it). Everything else ([release], [min_start],
+     [min_finish], the candidate partition) is fixed after the passes
+     above. So a job whose inputs did not change since its last
+     recomputation would recompute to exactly its current state — the
+     sweep may skip it without altering any value, the per-sweep
+     [changed] flag, the iteration count or the overflow flag. Dirty
+     flags implement that: every job starts dirty (sweep 1 is the full
+     reference sweep); a recomputation that changes [charged] re-dirties
+     the successors, and one that grows [max_finish] from [old] to [new]
+     re-dirties the successors plus exactly the same-processor jobs the
+     growth can be observed by. A peer [k] reads [j]'s [max_finish] only
+     in the strict window tests [min_start k < max_finish j] (own
+     overlap and blocking) and [j] reads it against its candidates'
+     [min_start] — and [min_start] is fixed after the best-case pass —
+     so a growth flips a verdict iff that peer's [min_start] lies in
+     [old, new). The slices sorted above turn that into a binary search
+     plus an interval walk that is empty for most growths ([j] itself
+     re-runs only when the interval is non-empty). Topologically later
+     jobs marked mid-sweep are recomputed in the same sweep — exactly
+     the jobs that would observe the new value in the reference's
+     Gauss-Seidel sweep — while earlier ones keep their flag for the
+     next sweep. *)
+  let dirty = a.dirty in
+  Bytes.fill dirty 0 n '\001';
+  let succ_off = ctx.succ_off and succ_job = ctx.succ_job in
+  let proc_of = ctx.proc_of in
+  let horizon = ctx.horizon in
+  let overflow = ref false in
+  let converged = ref false in
+  let iter = ref 0 in
+  let changed = ref false in
+  let data_ready = ref 0
+  and guaranteed = ref 0
+  and interference = ref 0
+  and blocking = ref 0 in
+  while (not !converged) && (not !overflow) && !iter < max_iterations do
+    incr iter;
+    changed := false;
+    for t = 0 to n - 1 do
+      let j = Array.unsafe_get topo t in
+      if Bytes.unsafe_get dirty j <> '\000' then begin
+      Bytes.unsafe_set dirty j '\000';
+      let rel_j = Array.unsafe_get release j in
+      let e0 = Array.unsafe_get pred_off j in
+      let e1 = Array.unsafe_get pred_off (j + 1) in
+      data_ready := min_int;
+      guaranteed := min_int;
+      for e = e0 to e1 - 1 do
+        let p = Array.unsafe_get pred_job e in
+        let delay = Array.unsafe_get pred_delay e in
+        let f = Array.unsafe_get max_finish p + delay in
+        if f > !data_ready then data_ready := f;
+        (* Pay-once inheritance is only sound while the busy chain is
+           certainly continuous — continuity is established from the
+           guaranteed (best-case) data-ready time, and silent
+           predecessors cannot sustain the chain (see [Bounds]). *)
+        if Array.unsafe_get wc p <> 0 then begin
+          let g = Array.unsafe_get min_finish p + delay in
+          if g > !guaranteed then guaranteed := g
+        end
+      done;
+      let ready = if rel_j > !data_ready then rel_j else !data_ready in
+      if !guaranteed < rel_j || e0 = e1 then Bitset.clear paid
+      else begin
+        Bitset.blit ~src:charged.(Array.unsafe_get pred_job e0) ~dst:paid;
+        for e = e0 + 1 to e1 - 1 do
+          Bitset.inter_into ~dst:paid charged.(Array.unsafe_get pred_job e)
+        done
+      end;
+      interference := 0;
+      blocking := 0;
+      let mf_j = Array.unsafe_get max_finish j in
+      let ms_j = Array.unsafe_get min_start j in
+      (* Unpaid candidates only: walk the set bits of [cand ∧ ¬paid]
+         word by word. Each word is snapshotted before its bits are
+         visited, so the [Bitset.unsafe_add] below (which touches the
+         word already snapshotted, never a later one in this walk of
+         distinct indices) cannot disturb the iteration. As the fixed
+         point progresses, [paid] rows fill up and this walk shrinks,
+         whereas the reference rescans its full candidate list every
+         sweep. *)
+      let cm = Bitset.words (Array.unsafe_get cand_mask j) in
+      for wi = 0 to Array.length cm - 1 do
+        let x =
+          ref (Array.unsafe_get cm wi
+               land lnot (Array.unsafe_get paid_words wi)) in
+        if !x <> 0 then begin
+          let base = wi * 63 in
+          let bit = ref 0 in
+          while !x <> 0 do
+            while !x land 0xFF = 0 do
+              x := !x lsr 8;
+              bit := !bit + 8
+            done;
+            while !x land 1 = 0 do
+              x := !x lsr 1;
+              incr bit
+            done;
+            let k = base + !bit in
+            let w = Array.unsafe_get wc k in
+            (* Half-open execution-window overlap, then pay-once. *)
+            if w > 0
+               && Array.unsafe_get min_start k < mf_j
+               && ms_j < Array.unsafe_get max_finish k then begin
+              interference := !interference + w;
+              Bitset.unsafe_add paid k
+            end;
+            x := !x lsr 1;
+            incr bit
+          done
+        end
+      done;
+      for c = Array.unsafe_get block_off j to Array.unsafe_get block_off (j + 1) - 1 do
+        let k = Array.unsafe_get block_job c in
+        let w = Array.unsafe_get wc k in
+        if w > !blocking
+           && w > 0
+           && Array.unsafe_get min_start k < mf_j
+           && ms_j < Array.unsafe_get max_finish k then
+          blocking := w
+      done;
+      let charged_changed = not (Bitset.equal paid charged.(j)) in
+      if charged_changed then Bitset.blit ~src:paid ~dst:charged.(j);
+      let start = ready + !interference + !blocking in
+      let finish = start + Array.unsafe_get wc j in
+      let finish_changed = finish > mf_j in
+      if finish_changed then begin
+        Array.unsafe_set max_finish j finish;
+        Array.unsafe_set max_ready j start;
+        changed := true;
+        if finish > horizon then overflow := true
+      end;
+      if finish_changed || charged_changed then
+        for e = Array.unsafe_get succ_off j to Array.unsafe_get succ_off (j + 1) - 1 do
+          Bytes.unsafe_set dirty (Array.unsafe_get succ_job e) '\001'
+        done;
+      if finish_changed then begin
+        (* Wake the peers whose [min_start] lies in [mf_j, finish):
+           binary-search the sorted slice for the lower bound, then walk
+           the (usually empty) interval. *)
+        let p = Array.unsafe_get proc_of j in
+        let hi = Array.unsafe_get proc_off (p + 1) in
+        let l = ref (Array.unsafe_get proc_off p) and r = ref hi in
+        while !l < !r do
+          let mid = (!l + !r) / 2 in
+          if Array.unsafe_get min_start (Array.unsafe_get sorted mid)
+             < mf_j
+          then l := mid + 1
+          else r := mid
+        done;
+        let woke = ref false in
+        let continue_walk = ref true in
+        while !continue_walk && !l < hi do
+          let k = Array.unsafe_get sorted !l in
+          if Array.unsafe_get min_start k < finish then begin
+            Bytes.unsafe_set dirty k '\001';
+            woke := true;
+            incr l
+          end
+          else continue_walk := false
+        done;
+        if !woke then Bytes.unsafe_set dirty j '\001'
+      end
+      end
+    done;
+    if not !changed then converged := true
+  done;
+  if Obs.enabled () then begin
+    Obs.incr "flat.analyses";
+    Obs.observe "flat.fixpoint_iterations" !iter;
+    if not (!converged && not !overflow) then Obs.incr "flat.diverged"
+  end;
+  let bounds =
+    Array.init n (fun j ->
+        { Bounds.min_start = min_start.(j); min_finish = min_finish.(j);
+          max_start = max_ready.(j); max_finish = max_finish.(j) }) in
+  { Bounds.bounds; converged = !converged && not !overflow }

@@ -1,0 +1,54 @@
+(** Flat-kernel rewrite of the {!Bounds} best/worst interval analysis —
+    same algorithm, same results, structure-of-arrays execution.
+
+    {!Bounds.analyze} is the innermost loop of Algorithm 1: every GA
+    generation, campaign shard and evaluator session runs it thousands
+    of times on cold (uncached) inputs. This module re-implements the
+    identical fixed point with the data laid out for that loop:
+
+    - job fields, precedence edges and interference candidates live in
+      preallocated flat [int] arrays (CSR adjacency, no tuples, no
+      per-job records touched inside the sweep);
+    - the statically-known interference structure is resolved at
+      {!make} time: for each job, the same-processor non-related
+      higher-or-equal-priority candidates (and, on non-preemptive
+      processors, the lower-priority blocking candidates) are
+      precomputed, so the sweep never re-tests precedence relatedness
+      or priorities;
+    - charged-interferer sets are {!Mcmap_util.Bitset} values held in a
+      per-domain scratch arena that is reused across evaluations — the
+      fixed-point iteration allocates nothing.
+
+    The contract is exact agreement: for every jobset, [exec] hook,
+    [?horizon] and [?max_iterations], {!analyze} returns a
+    {!Bounds.result} equal field-for-field (every per-job interval and
+    the [converged] flag) to what {!Bounds.analyze} returns on a
+    {!Bounds.ctx} built with the same options. The [flat-agreement]
+    check oracle enforces this over random systems and mutation chains;
+    {!Bounds} stays untouched as the differential reference. *)
+
+type ctx
+(** Precomputed, scenario-independent data (flattened precedence,
+    per-job interference candidates, horizon). Build once per jobset,
+    reuse across the many scenario analyses of Algorithm 1 — exactly
+    the role of {!Bounds.ctx}. *)
+
+val make : ?horizon:int -> Jobset.t -> ctx
+(** Same default horizon as {!Bounds.make}:
+    [4 * hyperperiod + max abs_deadline] over the jobs. *)
+
+val jobset : ctx -> Jobset.t
+
+val analyze :
+  ?max_iterations:int -> ctx -> exec:(Job.t -> int * int) -> Bounds.result
+(** [analyze ctx ~exec] runs the flat fixed point; the result is
+    interchangeable with (and equal to) the reference engine's, so
+    {!Bounds.graph_wcrt} and {!Bounds.meets_deadlines} apply directly.
+    Default iteration cap: {!Bounds.default_max_iterations}.
+    @raise Invalid_argument if some [bcet' > wcet'] or a bound is
+    negative. *)
+
+val scratch_capacity : unit -> int
+(** Capacity (in jobs) of the calling domain's scratch arena — 0 before
+    the first {!analyze} on this domain. Exposed for tests asserting the
+    arena is actually reused rather than regrown per evaluation. *)

@@ -129,6 +129,10 @@ let n_jobs t = Array.length t.jobs
    restriction closed under processor sharing contains every such
    comparand, so dense renumbering preserves all comparisons while making
    the result independent of the task counts of absent graphs. *)
+(* The empty restriction ([graphs = [||]]) needs no special case: every
+   derived structure below filters down to empty, which is exactly the
+   advertised boundary behaviour (and what the analyses expect — their
+   sweeps are vacuous and converge on the first pass). *)
 let restrict t ~graphs =
   let n_graphs = Happ.n_graphs t.happ in
   let keep_graph = Array.make n_graphs false in

@@ -44,6 +44,9 @@ val restrict : t -> graphs:int array -> t
     evaluator session memoises per-component analyses keyed by the
     restricted structure. Priorities stay comparable because the analysis
     only compares same-processor jobs, all of which are kept together.
+    An empty [graphs] is legal (trivially closed) and yields the empty
+    jobset — zero jobs, empty buckets and topological order — on which
+    both analysis engines converge immediately with no bounds.
     @raise Invalid_argument on an out-of-range graph index. *)
 
 val n_jobs : t -> int

@@ -11,6 +11,7 @@
 module Oracles = Mcmap_check.Oracles
 module Runner = Mcmap_check.Runner
 module Shrink = Mcmap_check.Shrink
+module Evaluator = Mcmap_dse.Evaluator
 module Bounds = Mcmap_sched.Bounds
 module Jobset = Mcmap_sched.Jobset
 module Job = Mcmap_sched.Job
@@ -63,6 +64,25 @@ let test_corpus_io () =
         "round-trip"
         [ (7, oracle.Oracles.name); (9, oracle.Oracles.name) ]
         (Runner.load_corpus path))
+
+(* Every corpus seed, not only the flat-agreement sentinels, is replayed
+   once per engine at full-evaluation level: whatever scenario a seed
+   pins, both fixed-point kernels must evaluate it identically. *)
+let test_corpus_both_engines () =
+  let entries = Runner.load_corpus corpus_path in
+  List.iter
+    (fun (seed, _oracle) ->
+      let sys = Gen.random_system seed in
+      let eval engine =
+        let session =
+          Evaluator.create ~engine sys.Gen.arch sys.Gen.apps in
+        Evaluator.eval session sys.Gen.plan in
+      let r = eval Evaluator.Reference and f = eval Evaluator.Flat in
+      check Alcotest.bool
+        (Printf.sprintf "seed %d: engines evaluate identically" seed)
+        true
+        (Oracles.evaluations_equal r f))
+    entries
 
 let test_replay_unknown_oracle () =
   check Alcotest.bool "unknown oracle is an error" true
@@ -172,6 +192,8 @@ let suite =
       test_corpus_io;
     Alcotest.test_case "corpus: unknown oracle" `Quick
       test_replay_unknown_oracle;
+    Alcotest.test_case "corpus: both engines replay identically" `Quick
+      test_corpus_both_engines;
     Alcotest.test_case "runner: deterministic" `Quick
       test_runner_deterministic;
     Alcotest.test_case "oracles: find by name" `Quick

@@ -302,11 +302,13 @@ let test_explore_records_metrics () =
      (* generation 0 plus one point per environmental selection *)
      check Alcotest.int "hypervolume points" 3 (List.length pts)
    | _ -> Alcotest.fail "dse.hypervolume is not a series");
-  (match metric "bounds.fixpoint_iterations" with
+  (* the session defaults to the flat engine, whose fixed point reports
+     under the flat.* namespace (bounds.* belongs to the reference) *)
+  (match metric "flat.fixpoint_iterations" with
    | Obs.Histogram h ->
      check Alcotest.bool "fixpoint iterations observed" true
        (h.Histogram.count > 0)
-   | _ -> Alcotest.fail "bounds.fixpoint_iterations is not a histogram");
+   | _ -> Alcotest.fail "flat.fixpoint_iterations is not a histogram");
   (* candidate analyses flow through the evaluator session, whose
      misses stand where one wcrt.analyses count per candidate used to *)
   (match metric "evaluator.misses" with

@@ -348,6 +348,155 @@ let test_bounds_scenario_exec_hook () =
   check Alcotest.int "doubled" 20
     doubled.Bounds.bounds.(a.Job.id).Bounds.max_finish
 
+(* ------------------------------------------------------------------ *)
+(* Flat engine: edge cases the random agreement oracle is unlikely to
+   pin down by chance, each cross-checked against the reference. *)
+
+module Flat = Mcmap_sched.Flat
+module Wcrt = Mcmap_analysis.Wcrt
+
+let results_equal (a : Bounds.result) (b : Bounds.result) =
+  a.Bounds.converged = b.Bounds.converged
+  && Array.length a.Bounds.bounds = Array.length b.Bounds.bounds
+  && Array.for_all2 ( = ) a.Bounds.bounds b.Bounds.bounds
+
+let flat_nominal js = Flat.analyze (Flat.make js) ~exec:Bounds.nominal_exec
+
+let test_flat_single_job () =
+  let g = graph ~name:"g" ~period:100 [ ("a", 10, 6) ] [] in
+  let js = build [ g ] [ [ decision 0 ] ] in
+  let f = flat_nominal js in
+  check Alcotest.bool "converged" true f.Bounds.converged;
+  let a = Jobset.find js ~graph:0 ~task:0 ~instance:0 in
+  let b = f.Bounds.bounds.(a.Job.id) in
+  check Alcotest.int "min start" 0 b.Bounds.min_start;
+  check Alcotest.int "min finish" 6 b.Bounds.min_finish;
+  check Alcotest.int "max start" 0 b.Bounds.max_start;
+  check Alcotest.int "max finish" 10 b.Bounds.max_finish;
+  check Alcotest.bool "agrees with reference" true
+    (results_equal f (nominal js))
+
+let test_flat_zero_slack_deadline () =
+  (* finish == deadline is a pass in both engines: the miss predicate is
+     strict, so the zero-slack boundary must not drift between them *)
+  let g = graph ~name:"g" ~period:100 ~deadline:10 [ ("a", 10, 10) ] [] in
+  let js = build [ g ] [ [ decision 0 ] ] in
+  let f = flat_nominal js in
+  check Alcotest.bool "agrees with reference" true
+    (results_equal f (nominal js));
+  check Alcotest.bool "zero slack meets deadline" true
+    (Bounds.meets_deadlines js f);
+  let tight = graph ~name:"t" ~period:100 ~deadline:9 [ ("a", 10, 10) ] [] in
+  let js_miss = build [ tight ] [ [ decision 0 ] ] in
+  check Alcotest.bool "one tick less misses" false
+    (Bounds.meets_deadlines js_miss (flat_nominal js_miss))
+
+let test_flat_pay_once () =
+  (* the hand-checked pay-once chain (see [test_bounds_pay_once]) *)
+  let chain =
+    graph ~name:"chain" ~period:100
+      [ ("a", 10, 10); ("b", 10, 10) ]
+      [ (0, 1, 0) ] in
+  let hp = graph ~name:"hp" ~period:50 [ ("h", 5, 5) ] [] in
+  let js =
+    build [ chain; hp ] [ [ decision 0; decision 0 ]; [ decision 0 ] ] in
+  let f = flat_nominal js in
+  let b = Jobset.find js ~graph:0 ~task:1 ~instance:0 in
+  check Alcotest.int "H charged once along the chain" 25
+    f.Bounds.bounds.(b.Job.id).Bounds.max_finish
+
+let test_flat_seed_6398_replay () =
+  (* seed 6398 once exposed a pay-once soundness defect in the reference
+     (see test/corpus/seeds.txt); replay its nominal and per-trigger
+     scenario analyses through the flat engine *)
+  let sys = Test_gen.random_system 6398 in
+  let happ =
+    Happ.build sys.Test_gen.arch sys.Test_gen.apps sys.Test_gen.plan in
+  let js = Jobset.build happ in
+  let rctx = Bounds.make js and fctx = Flat.make js in
+  let normal = Bounds.analyze rctx ~exec:Bounds.nominal_exec in
+  check Alcotest.bool "nominal agrees" true
+    (results_equal normal (Flat.analyze fctx ~exec:Bounds.nominal_exec));
+  let base = Appset.hyperperiod sys.Test_gen.apps in
+  List.iter
+    (fun v ->
+      let exec = Wcrt.scenario_exec ~base normal.Bounds.bounds v in
+      check Alcotest.bool "scenario agrees" true
+        (results_equal
+           (Bounds.analyze rctx ~exec)
+           (Flat.analyze fctx ~exec)))
+    (Jobset.triggers js)
+
+let test_flat_horizon_truncation_parity () =
+  (* an unschedulable ramp: both engines must give up identically, both
+     via the horizon overflow and via the iteration cap *)
+  let fast = graph ~name:"fast" ~period:10 [ ("f", 10, 10) ] [] in
+  let slow = graph ~name:"slow" ~period:100 [ ("s", 20, 20) ] [] in
+  let js = build [ fast; slow ] [ [ decision 0 ]; [ decision 0 ] ] in
+  List.iter
+    (fun horizon ->
+      let f = Flat.analyze (Flat.make ~horizon js) ~exec:Bounds.nominal_exec
+      and r =
+        Bounds.analyze (Bounds.make ~horizon js) ~exec:Bounds.nominal_exec
+      in
+      check Alcotest.bool "truncated run agrees" true (results_equal f r);
+      check Alcotest.bool "truncated run diverges" false f.Bounds.converged)
+    [ 1; 30 ];
+  List.iter
+    (fun max_iterations ->
+      check Alcotest.bool "capped run agrees" true
+        (results_equal
+           (Flat.analyze ~max_iterations (Flat.make js)
+              ~exec:Bounds.nominal_exec)
+           (Bounds.analyze ~max_iterations (Bounds.make js)
+              ~exec:Bounds.nominal_exec)))
+    [ 1; 2; Bounds.default_max_iterations ]
+
+let test_flat_invalid_exec_rejected () =
+  let g = graph ~name:"g" ~period:100 [ ("a", 10, 10) ] [] in
+  let js = build [ g ] [ [ decision 0 ] ] in
+  Alcotest.check_raises "bcet > wcet rejected"
+    (Invalid_argument "Flat.analyze: invalid execution bounds") (fun () ->
+      ignore (Flat.analyze (Flat.make js) ~exec:(fun _ -> (5, 3))))
+
+let test_flat_scratch_arena_reuse () =
+  let big =
+    graph ~name:"big" ~period:100
+      (List.init 8 (fun i -> (Printf.sprintf "t%d" i, 2, 1)))
+      [] in
+  let js_big = build [ big ] [ List.init 8 (fun i -> decision (i mod 2)) ] in
+  ignore (flat_nominal js_big);
+  let cap = Flat.scratch_capacity () in
+  check Alcotest.bool "arena covers the big jobset" true
+    (cap >= Jobset.n_jobs js_big);
+  let small = graph ~name:"small" ~period:100 [ ("a", 10, 6) ] [] in
+  let js_small = build [ small ] [ [ decision 0 ] ] in
+  ignore (flat_nominal js_small);
+  check Alcotest.int "smaller analyses reuse, never shrink" cap
+    (Flat.scratch_capacity ())
+
+let test_jobset_restrict_empty () =
+  let g =
+    graph ~name:"g" ~period:100
+      [ ("a", 10, 6); ("b", 20, 12) ]
+      [ (0, 1, 4) ] in
+  let js = build [ g ] [ [ decision 0; decision 1 ] ] in
+  let empty = Jobset.restrict js ~graphs:[||] in
+  check Alcotest.int "no jobs" 0 (Jobset.n_jobs empty);
+  check Alcotest.bool "buckets empty" true
+    (Array.for_all (fun ids -> Array.length ids = 0) empty.Jobset.by_proc);
+  check Alcotest.int "topo empty" 0 (Array.length empty.Jobset.topo);
+  check Alcotest.int "horizon preserved" js.Jobset.hyperperiod
+    empty.Jobset.hyperperiod;
+  (* both engines accept the empty jobset and converge immediately *)
+  let r = nominal empty and f = flat_nominal empty in
+  check Alcotest.bool "reference converges" true r.Bounds.converged;
+  check Alcotest.int "no bounds" 0 (Array.length f.Bounds.bounds);
+  check Alcotest.bool "engines agree" true (results_equal r f);
+  Alcotest.check_raises "out of range rejected"
+    (Invalid_argument "Jobset.restrict") (fun () ->
+      ignore (Jobset.restrict js ~graphs:[| 1 |]))
+
 module Static = Mcmap_sched.Static_schedule
 
 let test_static_schedule_chain () =
@@ -426,6 +575,8 @@ let suite =
     Alcotest.test_case "jobset: triggers" `Quick test_jobset_triggers;
     Alcotest.test_case "jobset: by_proc partition" `Quick
       test_jobset_by_proc_partition;
+    Alcotest.test_case "jobset: restrict to empty" `Quick
+      test_jobset_restrict_empty;
     Alcotest.test_case "jobset: multi-hyperperiod" `Quick
       test_jobset_multi_hyperperiod;
     Alcotest.test_case "bounds: chain exact" `Quick test_bounds_chain_exact;
@@ -444,6 +595,18 @@ let suite =
       test_bounds_invalid_exec_rejected;
     Alcotest.test_case "bounds: scenario hook" `Quick
       test_bounds_scenario_exec_hook;
+    Alcotest.test_case "flat: single job" `Quick test_flat_single_job;
+    Alcotest.test_case "flat: zero-slack deadline" `Quick
+      test_flat_zero_slack_deadline;
+    Alcotest.test_case "flat: pay once" `Quick test_flat_pay_once;
+    Alcotest.test_case "flat: seed 6398 replay" `Quick
+      test_flat_seed_6398_replay;
+    Alcotest.test_case "flat: horizon/iteration truncation parity" `Quick
+      test_flat_horizon_truncation_parity;
+    Alcotest.test_case "flat: invalid exec" `Quick
+      test_flat_invalid_exec_rejected;
+    Alcotest.test_case "flat: scratch arena reuse" `Quick
+      test_flat_scratch_arena_reuse;
     Alcotest.test_case "static: chain schedule" `Quick
       test_static_schedule_chain;
     Alcotest.test_case "static: scenario count" `Quick

@@ -10,6 +10,8 @@ module Heap = Mcmap_util.Heap
 module Json = Mcmap_util.Json
 module Fingerprint = Mcmap_util.Fingerprint
 module Lru = Mcmap_util.Lru
+module Bitset = Mcmap_util.Bitset
+module IntSet = Set.Make (Int)
 
 module Int_heap = Heap.Make (Int)
 
@@ -695,6 +697,104 @@ let test_fingerprint_unordered () =
     (Fingerprint.equal (sum [ 1; 2; 3 ]) (sum [ 1; 2; 4 ]))
 
 (* ------------------------------------------------------------------ *)
+(* Bitset. Capacities straddle the 63-bit word boundary on purpose so
+   every law exercises both the single- and multi-word paths. *)
+
+let bitset_input =
+  QCheck.(
+    map
+      (fun (cap_seed, raw) ->
+        let capacity = 1 + (cap_seed mod 130) in
+        (capacity, List.map (fun i -> i mod capacity) raw))
+      (pair (int_range 0 1000)
+         (list_of_size (Gen.int_range 0 40) (int_range 0 10000))))
+
+let prop_bitset_roundtrip =
+  QCheck.Test.make ~name:"bitset add/mem/remove round-trip" ~count:300
+    bitset_input
+    (fun (capacity, members) ->
+      let t = Bitset.create capacity in
+      List.iter (Bitset.add t) members;
+      List.for_all (Bitset.mem t) members
+      && (List.iter (Bitset.remove t) members;
+          Bitset.is_empty t && Bitset.cardinal t = 0))
+
+let prop_bitset_model =
+  QCheck.Test.make ~name:"bitset union/inter agree with IntSet model"
+    ~count:300
+    QCheck.(pair bitset_input (list_of_size (Gen.int_range 0 40)
+                                 (int_range 0 10000)))
+    (fun ((capacity, xs), raw_ys) ->
+      let ys = List.map (fun i -> i mod capacity) raw_ys in
+      let a = Bitset.of_list capacity xs
+      and b = Bitset.of_list capacity ys in
+      let ma = IntSet.of_list xs and mb = IntSet.of_list ys in
+      let u = Bitset.of_list capacity xs in
+      Bitset.union_into ~dst:u b;
+      let i = Bitset.of_list capacity xs in
+      Bitset.inter_into ~dst:i b;
+      Bitset.elements u = IntSet.elements (IntSet.union ma mb)
+      && Bitset.elements i = IntSet.elements (IntSet.inter ma mb)
+      && Bitset.cardinal a = IntSet.cardinal ma
+      && Bitset.equal a b = IntSet.equal ma mb)
+
+let prop_bitset_fold_order =
+  QCheck.Test.make
+    ~name:"bitset iter/fold visit members in ascending order" ~count:300
+    bitset_input
+    (fun (capacity, members) ->
+      let t = Bitset.of_list capacity members in
+      let seen = ref [] in
+      Bitset.iter (fun i -> seen := i :: !seen) t;
+      let ascending = List.rev !seen in
+      ascending = IntSet.elements (IntSet.of_list members)
+      && Bitset.fold (fun i acc -> i :: acc) t [] = !seen
+      && Bitset.elements t = ascending)
+
+let prop_bitset_blit_words =
+  QCheck.Test.make
+    ~name:"bitset blit copies; words keep high bits zero" ~count:300
+    bitset_input
+    (fun (capacity, members) ->
+      let src = Bitset.of_list capacity members in
+      let dst = Bitset.create capacity in
+      Bitset.blit ~src ~dst;
+      Bitset.equal src dst
+      && (* representation invariant the flat kernel's word-level
+            difference walk relies on *)
+      (let words = Bitset.words src in
+       let ok = ref true in
+       Array.iteri
+         (fun w word ->
+           for bit = 0 to 62 do
+             let i = (w * 63) + bit in
+             if i >= capacity && word land (1 lsl bit) <> 0 then
+               ok := false
+           done)
+         words;
+       !ok))
+
+let test_bitset_mismatch_and_ranges () =
+  let a = Bitset.create 10 and b = Bitset.create 11 in
+  List.iter
+    (fun (name, f) ->
+      Alcotest.check_raises name
+        (Invalid_argument ("Bitset." ^ name ^ ": capacity mismatch")) f)
+    [ ("equal", fun () -> ignore (Bitset.equal a b));
+      ("blit", fun () -> Bitset.blit ~src:a ~dst:b);
+      ("union_into", fun () -> Bitset.union_into ~dst:a b);
+      ("inter_into", fun () -> Bitset.inter_into ~dst:a b) ];
+  Alcotest.check_raises "negative capacity"
+    (Invalid_argument "Bitset.create: negative capacity") (fun () ->
+      ignore (Bitset.create (-1)));
+  Alcotest.check_raises "of_list out of range"
+    (Invalid_argument "Bitset.of_list: member out of range") (fun () ->
+      ignore (Bitset.of_list 3 [ 3 ]));
+  check Alcotest.int "capacity" 10 (Bitset.capacity a);
+  check Alcotest.bool "empty set has empty elements" true
+    (Bitset.elements (Bitset.create 0) = [])
+
+(* ------------------------------------------------------------------ *)
 (* Lru *)
 
 let test_lru_eviction () =
@@ -805,6 +905,12 @@ let suite =
       test_fingerprint_combinators;
     Alcotest.test_case "fingerprint: unordered" `Quick
       test_fingerprint_unordered;
+    qtest prop_bitset_roundtrip;
+    qtest prop_bitset_model;
+    qtest prop_bitset_fold_order;
+    qtest prop_bitset_blit_words;
+    Alcotest.test_case "bitset: mismatches and ranges" `Quick
+      test_bitset_mismatch_and_ranges;
     Alcotest.test_case "lru: eviction order" `Quick test_lru_eviction;
     Alcotest.test_case "lru: disabled and edge cases" `Quick
       test_lru_edge_cases;
