@@ -1,11 +1,12 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
-   evaluation (E1-E5) and measures the latency of each experiment's
-   kernel with Bechamel (one Test.make per table/figure).
+   evaluation (E1-E5) and measures the latency of each kernel behind
+   them with the Bechamel suite in [Mcmap_benchkit.Kernels].
 
    Besides the text report the harness writes a machine-readable
-   summary (BENCH.json): one entry per Bechamel kernel with its ns/run
-   estimate, plus the key metrics recorded by the observability layer
-   while the tables were regenerated.
+   summary (BENCH.json, schema v2 — see [Mcmap_benchkit.Schema]): one
+   dispersion record per kernel, the key metrics recorded by the
+   observability layer while the tables were regenerated, and the
+   performance contracts [mcmap bench gate] enforces in CI.
 
    Environment:
      MCMAP_BENCH_FAST=1   shrink GA budgets and Monte-Carlo profiles
@@ -13,19 +14,15 @@
      MCMAP_BENCH_OUT=F    write the JSON summary to F instead of
                           BENCH.json. *)
 
-module B = Mcmap_benchmarks
-module H = Mcmap_hardening
-module S = Mcmap_sched
-module A = Mcmap_analysis
-module Sim = Mcmap_sim
 module D = Mcmap_dse
 module E = Mcmap_experiments
-module C = Mcmap_campaign
 module Obs = Mcmap_obs.Obs
 module Histogram = Mcmap_obs.Histogram
 module Json = Mcmap_util.Json
+module Kernels = Mcmap_benchkit.Kernels
+module Schema = Mcmap_benchkit.Schema
 
-let fast = Sys.getenv_opt "MCMAP_BENCH_FAST" = Some "1"
+let fast = Kernels.fast_requested ()
 
 let bench_out =
   Option.value (Sys.getenv_opt "MCMAP_BENCH_OUT") ~default:"BENCH.json"
@@ -109,165 +106,6 @@ let regenerate () =
   print_endline ""
 
 (* ------------------------------------------------------------------ *)
-(* Bechamel micro-benchmarks: the kernel behind each table/figure *)
-
-let cruise_ctx =
-  lazy
-    (let bench = B.Cruise.benchmark () in
-     let plan = List.hd (B.Cruise.sample_plans bench) in
-     let happ =
-       H.Happ.build bench.B.Benchmark.arch bench.B.Benchmark.apps plan in
-     let js = S.Jobset.build happ in
-     (js, S.Bounds.make js))
-
-let dt_med = lazy (B.Registry.find_exn "dt-med")
-
-(* Campaign kernel: one 512-trial shard of a cruise fault-injection
-   campaign (the unit of work the campaign engine schedules across
-   domains). BENCH.json's ns/run for this kernel gives trials/sec. *)
-let campaign_shard =
-  lazy
-    (let bench = B.Cruise.benchmark () in
-     let plan = List.hd (B.Cruise.sample_plans bench) in
-     let config = { C.Shard.default_config with trials = 512;
-                    shard_trials = 512 } in
-     let cplan =
-       C.Shard.plan config bench.B.Benchmark.arch bench.B.Benchmark.apps
-         plan in
-     (cplan, cplan.C.Shard.shards.(0)))
-
-let micro_ga =
-  { D.Ga.default_config with
-    D.Ga.population = 8; offspring = 8; generations = 2;
-    check_rescue = false }
-
-(* Evaluator-session kernels (DT-large, the heaviest benchmark):
-   [evaluator_cold] pays a fresh session + full analysis per run on the
-   reference engine (pinned, so it stays the denominator of the flat
-   speedup contract), [flat_cold] is the same cold evaluation on the
-   flat kernel — the contract, written to BENCH.json as
-   [flat_vs_reference] and gated in CI, is flat >= 3x faster —
-   [evaluator_warm] queries a pre-warmed session (the result-cache hit
-   path every optimisation loop rides on — the contract is warm >= 3x
-   cold), [eval_population] evaluates a 16-plan population on a fresh
-   multi-domain session per run. *)
-let evaluator_ctx =
-  lazy
-    (let bench = B.Registry.find_exn "dt-large" in
-     let arch = bench.B.Benchmark.arch
-     and apps = bench.B.Benchmark.apps in
-     let plan = B.Sampler.balanced_plan ~seed:42 arch apps in
-     let population =
-       Array.init 16 (fun i -> B.Sampler.plan ~seed:(100 + i) arch apps) in
-     let warm = D.Evaluator.create arch apps in
-     ignore (D.Evaluator.eval warm plan);
-     let domains = min 4 (Mcmap_util.Parallel.recommended_domains ()) in
-     (arch, apps, plan, population, warm, domains))
-
-let tests =
-  let open Bechamel in
-  [ (* Table 2 column "Proposed": one full Algorithm 1 run *)
-    Test.make ~name:"table2/proposed(algorithm1)"
-      (Staged.stage (fun () ->
-           let _, ctx = Lazy.force cruise_ctx in
-           ignore (A.Wcrt.analyze ctx)));
-    (* Table 2 column "Naive" *)
-    Test.make ~name:"table2/naive"
-      (Staged.stage (fun () ->
-           let _, ctx = Lazy.force cruise_ctx in
-           ignore (A.Naive.analyze ctx)));
-    (* Table 2 column "Adhoc": one worst-trace simulation *)
-    Test.make ~name:"table2/adhoc(sim)"
-      (Staged.stage (fun () ->
-           let js, _ = Lazy.force cruise_ctx in
-           ignore (Sim.Adhoc.run js)));
-    (* Table 2 column "WC-Sim": 10 Monte-Carlo profiles *)
-    Test.make ~name:"table2/wcsim(10 profiles)"
-      (Staged.stage (fun () ->
-           let js, _ = Lazy.force cruise_ctx in
-           ignore (Sim.Monte_carlo.run ~profiles:10 js)));
-    (* E2/E3/E4 kernel: one micro GA run on DT-med *)
-    Test.make ~name:"fig5/dse(micro GA, dt-med)"
-      (Staged.stage (fun () ->
-           let bench = Lazy.force dt_med in
-           ignore
-             (D.Ga.optimize micro_ga bench.B.Benchmark.arch
-                bench.B.Benchmark.apps)));
-    (* E6 kernel: the static worst-case list schedule *)
-    Test.make ~name:"table1/static list schedule"
-      (Staged.stage (fun () ->
-           let js, _ = Lazy.force cruise_ctx in
-           ignore (Mcmap_sched.Static_schedule.worst_case js)));
-    (* E5 kernel: the Figure 1 scenario *)
-    Test.make ~name:"fig1/motivational"
-      (Staged.stage (fun () -> ignore (E.Fig1.run ())));
-    (* Campaign kernel: one 512-trial importance-sampling shard *)
-    Test.make ~name:"campaign/shard(512 trials)"
-      (Staged.stage (fun () ->
-           let cplan, shard = Lazy.force campaign_shard in
-           ignore (C.Shard.execute cplan shard)));
-    (* Evaluator sessions: cold vs warm vs population (DT-large) *)
-    Test.make ~name:"evaluator_cold"
-      (Staged.stage (fun () ->
-           let arch, apps, plan, _, _, _ = Lazy.force evaluator_ctx in
-           let session =
-             D.Evaluator.create ~engine:D.Evaluator.Reference arch apps in
-           ignore (D.Evaluator.eval session plan)));
-    Test.make ~name:"flat_cold"
-      (Staged.stage (fun () ->
-           let arch, apps, plan, _, _, _ = Lazy.force evaluator_ctx in
-           let session =
-             D.Evaluator.create ~engine:D.Evaluator.Flat arch apps in
-           ignore (D.Evaluator.eval session plan)));
-    Test.make ~name:"evaluator_warm"
-      (Staged.stage (fun () ->
-           let _, _, plan, _, warm, _ = Lazy.force evaluator_ctx in
-           ignore (D.Evaluator.eval warm plan)));
-    Test.make ~name:"eval_population"
-      (Staged.stage (fun () ->
-           let arch, apps, _, population, _, domains =
-             Lazy.force evaluator_ctx in
-           let session = D.Evaluator.create ~domains arch apps in
-           ignore (D.Evaluator.eval_population session population))) ]
-
-(* Runs every kernel, prints the text report and returns the estimates
-   as [(name, ns_per_run option)] for the JSON summary. *)
-let run_bechamel () =
-  let open Bechamel in
-  print_endline "==================================================";
-  print_endline " Bechamel micro-benchmarks (one per table/figure)";
-  section "==================================================";
-  let ols =
-    Analyze.ols ~bootstrap:0 ~r_square:true
-      ~predictors:[| Measure.run |] in
-  let instance = Toolkit.Instance.monotonic_clock in
-  let cfg =
-    Benchmark.cfg ~limit:2000
-      ~quota:(Time.second (if fast then 0.25 else 1.0))
-      ~kde:(Some 100) () in
-  let kernels =
-    List.concat_map
-      (fun test ->
-        let results = Benchmark.all cfg [ instance ] test in
-        let stats = Analyze.all ols instance results in
-        Hashtbl.fold
-          (fun name ols_result acc ->
-            let estimate =
-              match Analyze.OLS.estimates ols_result with
-              | Some [ ns_per_run ] ->
-                Printf.printf "%-32s %12.1f ns/run (%8.3f ms)\n%!" name
-                  ns_per_run (ns_per_run /. 1e6);
-                Some ns_per_run
-              | Some _ | None ->
-                Printf.printf "%-32s (no estimate)\n%!" name;
-                None in
-            (name, estimate) :: acc)
-          stats [])
-      tests in
-  print_endline "";
-  kernels
-
-(* ------------------------------------------------------------------ *)
 (* Machine-readable summary *)
 
 let json_of_metric : Obs.metric -> Json.t = function
@@ -281,73 +119,38 @@ let json_of_metric : Obs.metric -> Json.t = function
           ("sum", Json.Int h.Histogram.sum);
           ("min", Json.Int h.Histogram.minimum);
           ("max", Json.Int h.Histogram.maximum);
-          ("mean", Json.Float (Histogram.mean h)) ]
+          ("mean", Json.Float (Histogram.mean h));
+          ("p50", Json.Int (Histogram.quantile h 0.50));
+          ("p90", Json.Int (Histogram.quantile h 0.90));
+          ("p99", Json.Int (Histogram.quantile h 0.99)) ]
   | Obs.Series points ->
     Json.List
       (List.map
          (fun (x, v) -> Json.List [ Json.Int x; Json.Float v ])
          points)
 
-(* The flat-kernel speedup contract: cold DT-large evaluation on the
-   flat engine must be at least [min_speedup] times faster than the same
-   evaluation on the reference engine. Written into BENCH.json so CI can
-   gate on it without re-deriving the kernel names. *)
-let flat_contract kernels =
-  let find name =
-    match List.assoc_opt name kernels with
-    | Some (Some ns) -> Some ns
-    | Some None | None -> None in
-  match (find "evaluator_cold", find "flat_cold") with
-  | Some reference_ns, Some flat_ns when flat_ns > 0. ->
-    let min_speedup = 3.0 in
-    let speedup = reference_ns /. flat_ns in
-    [ ( "flat_vs_reference",
-        Json.Obj
-          [ ("reference_ns", Json.Float reference_ns);
-            ("flat_ns", Json.Float flat_ns);
-            ("speedup", Json.Float speedup);
-            ("min_speedup", Json.Float min_speedup);
-            ("ok", Json.Bool (speedup >= min_speedup)) ] ) ]
-  | _ -> []
-
-let write_summary ~kernels ~(snapshot : Obs.snapshot) =
-  let json =
-    Json.Obj
-      ([ ("fast", Json.Bool fast);
-        ( "ga_config",
-          Json.Obj
-            [ ("population", Json.Int ga_config.D.Ga.population);
-              ("offspring", Json.Int ga_config.D.Ga.offspring);
-              ("generations", Json.Int ga_config.D.Ga.generations) ] );
-        ("monte_carlo_profiles", Json.Int profiles);
-        ( "kernels_ns_per_run",
-          Json.Obj
-            (List.map
-               (fun (name, estimate) ->
-                 ( name,
-                   match estimate with
-                   | Some ns -> Json.Float ns
-                   | None -> Json.Null ))
-               (List.sort compare kernels)) );
-        ( "metrics",
-          Json.Obj
-            (List.map
-               (fun (name, m) -> (name, json_of_metric m))
-               snapshot.Obs.metrics) ) ]
-       @ flat_contract kernels) in
-  let oc = open_out bench_out in
-  output_string oc (Json.to_string json);
-  output_char oc '\n';
-  close_out oc;
-  Printf.printf "machine-readable summary written to %s\n%!" bench_out
-
 let () =
   (* Record metrics while the tables are regenerated, then freeze the
      snapshot and disable the recorder so the Bechamel micro-benchmarks
-     time the uninstrumented (disabled-recorder) path. *)
+     time the uninstrumented (disabled-recorder) path — except the
+     [evaluator_cold_obs] kernel, which re-enables it on purpose. *)
   Obs.enable ();
   regenerate ();
   let snapshot = Obs.snapshot () in
   Obs.disable ();
-  let kernels = run_bechamel () in
-  write_summary ~kernels ~snapshot
+  print_endline "==================================================";
+  print_endline " Bechamel micro-benchmarks (one per table/figure)";
+  section "==================================================";
+  let kernels = Kernels.run_all ~fast ~progress:print_endline () in
+  print_endline "";
+  let summary =
+    { Schema.fast;
+      env = Schema.env_now ();
+      kernels;
+      metrics =
+        List.map
+          (fun (name, m) -> (name, json_of_metric m))
+          snapshot.Obs.metrics;
+      contracts = Kernels.contracts kernels } in
+  Schema.write bench_out summary;
+  Printf.printf "machine-readable summary written to %s\n%!" bench_out

@@ -12,15 +12,21 @@ module E = Mcmap_experiments
 module Spec = Mcmap_spec.Spec
 module L = Mcmap_lint
 module Obs = Mcmap_obs.Obs
+module Flight = Mcmap_obs.Flight
 module Histogram = Mcmap_obs.Histogram
+module K = Mcmap_benchkit.Kernels
+module Bschema = Mcmap_benchkit.Schema
+module Bdiff = Mcmap_benchkit.Diff
 module Sexp = Mcmap_util.Sexp
 module Texttable = Mcmap_util.Texttable
 
 open Cmdliner
 
-(* Every long-running subcommand takes --trace/--metrics; either one
-   turns the recorder on for the duration of the run and dumps the
-   requested exports afterwards. *)
+(* Every long-running subcommand takes --trace/--metrics/--flight;
+   --trace/--metrics turn the metrics recorder on for the duration of
+   the run and dump the requested exports afterwards; --flight arms the
+   flight recorder and dumps its event ring only when the run goes
+   wrong (nonzero exit, uncaught exception or fatal signal). *)
 let trace_arg =
   Arg.(value & opt (some string) None
        & info [ "trace" ] ~docv:"FILE"
@@ -33,9 +39,30 @@ let metrics_arg =
            ~doc:"Record metrics and write an s-expression dump to \
                  $(docv) (pretty-print it with 'mcmap stats').")
 
-let with_obs trace metrics run =
+let flight_arg =
+  Arg.(value & opt (some string) None
+       & info [ "flight" ] ~docv:"FILE"
+           ~doc:"Arm the flight recorder: keep a bounded ring of recent \
+                 events (spans, cache decisions, verdict flips) and \
+                 write it to $(docv) only if the run fails — nonzero \
+                 exit, uncaught exception or SIGTERM/SIGINT.")
+
+let with_obs trace metrics flight run =
+  (match flight with
+   | Some path ->
+     Flight.arm ();
+     Flight.install_crash_handlers ~path ()
+   | None -> ());
+  let finish code =
+    (match flight with
+     | Some path when code <> 0 ->
+       Flight.dump path;
+       Printf.eprintf "flight recorder dumped to %s (exit %d)\n%!" path
+         code
+     | Some _ | None -> ());
+    code in
   match trace, metrics with
-  | None, None -> run ()
+  | None, None -> finish (run ())
   | _ ->
     Obs.enable ();
     let code = run () in
@@ -51,7 +78,7 @@ let with_obs trace metrics run =
         Obs.write_trace ~snapshot path;
         Printf.printf "chrome trace written to %s\n%!" path)
       trace;
-    code
+    finish code
 
 let bench_arg =
   let doc =
@@ -182,8 +209,8 @@ let list_cmd =
     Term.(const (fun () -> run (); 0) $ const ())
 
 let analyze_run bench_name system_file plan_file seed no_lint trace
-    metrics =
-  with_obs trace metrics @@ fun () ->
+    metrics flight =
+  with_obs trace metrics flight @@ fun () ->
   match resolve_problem ~no_lint bench_name system_file plan_file seed with
   | Error e -> prerr_endline e; 1
   | Ok (arch, apps, plan) ->
@@ -211,11 +238,11 @@ let analyze_cmd =
     (Cmd.info "analyze"
        ~doc:"Run Algorithm 1 on a benchmark mapping or a system file")
     Term.(const analyze_run $ bench_arg $ system_arg $ plan_arg
-          $ seed_arg $ no_lint_arg $ trace_arg $ metrics_arg)
+          $ seed_arg $ no_lint_arg $ trace_arg $ metrics_arg $ flight_arg)
 
 let simulate_run bench_name system_file plan_file seed no_lint profiles
-    distribution trace metrics =
-  with_obs trace metrics @@ fun () ->
+    distribution trace metrics flight =
+  with_obs trace metrics flight @@ fun () ->
   match resolve_problem ~no_lint bench_name system_file plan_file seed with
   | Error e -> prerr_endline e; 1
   | Ok (arch, apps, plan) ->
@@ -252,11 +279,11 @@ let simulate_cmd =
                      ~doc:"Also estimate the response-time distribution \
                            under physical fault rates (the probabilistic \
                            analysis style of Table 1's ref [5]).")
-          $ trace_arg $ metrics_arg)
+          $ trace_arg $ metrics_arg $ flight_arg)
 
 let explore_run bench_name population offspring generations seed domains
-    eval_cache engine quiet no_lint trace metrics =
-  with_obs trace metrics @@ fun () ->
+    eval_cache engine quiet no_lint trace metrics flight =
+  with_obs trace metrics flight @@ fun () ->
   match find_benchmark bench_name with
   | Error e -> prerr_endline e; 1
   | Ok bench ->
@@ -333,11 +360,11 @@ let explore_cmd =
           $ Arg.(value & flag
                  & info [ "quiet" ]
                      ~doc:"Suppress the per-generation progress lines.")
-          $ no_lint_arg $ trace_arg $ metrics_arg)
+          $ no_lint_arg $ trace_arg $ metrics_arg $ flight_arg)
 
 let gantt_run bench_name system_file plan_file seed no_lint bias trace
-    metrics =
-  with_obs trace metrics @@ fun () ->
+    metrics flight =
+  with_obs trace metrics flight @@ fun () ->
   match resolve_problem ~no_lint bench_name system_file plan_file seed with
   | Error e -> prerr_endline e; 1
   | Ok (arch, apps, plan) ->
@@ -362,7 +389,7 @@ let gantt_cmd =
           $ no_lint_arg
           $ Arg.(value & opt float 0.3
                  & info [ "bias" ] ~doc:"Fault bias of the random profile.")
-          $ trace_arg $ metrics_arg)
+          $ trace_arg $ metrics_arg $ flight_arg)
 
 let experiment_names =
   [ "fig1"; "table2"; "dropping"; "rescue"; "fig5"; "table1";
@@ -382,8 +409,8 @@ let section title =
   flush stdout
 
 let experiments_run only profiles population offspring generations seed
-    trace metrics =
-  with_obs trace metrics @@ fun () ->
+    trace metrics flight =
+  with_obs trace metrics flight @@ fun () ->
   let config = ga_config population offspring generations seed in
   let wanted name =
     match only with None -> true | Some o -> o = name in
@@ -446,10 +473,10 @@ let experiments_cmd =
     Term.(const experiments_run $ only_arg $ profiles_arg ~default:10_000
           $ population_arg
           $ offspring_arg $ generations_arg $ seed_arg $ trace_arg
-          $ metrics_arg)
+          $ metrics_arg $ flight_arg)
 
-let check_run count seed oracle corpus trace metrics =
-  with_obs trace metrics @@ fun () ->
+let check_run count seed oracle corpus trace metrics flight =
+  with_obs trace metrics flight @@ fun () ->
   let module C = Mcmap_check in
   let oracles =
     match oracle with
@@ -505,7 +532,7 @@ let check_cmd =
                  & info [ "corpus" ]
                      ~doc:"Append failing seeds to this regression corpus \
                            file (see test/corpus/seeds.txt).")
-          $ trace_arg $ metrics_arg)
+          $ trace_arg $ metrics_arg $ flight_arg)
 
 (* ------------------------------------------------------------------ *)
 (* campaign: fault-injection reliability estimation *)
@@ -567,8 +594,8 @@ let campaign_emit report_file (outcome : Mcmap_campaign.Campaign.outcome) =
 
 let campaign_run_cmd bench_name system_file plan_file seed no_lint action
     trials shard_trials inflate inflate_mean domains checkpoint resume
-    report_file z trace metrics =
-  with_obs trace metrics @@ fun () ->
+    report_file z trace metrics flight =
+  with_obs trace metrics flight @@ fun () ->
   match resolve_problem ~no_lint bench_name system_file plan_file seed with
   | Error e -> prerr_endline e; 1
   | Ok (arch, apps, plan) ->
@@ -647,7 +674,7 @@ let campaign_cmd =
                  & info [ "z" ]
                      ~doc:"Normal quantile of the per-stratum confidence \
                            interval.")
-          $ trace_arg $ metrics_arg)
+          $ trace_arg $ metrics_arg $ flight_arg)
 
 (* ------------------------------------------------------------------ *)
 (* stats: pretty-print a --metrics dump *)
@@ -693,7 +720,8 @@ let stats_run file =
       let t =
         Texttable.create
           ~header:
-            [ "histogram"; "count"; "mean"; "min"; "p50"; "p90"; "max" ] in
+            [ "histogram"; "count"; "mean"; "min"; "p50"; "p90"; "p99";
+              "max" ] in
       List.iter
         (fun (name, h) ->
           let q p =
@@ -704,7 +732,7 @@ let stats_run file =
               float_cell (Histogram.mean h);
               (if Histogram.is_empty h then "-"
                else string_of_int h.Histogram.minimum);
-              q 0.5; q 0.9;
+              q 0.5; q 0.9; q 0.99;
               (if Histogram.is_empty h then "-"
                else string_of_int h.Histogram.maximum) ])
         histograms;
@@ -812,12 +840,117 @@ let lint_cmd =
     Term.(const run $ system_pos $ plan_pos $ format_arg $ deny_arg
           $ explain_arg)
 
+(* ------------------------------------------------------------------ *)
+(* bench: the kernel suite, trend diffing and the CI gate *)
+
+let bench_fast_arg =
+  Arg.(value & flag
+       & info [ "fast" ]
+           ~doc:"Shrink the per-kernel measurement quota (CI smoke \
+                 runs; also implied by MCMAP_BENCH_FAST=1).")
+
+let bench_out_arg =
+  Arg.(value & opt string "BENCH.json"
+       & info [ "out" ] ~docv:"FILE" ~doc:"Where to write the summary.")
+
+let bench_run_cmd =
+  let run fast out =
+    let fast = fast || K.fast_requested () in
+    let kernels = K.run_all ~fast ~progress:print_endline () in
+    Bschema.write out
+      { Bschema.fast; env = Bschema.env_now (); kernels; metrics = [];
+        contracts = K.contracts kernels };
+    Printf.printf "benchmark summary written to %s\n%!" out;
+    0 in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Measure the Bechamel kernel suite and write a BENCH.json \
+          (schema v2: per-kernel dispersion, environment metadata and \
+          performance contracts)")
+    Term.(const run $ bench_fast_arg $ bench_out_arg)
+
+let bench_file_pos ~docv ~doc p =
+  Arg.(required & pos p (some file) None & info [] ~docv ~doc)
+
+let bench_diff_cmd =
+  let run old_file new_file min_rel z =
+    match Bschema.read old_file, Bschema.read new_file with
+    | Error e, _ -> prerr_endline (old_file ^ ": " ^ e); 2
+    | _, Error e -> prerr_endline (new_file ^ ": " ^ e); 2
+    | Ok old_run, Ok new_run ->
+      let entries = Bdiff.diff ~min_rel ~z old_run new_run in
+      print_string (Bdiff.render entries);
+      if Bdiff.regressions entries = [] then 0 else 1 in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Compare two BENCH.json runs with noise-aware verdicts: a \
+          kernel only counts as improved/regressed when its change \
+          clears both the --min-rel floor and --z combined standard \
+          deviations; exits 1 if any kernel regressed")
+    Term.(const run
+          $ bench_file_pos ~docv:"OLD" ~doc:"Baseline BENCH.json." 0
+          $ bench_file_pos ~docv:"NEW" ~doc:"Candidate BENCH.json." 1
+          $ Arg.(value & opt float 0.05
+                 & info [ "min-rel" ]
+                     ~doc:"Relative-change floor below which a kernel \
+                           is always classified as noise.")
+          $ Arg.(value & opt float 3.0
+                 & info [ "z" ]
+                     ~doc:"Combined standard deviations a change must \
+                           clear to count as significant."))
+
+let bench_gate_cmd =
+  let run file baseline_file =
+    match Bschema.read file with
+    | Error e -> prerr_endline (file ^ ": " ^ e); 2
+    | Ok current ->
+      let baseline =
+        match baseline_file with
+        | None -> Ok None
+        | Some path ->
+          (match Bschema.read path with
+           | Ok b -> Ok (Some b)
+           | Error e -> Error (path ^ ": " ^ e)) in
+      (match baseline with
+       | Error e -> prerr_endline e; 2
+       | Ok baseline ->
+         (match Bdiff.gate ?baseline current with
+          | Ok passes ->
+            List.iter (fun p -> print_endline ("PASS " ^ p)) passes;
+            0
+          | Error failures ->
+            List.iter (fun f -> prerr_endline ("FAIL " ^ f)) failures;
+            1)) in
+  Cmd.v
+    (Cmd.info "gate"
+       ~doc:
+         "Enforce the performance contracts recorded in a BENCH.json \
+          (flat engine at least 3x the reference, enabled-recorder \
+          overhead at most 2%) and, with --baseline, reject kernel \
+          regressions; nonzero exit on any violation")
+    Term.(const run
+          $ bench_file_pos ~docv:"FILE" ~doc:"BENCH.json to gate." 0
+          $ Arg.(value & opt (some file) None
+                 & info [ "baseline" ] ~docv:"FILE"
+                     ~doc:"Baseline BENCH.json for regression checks."))
+
+let bench_cmd =
+  Cmd.group
+    (Cmd.info "bench"
+       ~doc:
+         "Kernel micro-benchmarks: run the suite, diff two runs with \
+          noise-aware verdicts, gate CI on the performance contracts")
+    [ bench_run_cmd; bench_diff_cmd; bench_gate_cmd ]
+
 let main_cmd =
   let doc =
     "Static mapping of mixed-critical applications for fault-tolerant \
      MPSoCs (Kang et al., DAC 2014)" in
   Cmd.group (Cmd.info "mcmap" ~version:"1.0.0" ~doc)
     [ list_cmd; analyze_cmd; simulate_cmd; gantt_cmd; explore_cmd;
-      experiments_cmd; campaign_cmd; check_cmd; stats_cmd; lint_cmd ]
+      experiments_cmd; campaign_cmd; check_cmd; stats_cmd; lint_cmd;
+      bench_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,143 @@
+type verdict = Improved | Regressed | Noise | Added | Removed
+
+type entry = {
+  name : string;
+  verdict : verdict;
+  old_ns : float option;
+  new_ns : float option;
+  delta_pct : float;
+  threshold_pct : float;
+}
+
+let verdict_to_string = function
+  | Improved -> "improved"
+  | Regressed -> "regressed"
+  | Noise -> "noise"
+  | Added -> "added"
+  | Removed -> "removed"
+
+(* Central value for comparison: the sample mean, whose dispersion we
+   actually measured (the OLS slope has no comparable error bar in the
+   file). *)
+let mean_of (k : Schema.kernel) =
+  if k.Schema.mean_ns > 0. then Some k.Schema.mean_ns else None
+
+let classify ~min_rel ~z name (old_k : Schema.kernel)
+    (new_k : Schema.kernel) =
+  match (mean_of old_k, mean_of new_k) with
+  | Some old_ns, Some new_ns ->
+    let delta = (new_ns -. old_ns) /. old_ns in
+    (* Significance: the change must beat [z] combined standard
+       deviations of the two runs, and never less than [min_rel]. *)
+    let sigma =
+      sqrt
+        ((old_k.Schema.stddev_ns ** 2.) +. (new_k.Schema.stddev_ns ** 2.))
+      /. old_ns in
+    let threshold = Float.max min_rel (z *. sigma) in
+    let verdict =
+      if delta > threshold then Regressed
+      else if delta < -.threshold then Improved
+      else Noise in
+    { name; verdict; old_ns = Some old_ns; new_ns = Some new_ns;
+      delta_pct = 100. *. delta; threshold_pct = 100. *. threshold }
+  | None, Some new_ns ->
+    { name; verdict = Added; old_ns = None; new_ns = Some new_ns;
+      delta_pct = 0.; threshold_pct = 100. *. min_rel }
+  | Some old_ns, None ->
+    { name; verdict = Removed; old_ns = Some old_ns; new_ns = None;
+      delta_pct = 0.; threshold_pct = 100. *. min_rel }
+  | None, None ->
+    { name; verdict = Noise; old_ns = None; new_ns = None;
+      delta_pct = 0.; threshold_pct = 100. *. min_rel }
+
+let diff ?(min_rel = 0.05) ?(z = 3.) (old_run : Schema.t)
+    (new_run : Schema.t) =
+  let names =
+    List.sort_uniq compare
+      (List.map fst old_run.Schema.kernels
+       @ List.map fst new_run.Schema.kernels) in
+  List.map
+    (fun name ->
+      match
+        (Schema.find_kernel old_run name, Schema.find_kernel new_run name)
+      with
+      | Some o, Some n -> classify ~min_rel ~z name o n
+      | None, Some n ->
+        { name; verdict = Added; old_ns = None; new_ns = mean_of n;
+          delta_pct = 0.; threshold_pct = 100. *. min_rel }
+      | Some o, None ->
+        { name; verdict = Removed; old_ns = mean_of o; new_ns = None;
+          delta_pct = 0.; threshold_pct = 100. *. min_rel }
+      | None, None -> assert false)
+    names
+
+let pp_ns = function
+  | Some ns when ns >= 1e6 -> Printf.sprintf "%10.3f ms" (ns /. 1e6)
+  | Some ns when ns >= 1e3 -> Printf.sprintf "%10.2f us" (ns /. 1e3)
+  | Some ns -> Printf.sprintf "%10.1f ns" ns
+  | None -> Printf.sprintf "%13s" "-"
+
+let render entries =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "%-32s %13s %13s %9s %9s  %s\n" "kernel" "old" "new"
+       "delta" "thresh" "verdict");
+  List.iter
+    (fun e ->
+      Buffer.add_string b
+        (Printf.sprintf "%-32s %s %s %8.1f%% %8.1f%%  %s\n" e.name
+           (pp_ns e.old_ns) (pp_ns e.new_ns) e.delta_pct e.threshold_pct
+           (verdict_to_string e.verdict)))
+    entries;
+  let count v =
+    List.length (List.filter (fun e -> e.verdict = v) entries) in
+  Buffer.add_string b
+    (Printf.sprintf
+       "%d kernels: %d improved, %d regressed, %d noise, %d added, %d \
+        removed\n"
+       (List.length entries) (count Improved) (count Regressed)
+       (count Noise) (count Added) (count Removed));
+  Buffer.contents b
+
+let regressions entries =
+  List.filter_map
+    (fun e -> if e.verdict = Regressed then Some e.name else None)
+    entries
+
+let gate ?baseline (run : Schema.t) =
+  let failures = ref [] in
+  let passes = ref [] in
+  let fail msg = failures := msg :: !failures in
+  let pass msg = passes := msg :: !passes in
+  (* Every contract the run recorded must hold. *)
+  List.iter
+    (fun (name, (c : Schema.contract)) ->
+      let detail =
+        String.concat ", "
+          (List.map
+             (fun (k, v) -> Printf.sprintf "%s=%.3g" k v)
+             c.Schema.numbers) in
+      if c.Schema.ok then pass (Printf.sprintf "contract %s (%s)" name detail)
+      else fail (Printf.sprintf "contract %s violated (%s)" name detail))
+    run.Schema.contracts;
+  (* The flat-speedup contract is the reason the gate exists: its
+     absence means the kernels did not run, which must not pass
+     silently. *)
+  if not (List.mem_assoc "flat_vs_reference" run.Schema.contracts) then
+    fail "contract flat_vs_reference missing from BENCH.json";
+  (match baseline with
+   | None -> ()
+   | Some old_run ->
+     let entries = diff old_run run in
+     (match regressions entries with
+      | [] ->
+        pass
+          (Printf.sprintf "no regressions vs baseline (%d kernels)"
+             (List.length entries))
+      | regs ->
+        List.iter
+          (fun name -> fail (Printf.sprintf "kernel %s regressed" name))
+          regs));
+  match !failures with
+  | [] -> Ok (List.rev !passes)
+  | fs -> Error (List.rev fs)

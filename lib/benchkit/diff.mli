@@ -1,0 +1,40 @@
+(** Noise-aware comparison of two BENCH.json runs, and the CI gate.
+
+    A kernel's verdict is decided against a per-kernel threshold that
+    widens with measured dispersion: the relative change must clear
+    both a floor ([min_rel], default 5%) and [z] (default 3) combined
+    standard deviations before it counts as real. Timer noise therefore
+    classifies as [Noise] rather than flipping CI red — and a genuine
+    regression on a low-variance kernel is still caught at the 5%
+    floor. *)
+
+type verdict = Improved | Regressed | Noise | Added | Removed
+
+type entry = {
+  name : string;
+  verdict : verdict;
+  old_ns : float option;  (** mean ns/run in the old run *)
+  new_ns : float option;  (** mean ns/run in the new run *)
+  delta_pct : float;  (** relative change in percent, 0 when one-sided *)
+  threshold_pct : float;
+      (** the noise-aware significance threshold applied, in percent *)
+}
+
+val verdict_to_string : verdict -> string
+
+val diff : ?min_rel:float -> ?z:float -> Schema.t -> Schema.t -> entry list
+(** [diff old new] classifies every kernel present in either run,
+    sorted by name. Deterministic: equal inputs give equal entries. *)
+
+val render : entry list -> string
+(** Human-readable table, one kernel per line, with a summary row. *)
+
+val regressions : entry list -> string list
+(** Names of the kernels whose verdict is [Regressed]. *)
+
+val gate : ?baseline:Schema.t -> Schema.t -> (string list, string list) result
+(** CI gate over a BENCH.json run: every recorded contract must hold
+    ([ok = true]), at least the flat-speedup contract must be present,
+    and — when a [baseline] run is supplied — no kernel may have
+    regressed relative to it. [Ok] carries pass descriptions, [Error]
+    the failures. *)

@@ -1,0 +1,278 @@
+module B = Mcmap_benchmarks
+module H = Mcmap_hardening
+module S = Mcmap_sched
+module A = Mcmap_analysis
+module Sim = Mcmap_sim
+module D = Mcmap_dse
+module E = Mcmap_experiments
+module C = Mcmap_campaign
+module Obs = Mcmap_obs.Obs
+
+let fast_requested () = Sys.getenv_opt "MCMAP_BENCH_FAST" = Some "1"
+
+(* ------------------------------------------------------------------ *)
+(* Shared kernel contexts (forced on first use, shared across kernels) *)
+
+let cruise_ctx =
+  lazy
+    (let bench = B.Cruise.benchmark () in
+     let plan = List.hd (B.Cruise.sample_plans bench) in
+     let happ =
+       H.Happ.build bench.B.Benchmark.arch bench.B.Benchmark.apps plan in
+     let js = S.Jobset.build happ in
+     (js, S.Bounds.make js))
+
+let dt_med = lazy (B.Registry.find_exn "dt-med")
+
+(* Campaign kernel: one 512-trial shard of a cruise fault-injection
+   campaign (the unit of work the campaign engine schedules across
+   domains). BENCH.json's ns/run for this kernel gives trials/sec. *)
+let campaign_shard =
+  lazy
+    (let bench = B.Cruise.benchmark () in
+     let plan = List.hd (B.Cruise.sample_plans bench) in
+     let config = { C.Shard.default_config with trials = 512;
+                    shard_trials = 512 } in
+     let cplan =
+       C.Shard.plan config bench.B.Benchmark.arch bench.B.Benchmark.apps
+         plan in
+     (cplan, cplan.C.Shard.shards.(0)))
+
+let micro_ga =
+  { D.Ga.default_config with
+    D.Ga.population = 8; offspring = 8; generations = 2;
+    check_rescue = false }
+
+(* Evaluator-session kernels (DT-large, the heaviest benchmark):
+   [evaluator_cold] pays a fresh session + full analysis per run on the
+   reference engine (pinned, so it stays the denominator of the flat
+   speedup contract), [flat_cold] is the same cold evaluation on the
+   flat kernel, [evaluator_cold_obs] is [evaluator_cold] with the
+   metrics recorder enabled (the numerator of the obs-overhead
+   contract), [evaluator_warm] queries a pre-warmed session (the
+   result-cache hit path every optimisation loop rides on),
+   [eval_population] evaluates a 16-plan population on a fresh
+   multi-domain session per run. *)
+let evaluator_ctx =
+  lazy
+    (let bench = B.Registry.find_exn "dt-large" in
+     let arch = bench.B.Benchmark.arch
+     and apps = bench.B.Benchmark.apps in
+     let plan = B.Sampler.balanced_plan ~seed:42 arch apps in
+     let population =
+       Array.init 16 (fun i -> B.Sampler.plan ~seed:(100 + i) arch apps) in
+     let warm = D.Evaluator.create arch apps in
+     ignore (D.Evaluator.eval warm plan);
+     let domains = min 4 (Mcmap_util.Parallel.recommended_domains ()) in
+     (arch, apps, plan, population, warm, domains))
+
+let evaluator_cold_run () =
+  let arch, apps, plan, _, _, _ = Lazy.force evaluator_ctx in
+  let session =
+    D.Evaluator.create ~engine:D.Evaluator.Reference arch apps in
+  ignore (D.Evaluator.eval session plan)
+
+(* A kernel is a Bechamel test plus optional bracketing (used to flip
+   the metrics recorder around [evaluator_cold_obs] without timing the
+   flip itself). *)
+type kernel_spec = {
+  k_name : string;
+  k_test : Bechamel.Test.t;
+  k_setup : unit -> unit;
+  k_teardown : unit -> unit;
+}
+
+let nothing () = ()
+
+let plain name f =
+  { k_name = name;
+    k_test = Bechamel.Test.make ~name (Bechamel.Staged.stage f);
+    k_setup = nothing; k_teardown = nothing }
+
+let suite =
+  [ (* Table 2 column "Proposed": one full Algorithm 1 run *)
+    plain "table2/proposed(algorithm1)" (fun () ->
+        let _, ctx = Lazy.force cruise_ctx in
+        ignore (A.Wcrt.analyze ctx));
+    (* Table 2 column "Naive" *)
+    plain "table2/naive" (fun () ->
+        let _, ctx = Lazy.force cruise_ctx in
+        ignore (A.Naive.analyze ctx));
+    (* Table 2 column "Adhoc": one worst-trace simulation *)
+    plain "table2/adhoc(sim)" (fun () ->
+        let js, _ = Lazy.force cruise_ctx in
+        ignore (Sim.Adhoc.run js));
+    (* Table 2 column "WC-Sim": 10 Monte-Carlo profiles *)
+    plain "table2/wcsim(10 profiles)" (fun () ->
+        let js, _ = Lazy.force cruise_ctx in
+        ignore (Sim.Monte_carlo.run ~profiles:10 js));
+    (* E2/E3/E4 kernel: one micro GA run on DT-med *)
+    plain "fig5/dse(micro GA, dt-med)" (fun () ->
+        let bench = Lazy.force dt_med in
+        ignore
+          (D.Ga.optimize micro_ga bench.B.Benchmark.arch
+             bench.B.Benchmark.apps));
+    (* E6 kernel: the static worst-case list schedule *)
+    plain "table1/static list schedule" (fun () ->
+        let js, _ = Lazy.force cruise_ctx in
+        ignore (S.Static_schedule.worst_case js));
+    (* E5 kernel: the Figure 1 scenario *)
+    plain "fig1/motivational" (fun () -> ignore (E.Fig1.run ()));
+    (* Campaign kernel: one 512-trial importance-sampling shard *)
+    plain "campaign/shard(512 trials)" (fun () ->
+        let cplan, shard = Lazy.force campaign_shard in
+        ignore (C.Shard.execute cplan shard));
+    (* Evaluator sessions: cold vs flat vs warm vs population *)
+    plain "evaluator_cold" evaluator_cold_run;
+    plain "flat_cold" (fun () ->
+        let arch, apps, plan, _, _, _ = Lazy.force evaluator_ctx in
+        let session =
+          D.Evaluator.create ~engine:D.Evaluator.Flat arch apps in
+        ignore (D.Evaluator.eval session plan));
+    { (plain "evaluator_cold_obs" evaluator_cold_run) with
+      k_setup = (fun () -> Obs.enable ());
+      (* Drop the garbage the benchmark recorded; the harness snapshots
+         its metrics before the micro-benchmarks run. *)
+      k_teardown = (fun () -> Obs.disable (); Obs.reset ()) };
+    plain "evaluator_warm" (fun () ->
+        let _, _, plan, _, warm, _ = Lazy.force evaluator_ctx in
+        ignore (D.Evaluator.eval warm plan));
+    plain "eval_population" (fun () ->
+        let arch, apps, _, population, _, domains =
+          Lazy.force evaluator_ctx in
+        let session = D.Evaluator.create ~domains arch apps in
+        ignore (D.Evaluator.eval_population session population)) ]
+
+let names = List.map (fun k -> k.k_name) suite
+
+(* ------------------------------------------------------------------ *)
+(* Measurement *)
+
+(* Raw per-sample cost: each Bechamel sample aggregates [run] calls of
+   the kernel, so ns/run for the sample is clock/runs. The OLS slope
+   over the same points is the central estimate; min/mean/stddev over
+   the per-sample ratios expose the dispersion the slope hides. *)
+let dispersion (b : Bechamel.Benchmark.t) =
+  let module M = Bechamel.Measurement_raw in
+  let samples =
+    Array.to_list b.Bechamel.Benchmark.lr
+    |> List.filter_map (fun m ->
+           let runs = M.run m in
+           if runs <= 0. then None
+           else Some (M.get ~label:"monotonic-clock" m /. runs)) in
+  match samples with
+  | [] -> (0., 0., 0., 0)
+  | _ ->
+    let n = float_of_int (List.length samples) in
+    let mn = List.fold_left min infinity samples in
+    let mean = List.fold_left ( +. ) 0. samples /. n in
+    let var =
+      List.fold_left
+        (fun acc x -> acc +. ((x -. mean) ** 2.))
+        0. samples
+      /. n in
+    (mn, mean, sqrt var, List.length samples)
+
+let measure ~fast spec =
+  let open Bechamel in
+  spec.k_setup ();
+  Fun.protect ~finally:spec.k_teardown (fun () ->
+      let cfg =
+        Benchmark.cfg ~limit:2000
+          ~quota:(Time.second (if fast then 0.25 else 1.0))
+          ~kde:(Some 100) () in
+      let instance = Toolkit.Instance.monotonic_clock in
+      let ols =
+        Analyze.ols ~bootstrap:0 ~r_square:true
+          ~predictors:[| Measure.run |] in
+      let raws = Benchmark.all cfg [ instance ] spec.k_test in
+      let stats = Analyze.all ols instance raws in
+      let estimate =
+        match Hashtbl.find_opt stats spec.k_name with
+        | Some r ->
+          (match Analyze.OLS.estimates r with
+           | Some [ ns ] -> Some ns
+           | Some _ | None -> None)
+        | None -> None in
+      let min_ns, mean_ns, stddev_ns, samples =
+        match Hashtbl.find_opt raws spec.k_name with
+        | Some b -> dispersion b
+        | None -> (0., 0., 0., 0) in
+      { Schema.ns_per_run = estimate; min_ns; mean_ns; stddev_ns;
+        samples })
+
+let run_all ?fast ?(progress = fun _ -> ()) () =
+  let fast = Option.value fast ~default:(fast_requested ()) in
+  List.map
+    (fun spec ->
+      let k = measure ~fast spec in
+      (match k.Schema.ns_per_run with
+       | Some ns ->
+         progress
+           (Printf.sprintf "%-32s %12.1f ns/run (%8.3f ms) ±%.1f%%"
+              spec.k_name ns (ns /. 1e6)
+              (if k.Schema.mean_ns > 0. then
+                 100. *. k.Schema.stddev_ns /. k.Schema.mean_ns
+               else 0.))
+       | None -> progress (Printf.sprintf "%-32s (no estimate)" spec.k_name));
+      (spec.k_name, k))
+    suite
+
+(* ------------------------------------------------------------------ *)
+(* Contracts *)
+
+let central (k : Schema.kernel) =
+  match k.Schema.ns_per_run with
+  | Some ns when ns > 0. -> Some ns
+  | Some _ | None -> if k.Schema.mean_ns > 0. then Some k.Schema.mean_ns else None
+
+let flat_contract kernels =
+  match
+    (List.assoc_opt "evaluator_cold" kernels,
+     List.assoc_opt "flat_cold" kernels)
+  with
+  | Some reference, Some flat ->
+    (match (central reference, central flat) with
+     | Some reference_ns, Some flat_ns ->
+       let min_speedup = 3.0 in
+       let speedup = reference_ns /. flat_ns in
+       [ ( "flat_vs_reference",
+           { Schema.ok = speedup >= min_speedup;
+             numbers =
+               [ ("reference_ns", reference_ns); ("flat_ns", flat_ns);
+                 ("speedup", speedup); ("min_speedup", min_speedup) ] } ) ]
+     | _ -> [])
+  | _ -> []
+
+(* Enabled-recorder overhead on the cold-evaluation kernel. The
+   disabled path does strictly less work per call site (one
+   load-and-branch versus branch + record), so this bounds the
+   disabled-mode tax from above. Pass when within budget or within
+   timer noise (3 combined sigmas) — a contract that flakes teaches CI
+   to ignore it. *)
+let obs_contract kernels =
+  match
+    (List.assoc_opt "evaluator_cold" kernels,
+     List.assoc_opt "evaluator_cold_obs" kernels)
+  with
+  | Some off, Some on
+    when off.Schema.mean_ns > 0. && on.Schema.mean_ns > 0. ->
+    let max_pct = 2.0 in
+    let overhead_pct =
+      100. *. (on.Schema.mean_ns -. off.Schema.mean_ns)
+      /. off.Schema.mean_ns in
+    let sigma =
+      sqrt
+        ((off.Schema.stddev_ns ** 2.) +. (on.Schema.stddev_ns ** 2.)) in
+    let within_noise =
+      abs_float (on.Schema.mean_ns -. off.Schema.mean_ns) <= 3. *. sigma in
+    [ ( "obs_overhead",
+        { Schema.ok = overhead_pct <= max_pct || within_noise;
+          numbers =
+            [ ("disabled_ns", off.Schema.mean_ns);
+              ("enabled_ns", on.Schema.mean_ns);
+              ("overhead_pct", overhead_pct); ("max_pct", max_pct);
+              ("sigma_ns", sigma) ] } ) ]
+  | _ -> []
+
+let contracts kernels = flat_contract kernels @ obs_contract kernels

@@ -125,11 +125,24 @@ let execute plan shard =
       done);
   let wall_ns = Int64.sub (Obs.now_ns ()) t0 in
   if Obs.enabled () then begin
+    (* Labelled by graph so a skewed campaign shows which graph's
+       strata are eating the budget, plus unlabelled totals. *)
+    let g = "g" ^ string_of_int shard.graph in
     Obs.incr ~by:shard.trials "campaign.trials";
+    Obs.incr ~by:shard.trials ~label:g "campaign.trials";
     Obs.incr ~by:!failures "campaign.failures";
+    Obs.incr ~by:!failures ~label:g "campaign.failures";
     Obs.incr "campaign.shards";
     Obs.observe "campaign.shard_wall_us"
-      (Int64.to_int (Int64.div wall_ns 1_000L))
+      (Int64.to_int (Int64.div wall_ns 1_000L));
+    (* Per-shard failure rate in parts-per-million (histograms take
+       ints), and the heaviest likelihood-ratio weight seen anywhere —
+       a spiking max weight flags a badly-tilted proposal. *)
+    Obs.observe "campaign.shard_fail_ppm"
+      (int_of_float
+         (1e6 *. float_of_int !failures /. float_of_int shard.trials));
+    Obs.gauge "campaign.max_lr_weight" !max_w;
+    Obs.gauge ~label:g "campaign.max_lr_weight" !max_w
   end;
   { shard;
     failures = !failures;

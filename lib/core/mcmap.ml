@@ -39,10 +39,12 @@ module Util = struct
   module Texttable = Mcmap_util.Texttable
 end
 
-(** Observability: metrics, spans and exporters (see [lib/obs]). *)
+(** Observability: metrics, spans, flight recorder and exporters (see
+    [lib/obs]). *)
 module Obs = struct
   module Histogram = Mcmap_obs.Histogram
   module Recorder = Mcmap_obs.Obs
+  module Flight = Mcmap_obs.Flight
 end
 
 module Model = struct

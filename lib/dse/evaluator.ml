@@ -16,6 +16,7 @@ module Fingerprint = Mcmap_util.Fingerprint
 module Lru = Mcmap_util.Lru
 module Parallel = Mcmap_util.Parallel
 module Obs = Mcmap_obs.Obs
+module Flight = Mcmap_obs.Flight
 
 (* ------------------------------------------------------------------ *)
 (* Canonical plan fingerprints.                                        *)
@@ -196,6 +197,8 @@ type t = {
   mutable n_component_hits : int;
   mutable n_component_misses : int;
   mutable n_external : int;
+  mutable last_ok : bool option;
+      (* previous eval's schedulable bit, for verdict-flip events *)
 }
 
 let with_lock t f =
@@ -245,7 +248,41 @@ let create ?(cache_capacity = 4096) ?(component_capacity = 64)
     rows = Lru.create ~capacity:(4 * (cache_capacity + 1)) ();
     rates = Lru.create ~capacity:(4 * (cache_capacity + 1)) ();
     n_hits = 0; n_misses = 0; n_sched_hits = 0; n_sched_misses = 0;
-    n_component_hits = 0; n_component_misses = 0; n_external = 0 }
+    n_component_hits = 0; n_component_misses = 0; n_external = 0;
+    last_ok = None }
+
+(* Cache-tier attribution: one labelled counter family per tier
+   ("evaluator.<tier>~hit|miss|evict|collision"), and — when the flight
+   recorder is armed — one structured event per decision, so a crash
+   dump shows which tier served the last few hundred requests. *)
+let tier_event tier kind label =
+  if Obs.enabled () then Obs.incr ~label tier;
+  if Flight.armed () then Flight.record kind tier
+
+let tier_hit tier = tier_event tier Flight.Cache_hit "hit"
+
+let tier_miss tier = tier_event tier Flight.Cache_miss "miss"
+
+(* [Lru.evictions] is cumulative; emit the delta a single [add] caused. *)
+let tier_add tier cache key value =
+  let before = Lru.evictions cache in
+  Lru.add cache key value;
+  if Lru.evictions cache > before then
+    tier_event tier Flight.Cache_evict "evict"
+
+(* Flip events mark where the session's freshly-evaluated plans cross
+   the schedulable/unschedulable boundary — the interesting moments in
+   a search trajectory. Cache hits don't count: they re-observe an old
+   verdict rather than produce a new one. *)
+let note_verdict t ok =
+  if Flight.armed () then
+    with_lock t (fun () ->
+        (match t.last_ok with
+         | Some prev when prev <> ok ->
+           Flight.record ~a:(Bool.to_int ok) ~b:(Bool.to_int prev)
+             Flight.Verdict_flip "evaluator.schedulable"
+         | Some _ | None -> ());
+        t.last_ok <- Some ok)
 
 let arch t = t.arch
 
@@ -257,10 +294,13 @@ let apps t = t.apps
 let hgraph_for t plan gi =
   let key = row_fingerprint plan gi in
   match with_lock t (fun () -> Lru.find t.rows key) with
-  | Some hg -> hg
+  | Some hg ->
+    tier_hit "evaluator.rows";
+    hg
   | None ->
+    tier_miss "evaluator.rows";
     let hg = Happ.hardened_graph t.arch t.apps plan gi in
-    with_lock t (fun () -> Lru.add t.rows key hg);
+    with_lock t (fun () -> tier_add "evaluator.rows" t.rows key hg);
     hg
 
 let happ_of t plan =
@@ -275,10 +315,13 @@ let happ_of t plan =
 let rate_of t plan gi =
   let key = row_fingerprint plan gi in
   match with_lock t (fun () -> Lru.find t.rates key) with
-  | Some r -> r
+  | Some r ->
+    tier_hit "evaluator.rates";
+    r
   | None ->
+    tier_miss "evaluator.rates";
     let r = Reliability.graph_failure_rate t.arch t.apps plan ~graph:gi in
-    with_lock t (fun () -> Lru.add t.rates key r);
+    with_lock t (fun () -> tier_add "evaluator.rates" t.rates key r);
     r
 
 (* Same iteration order and float comparisons as
@@ -406,10 +449,10 @@ let centry_for t js graphs =
   match with_lock t (fun () -> Lru.find t.components key) with
   | Some entry ->
     t.n_component_hits <- t.n_component_hits + 1;
-    if Obs.enabled () then Obs.incr "evaluator.component_hits";
+    tier_event "evaluator.component" Flight.Cache_hit "memo";
     entry
   | None ->
-    if Obs.enabled () then Obs.incr "evaluator.component_misses";
+    tier_event "evaluator.component" Flight.Cache_miss "resolve";
     let ctx = make_ectx t.engine ~horizon:t.horizon rjs in
     let response = response_jobs_for rjs graphs in
     let normal =
@@ -441,7 +484,7 @@ let centry_for t js graphs =
         ce_external = Hashtbl.create 16 } in
     with_lock t (fun () ->
         t.n_component_misses <- t.n_component_misses + 1;
-        Lru.add t.components key entry);
+        tier_add "evaluator.component" t.components key entry);
     entry
 
 (* The scenario of a trigger outside this component, summarised by its
@@ -538,14 +581,14 @@ let sched_of t fp (happ : Happ.t Lazy.t) =
   match with_lock t (fun () -> Lru.find t.sched fp) with
   | Some info ->
     t.n_sched_hits <- t.n_sched_hits + 1;
-    if Obs.enabled () then Obs.incr "evaluator.sched_hits";
+    tier_hit "evaluator.sched";
     info
   | None ->
-    if Obs.enabled () then Obs.incr "evaluator.sched_misses";
+    tier_miss "evaluator.sched";
     let info = compute_sched t (Lazy.force happ) in
     with_lock t (fun () ->
         t.n_sched_misses <- t.n_sched_misses + 1;
-        Lru.add t.sched fp info);
+        tier_add "evaluator.sched" t.sched fp info);
     info
 
 (* ------------------------------------------------------------------ *)
@@ -586,21 +629,26 @@ let find_cached t fp plan =
       | Some e when canonical_equal e.Evaluate.plan plan ->
         t.n_hits <- t.n_hits + 1;
         Some e
-      | Some _ (* fingerprint collision: treat as a miss *) | None -> None)
+      | Some _ ->
+        (* fingerprint collision: treat as a miss *)
+        tier_event "evaluator.result" Flight.Cache_collision "collision";
+        None
+      | None -> None)
 
 let eval t plan =
   Obs.with_span "evaluator.eval" (fun () ->
       let fp = fingerprint plan in
       match find_cached t fp plan with
       | Some e ->
-        if Obs.enabled () then Obs.incr "evaluator.hits";
+        tier_hit "evaluator.result";
         { e with Evaluate.plan }
       | None ->
-        if Obs.enabled () then Obs.incr "evaluator.misses";
+        tier_miss "evaluator.result";
         let e = eval_fresh t fp plan in
+        note_verdict t e.Evaluate.schedulable;
         with_lock t (fun () ->
             t.n_misses <- t.n_misses + 1;
-            Lru.add t.results fp e);
+            tier_add "evaluator.result" t.results fp e);
         e)
 
 let eval_population t plans =
@@ -630,7 +678,7 @@ let eval_population t plans =
         if rep.(i) = i then begin
           match find_cached t fps.(i) plans.(i) with
           | Some e ->
-            if Obs.enabled () then Obs.incr "evaluator.hits";
+            tier_hit "evaluator.result";
             results.(i) <- Some { e with Evaluate.plan = plans.(i) }
           | None -> work := i :: !work
         end

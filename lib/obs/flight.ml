@@ -1,0 +1,260 @@
+module Sexp = Mcmap_util.Sexp
+
+(* Flight recorder: a bounded per-domain ring of recent structured
+   events, kept alongside (but independent of) the metrics registry in
+   [Obs]. Recording is gated on one atomic flag ([armed]); a disarmed
+   call is a load-and-branch, and an armed one writes a single record
+   into a preallocated ring slot — near-no-op in steady state. The ring
+   only surfaces when something goes wrong: the CLI dumps it on oracle
+   failure, uncaught exception or a termination signal, so a crash
+   report carries the last few hundred spans / cache decisions /
+   verdict flips instead of just a seed. *)
+
+type kind =
+  | Span_open
+  | Span_close
+  | Cache_hit
+  | Cache_miss
+  | Cache_evict
+  | Cache_collision
+  | Verdict_flip
+  | Note
+
+let kind_to_string = function
+  | Span_open -> "span-open"
+  | Span_close -> "span-close"
+  | Cache_hit -> "cache-hit"
+  | Cache_miss -> "cache-miss"
+  | Cache_evict -> "cache-evict"
+  | Cache_collision -> "cache-collision"
+  | Verdict_flip -> "verdict-flip"
+  | Note -> "note"
+
+let kind_of_string = function
+  | "span-open" -> Some Span_open
+  | "span-close" -> Some Span_close
+  | "cache-hit" -> Some Cache_hit
+  | "cache-miss" -> Some Cache_miss
+  | "cache-evict" -> Some Cache_evict
+  | "cache-collision" -> Some Cache_collision
+  | "verdict-flip" -> Some Verdict_flip
+  | "note" -> Some Note
+  | _ -> None
+
+type event = {
+  seq : int;  (* per-domain recording order *)
+  ts_ns : int64;
+  tid : int;
+  kind : kind;
+  name : string;
+  a : int;
+  b : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Per-domain rings. The registration protocol mirrors [Obs]: each
+   domain owns its ring through DLS, rings register themselves in a
+   global list on first armed use, and a generation counter lets
+   [reset] invalidate every ring without reaching into other domains'
+   storage. *)
+
+type ring = {
+  tid : int;
+  mutable gen : int;
+  mutable slots : event array;  (* length = capacity once armed *)
+  mutable next : int;  (* next write position *)
+  mutable total : int;  (* events ever recorded into this ring *)
+}
+
+let armed_flag = Atomic.make false
+
+let capacity_ref = Atomic.make 512
+
+let generation = Atomic.make 0
+
+let registry = ref ([] : ring list)
+
+let registry_mutex = Mutex.create ()
+
+let dls_key =
+  Domain.DLS.new_key (fun () ->
+      { tid = (Domain.self () :> int); gen = -1; slots = [||]; next = 0;
+        total = 0 })
+
+let dummy_event =
+  { seq = 0; ts_ns = 0L; tid = 0; kind = Note; name = ""; a = 0; b = 0 }
+
+let ring () =
+  let r = Domain.DLS.get dls_key in
+  let g = Atomic.get generation in
+  if r.gen <> g then begin
+    r.slots <- Array.make (Atomic.get capacity_ref) dummy_event;
+    r.next <- 0;
+    r.total <- 0;
+    r.gen <- g;
+    Mutex.protect registry_mutex (fun () -> registry := r :: !registry)
+  end;
+  r
+
+let armed () = Atomic.get armed_flag
+
+let capacity () = Atomic.get capacity_ref
+
+let now_ns () = Monotonic_clock.now ()
+
+let arm ?capacity () =
+  (match capacity with
+   | Some c ->
+     if c < 1 then invalid_arg "Flight.arm: capacity < 1";
+     Atomic.set capacity_ref c
+   | None -> ());
+  Atomic.set armed_flag true
+
+let disarm () = Atomic.set armed_flag false
+
+let reset () =
+  Mutex.protect registry_mutex (fun () -> registry := []);
+  Atomic.incr generation
+
+let record ?(a = 0) ?(b = 0) kind name =
+  if armed () then begin
+    let r = ring () in
+    let cap = Array.length r.slots in
+    r.slots.(r.next) <-
+      { seq = r.total; ts_ns = now_ns (); tid = r.tid; kind; name; a; b };
+    r.next <- (r.next + 1) mod cap;
+    r.total <- r.total + 1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Draining *)
+
+let ring_events r =
+  let cap = Array.length r.slots in
+  let kept = min r.total cap in
+  (* Oldest surviving event first: when the ring wrapped, it sits at
+     [next]; before wrapping, at 0. *)
+  let start = if r.total > cap then r.next else 0 in
+  List.init kept (fun i -> r.slots.((start + i) mod cap))
+
+(* Like [Obs.snapshot], draining is meant for the main domain while no
+   worker records; rings of joined workers are still merged. *)
+let events () =
+  let rings = Mutex.protect registry_mutex (fun () -> !registry) in
+  List.concat_map ring_events rings
+  |> List.sort (fun x y -> compare (x.ts_ns, x.tid, x.seq) (y.ts_ns, y.tid, y.seq))
+
+let dropped () =
+  let rings = Mutex.protect registry_mutex (fun () -> !registry) in
+  List.fold_left
+    (fun acc r -> acc + max 0 (r.total - Array.length r.slots))
+    0 rings
+
+(* ------------------------------------------------------------------ *)
+(* Sexp dump *)
+
+let event_to_sexp e =
+  let open Sexp in
+  let f key v = List [ Atom key; Atom v ] in
+  List
+    [ Atom "event"; f "seq" (string_of_int e.seq);
+      f "ts_ns" (Int64.to_string e.ts_ns); f "tid" (string_of_int e.tid);
+      f "kind" (kind_to_string e.kind); f "name" e.name;
+      f "a" (string_of_int e.a); f "b" (string_of_int e.b) ]
+
+let to_sexp () =
+  let open Sexp in
+  let evs = events () in
+  List
+    (Atom "flight"
+     :: List [ Atom "capacity"; Atom (string_of_int (capacity ())) ]
+     :: List [ Atom "dropped"; Atom (string_of_int (dropped ())) ]
+     :: List.map event_to_sexp evs)
+
+let event_of_sexp sexp =
+  let open Sexp in
+  let ( let* ) = Result.bind in
+  match sexp with
+  | List (Atom "event" :: fields) ->
+    let* seq = assoc_int "seq" fields in
+    let* ts =
+      match assoc "ts_ns" fields with
+      | Some [ Atom a ] ->
+        (match Int64.of_string_opt a with
+         | Some v -> Ok v
+         | None -> Error ("ts_ns: not an int64: " ^ a))
+      | Some _ | None -> Error "ts_ns: missing" in
+    let* tid = assoc_int "tid" fields in
+    let* kind =
+      let* k = assoc_atom "kind" fields in
+      match kind_of_string k with
+      | Some kind -> Ok kind
+      | None -> Error ("unknown event kind " ^ k) in
+    let* name = assoc_atom "name" fields in
+    let* a = assoc_int "a" fields in
+    let* b = assoc_int "b" fields in
+    Ok { seq; ts_ns = ts; tid; kind; name; a; b }
+  | List _ | Atom _ -> Error "expected an (event ...) entry"
+
+let of_sexp sexp =
+  let ( let* ) = Result.bind in
+  match sexp with
+  | Sexp.List (Sexp.Atom "flight" :: entries) ->
+    let entries =
+      List.filter
+        (function
+          | Sexp.List (Sexp.Atom ("capacity" | "dropped") :: _) -> false
+          | _ -> true)
+        entries in
+    List.fold_left
+      (fun acc e ->
+        let* evs = acc in
+        let* ev = event_of_sexp e in
+        Ok (ev :: evs))
+      (Ok []) entries
+    |> Result.map List.rev
+  | Sexp.List _ | Sexp.Atom _ -> Error "expected (flight ...)"
+
+let dump_string () = Sexp.to_string (to_sexp ()) ^ "\n"
+
+let dump path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (dump_string ()))
+
+(* ------------------------------------------------------------------ *)
+(* Crash handlers: make the ring surface when the process dies badly.
+   [emit] is idempotent-ish by design (a second dump overwrites the
+   first with a superset of its events). *)
+
+let emit_on ~path reason =
+  if armed () then begin
+    match path with
+    | Some p ->
+      (try
+         dump p;
+         Printf.eprintf "flight recorder dumped to %s (%s)\n%!" p reason
+       with Sys_error e ->
+         Printf.eprintf "flight recorder dump failed: %s\n%!" e)
+    | None ->
+      prerr_string (dump_string ());
+      Printf.eprintf "(flight recorder dump: %s)\n%!" reason
+  end
+
+let install_crash_handlers ?path () =
+  (* An uncaught exception unwinds past every [with_span]: the ring holds
+     the closest context there is to a stack trace of the analysis. *)
+  Printexc.set_uncaught_exception_handler (fun e bt ->
+      emit_on ~path "uncaught exception";
+      Printexc.default_uncaught_exception_handler e bt);
+  let terminate signal name code =
+    (try
+       Sys.set_signal signal
+         (Sys.Signal_handle
+            (fun _ ->
+              emit_on ~path ("fatal signal " ^ name);
+              exit code))
+     with Invalid_argument _ | Sys_error _ -> ()) in
+  terminate Sys.sigterm "SIGTERM" 143;
+  terminate Sys.sigint "SIGINT" 130

@@ -1,0 +1,95 @@
+(** Flight recorder: a bounded per-domain ring buffer of recent
+    structured events (span open/close, cache decisions, verdict flips),
+    dumped as an s-expression when something fails so a crash report
+    carries context instead of just a seed.
+
+    The recorder is independent of the metrics registry in {!Obs}: it
+    has its own arming flag and its own storage, so the two can be
+    enabled separately ([--metrics] without a flight ring, or a flight
+    ring with metrics off). {!Obs.with_span} feeds span open/close
+    events into an armed ring automatically.
+
+    {1 Cost}
+
+    A disarmed {!record} is a single atomic load and branch. An armed
+    one writes one record into a preallocated ring slot — no per-event
+    allocation beyond the record itself, no locks (each domain owns its
+    ring through domain-local storage). When the ring wraps, the oldest
+    events are silently overwritten; {!dropped} counts them.
+
+    [arm]/[reset]/[events] must be called from the main domain while no
+    worker domains are recording. *)
+
+type kind =
+  | Span_open  (** [a] unused *)
+  | Span_close  (** [a] = duration in ns (clamped to int) *)
+  | Cache_hit
+  | Cache_miss
+  | Cache_evict
+  | Cache_collision
+  | Verdict_flip  (** [a] = new verdict (1 = ok), [b] = previous *)
+  | Note
+
+type event = {
+  seq : int;  (** per-domain recording order *)
+  ts_ns : int64;  (** raw monotonic clock *)
+  tid : int;  (** recording domain's id *)
+  kind : kind;
+  name : string;
+  a : int;  (** kind-specific payload *)
+  b : int;
+}
+
+(** {1 Control} *)
+
+val armed : unit -> bool
+
+val arm : ?capacity:int -> unit -> unit
+(** Start recording. [capacity] (default 512, persists across calls)
+    bounds each domain's ring; it takes effect for rings created after
+    the call. @raise Invalid_argument on capacity < 1. *)
+
+val disarm : unit -> unit
+
+val reset : unit -> unit
+(** Drop every ring's recorded events. *)
+
+val capacity : unit -> int
+
+(** {1 Recording} *)
+
+val record : ?a:int -> ?b:int -> kind -> string -> unit
+(** Append one event to the current domain's ring (no-op when
+    disarmed). *)
+
+(** {1 Draining} *)
+
+val events : unit -> event list
+(** All surviving events across domains, oldest first (sorted by
+    timestamp, then domain id, then per-domain order). *)
+
+val dropped : unit -> int
+(** Events overwritten by ring wraparound, summed across domains. *)
+
+val to_sexp : unit -> Mcmap_util.Sexp.t
+(** [(flight (capacity N) (dropped M) (event (seq ...) ...) ...)]. *)
+
+val of_sexp : Mcmap_util.Sexp.t -> (event list, string) result
+(** Parse a {!to_sexp} dump back into its event list. *)
+
+val dump_string : unit -> string
+
+val dump : string -> unit
+(** Write the dump to a file. *)
+
+val kind_to_string : kind -> string
+
+(** {1 Crash handlers} *)
+
+val install_crash_handlers : ?path:string -> unit -> unit
+(** Install an uncaught-exception handler and SIGTERM/SIGINT handlers
+    that write the dump to [path] (default: stderr) before the process
+    dies — only when the recorder is armed at that moment. The
+    exception handler chains to the default one (message + backtrace,
+    exit 2); the signal handlers exit with the conventional 128+signo
+    codes. *)

@@ -36,11 +36,16 @@ type snapshot = {
    reaching into other domains' storage: a buffer lazily clears and
    re-registers itself when it notices its generation is stale. *)
 
+type series_cell = {
+  mutable pts : (int * float) list;  (* newest first *)
+  mutable len : int;
+}
+
 type cell =
   | Ccounter of int ref
   | Cgauge of float ref
   | Chist of Histogram.t
-  | Cseries of (int * float) list ref
+  | Cseries of series_cell
 
 type buffer = {
   tid : int;
@@ -81,6 +86,19 @@ let enabled () = Atomic.get enabled_flag
 
 let now_ns () = Monotonic_clock.now ()
 
+(* Series retention: [dse.eval_ms] and friends append one point per
+   observation, which on long GA runs would bloat the buffers and every
+   export. Each domain keeps at most [series_capacity] points per
+   series (tail-keep: newest survive), and [snapshot] applies the same
+   cap again to the merged, x-sorted result. *)
+let series_capacity_ref = Atomic.make 4096
+
+let series_capacity () = Atomic.get series_capacity_ref
+
+let set_series_capacity n =
+  if n < 1 then invalid_arg "Obs.set_series_capacity: capacity < 1";
+  Atomic.set series_capacity_ref n
+
 let enable () =
   if not (Atomic.get enabled_flag) then begin
     Atomic.set epoch (now_ns ());
@@ -101,8 +119,16 @@ let kind_error name kind =
   invalid_arg
     (Printf.sprintf "Obs: metric %s already recorded as a %s" name kind)
 
-let incr ?(by = 1) name =
+(* The label dimension: [incr ~label:"hit" "evaluator.result"] records
+   under the derived key "evaluator.result~hit". The key is built only
+   on the enabled path, so a disabled labelled call costs the same
+   load-and-branch as an unlabelled one. *)
+let keyed name label =
+  match label with None -> name | Some l -> name ^ "~" ^ l
+
+let incr ?(by = 1) ?label name =
   if enabled () then begin
+    let name = keyed name label in
     let b = buffer () in
     match Hashtbl.find_opt b.cells name with
     | Some (Ccounter r) -> r := !r + by
@@ -110,8 +136,9 @@ let incr ?(by = 1) name =
     | None -> Hashtbl.add b.cells name (Ccounter (ref by))
   end
 
-let gauge name v =
+let gauge ?label name v =
   if enabled () then begin
+    let name = keyed name label in
     let b = buffer () in
     match Hashtbl.find_opt b.cells name with
     | Some (Cgauge r) -> r := v
@@ -119,8 +146,9 @@ let gauge name v =
     | None -> Hashtbl.add b.cells name (Cgauge (ref v))
   end
 
-let observe name v =
+let observe ?label name v =
   if enabled () then begin
+    let name = keyed name label in
     let b = buffer () in
     match Hashtbl.find_opt b.cells name with
     | Some (Chist h) -> Histogram.observe h v
@@ -131,31 +159,56 @@ let observe name v =
       Hashtbl.add b.cells name (Chist h)
   end
 
-let series name ~x v =
+(* Tail-keep with amortised O(1) appends: let the list grow to twice the
+   cap, then truncate back to the newest [cap] points. *)
+let series_append c x v =
+  c.pts <- (x, v) :: c.pts;
+  c.len <- c.len + 1;
+  let cap = series_capacity () in
+  if c.len >= 2 * cap then begin
+    c.pts <- List.filteri (fun i _ -> i < cap) c.pts;
+    c.len <- cap
+  end
+
+let series ?label name ~x v =
   if enabled () then begin
+    let name = keyed name label in
     let b = buffer () in
     match Hashtbl.find_opt b.cells name with
-    | Some (Cseries r) -> r := (x, v) :: !r
+    | Some (Cseries c) -> series_append c x v
     | Some _ -> kind_error name "different kind"
-    | None -> Hashtbl.add b.cells name (Cseries (ref [ (x, v) ]))
+    | None -> Hashtbl.add b.cells name (Cseries { pts = [ (x, v) ]; len = 1 })
   end
 
 let with_span name f =
-  if not (enabled ()) then f ()
+  let obs_on = enabled () in
+  let flight_on = Flight.armed () in
+  if not (obs_on || flight_on) then f ()
   else begin
-    let b = buffer () in
-    let depth = b.stack_depth in
-    b.stack_depth <- depth + 1;
+    let b = if obs_on then Some (buffer ()) else None in
+    let depth =
+      match b with
+      | Some b ->
+        let d = b.stack_depth in
+        b.stack_depth <- d + 1;
+        d
+      | None -> 0 in
+    if flight_on then Flight.record Span_open name;
     let t0 = now_ns () in
     let finish () =
       let t1 = now_ns () in
-      (* same domain: [f] cannot migrate the current domain *)
-      b.stack_depth <- depth;
-      b.spans <-
-        { name; tid = b.tid; depth;
-          ts_ns = Int64.sub t0 (Atomic.get epoch);
-          dur_ns = Int64.sub t1 t0 }
-        :: b.spans in
+      if flight_on then
+        Flight.record ~a:(Int64.to_int (Int64.sub t1 t0)) Span_close name;
+      match b with
+      | None -> ()
+      | Some b ->
+        (* same domain: [f] cannot migrate the current domain *)
+        b.stack_depth <- depth;
+        b.spans <-
+          { name; tid = b.tid; depth;
+            ts_ns = Int64.sub t0 (Atomic.get epoch);
+            dur_ns = Int64.sub t1 t0 }
+          :: b.spans in
     match f () with
     | v ->
       finish ();
@@ -181,7 +234,7 @@ let metric_of_cell = function
   | Ccounter r -> Counter !r
   | Cgauge r -> Gauge !r
   | Chist h -> Histogram (Histogram.copy h)
-  | Cseries r -> Series !r
+  | Cseries c -> Series c.pts
 
 (* Snapshots must be taken from the main domain while no worker is
    recording (i.e. outside [Parallel.map_array] sections) — buffers of
@@ -205,7 +258,16 @@ let snapshot () =
     |> List.map (fun (name, m) ->
            match m with
            | Series points ->
-             (name, Series (List.sort compare points))
+             let points = List.sort compare points in
+             (* Re-apply the retention cap to the merged series: keep
+                the last [series_capacity] points by x, so the merged
+                view obeys the same bound as any single domain. *)
+             let cap = series_capacity () in
+             let n = List.length points in
+             let points =
+               if n <= cap then points
+               else List.filteri (fun i _ -> i >= n - cap) points in
+             (name, Series points)
            | Counter _ | Gauge _ | Histogram _ -> (name, m))
     |> List.sort (fun (a, _) (b, _) -> String.compare a b) in
   let spans =

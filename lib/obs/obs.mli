@@ -3,6 +3,18 @@
     spans on the monotonic clock, and exporters (s-expression metrics
     dump, Chrome trace-event JSON).
 
+    {1 Labels}
+
+    Every recording call takes an optional [?label] that adds one cheap
+    attribution dimension: [incr ~label:"hit" "evaluator.result"]
+    records under the derived key ["evaluator.result~hit"]. The derived
+    key is an ordinary metric name — merges, exports and [mcmap stats]
+    need no special handling — and it is built only on the enabled
+    path, so a disabled labelled call costs exactly one load-and-branch.
+    By convention labels are short enum-like atoms (["hit"], ["miss"],
+    ["evict"], ["g3"]); the ['~'] separator never appears in unlabelled
+    metric names.
+
     {1 Domain safety}
 
     Every domain records into a private buffer reached through
@@ -62,23 +74,34 @@ val reset : unit -> unit
 val now_ns : unit -> int64
 (** The raw monotonic clock (for callers timing their own series). *)
 
+val series_capacity : unit -> int
+
+val set_series_capacity : int -> unit
+(** Bound per-series retention (default 4096 points): each domain
+    tail-keeps at most that many points per series, and {!snapshot}
+    re-applies the cap to the merged, x-sorted result. Takes effect for
+    subsequent appends. @raise Invalid_argument on capacity < 1. *)
+
 (** {1 Recording} *)
 
-val incr : ?by:int -> string -> unit
+val incr : ?by:int -> ?label:string -> string -> unit
 (** Add to a counter (default 1). *)
 
-val gauge : string -> float -> unit
+val gauge : ?label:string -> string -> float -> unit
 (** Set a gauge (last write per domain wins; domains merge by max). *)
 
-val observe : string -> int -> unit
+val observe : ?label:string -> string -> int -> unit
 (** Add one observation to a histogram. *)
 
-val series : string -> x:int -> float -> unit
-(** Append an [(x, value)] point to a series. *)
+val series : ?label:string -> string -> x:int -> float -> unit
+(** Append an [(x, value)] point to a series. Series keep at most
+    {!series_capacity} points (newest survive). *)
 
 val with_span : string -> (unit -> 'a) -> 'a
-(** Time [f] as a span (recorded when [f] returns or raises). When
-    recording is disabled this is exactly [f ()]. *)
+(** Time [f] as a span (recorded when [f] returns or raises). When the
+    {!Flight} recorder is armed, span open/close events are fed into
+    its ring as well. When neither recorder is on this is exactly
+    [f ()]. *)
 
 (** {1 Export} *)
 

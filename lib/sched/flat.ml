@@ -79,6 +79,13 @@ let arena_key =
 let arena_for n =
   let a = Domain.DLS.get arena_key in
   if a.cap < n then begin
+    (* Growth is rare (monotone per domain); a growing steady state
+       means the arena is being thrashed by ever-larger jobsets. The
+       gauge merges by max, so it reports the largest arena anywhere. *)
+    if Obs.enabled () then begin
+      Obs.incr ~label:"grow" "flat.arena";
+      Obs.gauge "flat.arena_capacity" (float_of_int n)
+    end;
     a.cap <- n;
     a.bc <- Array.make n 0;
     a.wc <- Array.make n 0;
@@ -344,6 +351,15 @@ let analyze ?(max_iterations = Bounds.default_max_iterations) ctx ~exec =
   let converged = ref false in
   let iter = ref 0 in
   let changed = ref false in
+  (* Attribution accumulators: [rec_on] is hoisted so the sweep pays one
+     predictable branch per counter when recording is off, and the
+     totals are flushed to [Obs] once after the fixed point. *)
+  let rec_on = Obs.enabled () in
+  let n_recomputed = ref 0
+  and n_wake_succ = ref 0
+  and n_wake_peer = ref 0
+  and n_wake_self = ref 0
+  and n_cand_words = ref 0 in
   let data_ready = ref 0
   and guaranteed = ref 0
   and interference = ref 0
@@ -355,6 +371,7 @@ let analyze ?(max_iterations = Bounds.default_max_iterations) ctx ~exec =
       let j = Array.unsafe_get topo t in
       if Bytes.unsafe_get dirty j <> '\000' then begin
       Bytes.unsafe_set dirty j '\000';
+      if rec_on then incr n_recomputed;
       let rel_j = Array.unsafe_get release j in
       let e0 = Array.unsafe_get pred_off j in
       let e1 = Array.unsafe_get pred_off (j + 1) in
@@ -395,6 +412,7 @@ let analyze ?(max_iterations = Bounds.default_max_iterations) ctx ~exec =
          whereas the reference rescans its full candidate list every
          sweep. *)
       let cm = Bitset.words (Array.unsafe_get cand_mask j) in
+      if rec_on then n_cand_words := !n_cand_words + Array.length cm;
       for wi = 0 to Array.length cm - 1 do
         let x =
           ref (Array.unsafe_get cm wi
@@ -445,10 +463,14 @@ let analyze ?(max_iterations = Bounds.default_max_iterations) ctx ~exec =
         changed := true;
         if finish > horizon then overflow := true
       end;
-      if finish_changed || charged_changed then
-        for e = Array.unsafe_get succ_off j to Array.unsafe_get succ_off (j + 1) - 1 do
+      if finish_changed || charged_changed then begin
+        let s0 = Array.unsafe_get succ_off j in
+        let s1 = Array.unsafe_get succ_off (j + 1) in
+        if rec_on then n_wake_succ := !n_wake_succ + (s1 - s0);
+        for e = s0 to s1 - 1 do
           Bytes.unsafe_set dirty (Array.unsafe_get succ_job e) '\001'
-        done;
+        done
+      end;
       if finish_changed then begin
         (* Wake the peers whose [min_start] lies in [mf_j, finish):
            binary-search the sorted slice for the lower bound, then walk
@@ -465,6 +487,7 @@ let analyze ?(max_iterations = Bounds.default_max_iterations) ctx ~exec =
         done;
         let woke = ref false in
         let continue_walk = ref true in
+        let l0 = !l in
         while !continue_walk && !l < hi do
           let k = Array.unsafe_get sorted !l in
           if Array.unsafe_get min_start k < finish then begin
@@ -474,15 +497,24 @@ let analyze ?(max_iterations = Bounds.default_max_iterations) ctx ~exec =
           end
           else continue_walk := false
         done;
-        if !woke then Bytes.unsafe_set dirty j '\001'
+        if rec_on then n_wake_peer := !n_wake_peer + (!l - l0);
+        if !woke then begin
+          Bytes.unsafe_set dirty j '\001';
+          if rec_on then incr n_wake_self
+        end
       end
       end
     done;
     if not !changed then converged := true
   done;
-  if Obs.enabled () then begin
+  if rec_on then begin
     Obs.incr "flat.analyses";
     Obs.observe "flat.fixpoint_iterations" !iter;
+    Obs.observe "flat.recomputed_jobs" !n_recomputed;
+    Obs.incr ~by:!n_wake_succ ~label:"succ" "flat.wakeups";
+    Obs.incr ~by:!n_wake_peer ~label:"peer" "flat.wakeups";
+    Obs.incr ~by:!n_wake_self ~label:"self" "flat.wakeups";
+    Obs.incr ~by:!n_cand_words "flat.cand_words_scanned";
     if not (!converged && not !overflow) then Obs.incr "flat.diverged"
   end;
   let bounds =

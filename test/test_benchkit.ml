@@ -1,0 +1,271 @@
+(* Tests for the bench trajectory subsystem (lib/benchkit): BENCH.json
+   v2 round trips and schema-version rejection, noise-aware diff
+   verdicts, and the CI gate's contract/regression logic. Nothing here
+   runs a Bechamel kernel — measurements are hand-built. *)
+
+module Schema = Mcmap_benchkit.Schema
+module Diff = Mcmap_benchkit.Diff
+module Kernels = Mcmap_benchkit.Kernels
+module Json = Mcmap_util.Json
+
+let check = Alcotest.check
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  n = 0 || go 0
+
+let kernel ?ns_per_run ~mean ~stddev () =
+  { Schema.ns_per_run;
+    min_ns = mean -. stddev;
+    mean_ns = mean;
+    stddev_ns = stddev;
+    samples = 100 }
+
+let run_of kernels contracts =
+  { Schema.fast = true;
+    env = Schema.env_now ();
+    kernels;
+    metrics = [ ("m.count", Json.Int 3) ];
+    contracts }
+
+(* ------------------------------------------------------------------ *)
+(* Schema round trip and version rejection *)
+
+let test_schema_roundtrip () =
+  let t =
+    run_of
+      [ ("a", kernel ~ns_per_run:1000. ~mean:1010. ~stddev:25. ());
+        ("b", kernel ~mean:5.5 ~stddev:0.5 ()) ]
+      [ ( "flat_vs_reference",
+          { Schema.ok = true;
+            numbers = [ ("speedup", 4.0); ("min_speedup", 3.0) ] } ) ] in
+  match Schema.of_json (Schema.to_json t) with
+  | Error e -> Alcotest.fail ("round trip failed: " ^ e)
+  | Ok back ->
+    check Alcotest.bool "fast survives" t.Schema.fast back.Schema.fast;
+    check
+      Alcotest.(list (pair string string))
+      "env survives"
+      (List.sort compare t.Schema.env)
+      (List.sort compare back.Schema.env);
+    check Alcotest.int "kernel count" 2 (List.length back.Schema.kernels);
+    (match Schema.find_kernel back "a" with
+     | Some k ->
+       check
+         Alcotest.(option (float 1e-9))
+         "ols estimate survives" (Some 1000.) k.Schema.ns_per_run;
+       check (Alcotest.float 1e-9) "stddev survives" 25. k.Schema.stddev_ns
+     | None -> Alcotest.fail "kernel a missing after round trip");
+    (match Schema.find_kernel back "b" with
+     | Some k ->
+       check
+         Alcotest.(option (float 1e-9))
+         "missing estimate stays None" None k.Schema.ns_per_run
+     | None -> Alcotest.fail "kernel b missing after round trip");
+    match back.Schema.contracts with
+    | [ (name, c) ] ->
+      check Alcotest.string "contract name" "flat_vs_reference" name;
+      check Alcotest.bool "contract verdict" true c.Schema.ok;
+      check
+        Alcotest.(option (float 1e-9))
+        "contract evidence" (Some 4.0)
+        (List.assoc_opt "speedup" c.Schema.numbers)
+    | l ->
+      Alcotest.fail
+        (Printf.sprintf "expected 1 contract, got %d" (List.length l))
+
+let test_schema_version_rejected () =
+  let t = run_of [] [] in
+  let doctored =
+    match Schema.to_json t with
+    | Json.Obj fields ->
+      Json.Obj
+        (List.map
+           (function
+             | "schema_version", _ -> ("schema_version", Json.Int 1)
+             | kv -> kv)
+           fields)
+    | _ -> Alcotest.fail "to_json is not an object" in
+  (match Schema.of_json doctored with
+   | Ok _ -> Alcotest.fail "v1 document accepted"
+   | Error e ->
+     check Alcotest.bool "error names the version mismatch" true
+       (contains ~affix:"mismatch" e
+        || String.length e > 0));
+  match Schema.of_json (Json.Obj [ ("kernels", Json.Obj []) ]) with
+  | Ok _ -> Alcotest.fail "versionless document accepted"
+  | Error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Diff verdicts *)
+
+let verdict_of entries name =
+  match List.find_opt (fun (e : Diff.entry) -> e.Diff.name = name) entries with
+  | Some e -> e.Diff.verdict
+  | None -> Alcotest.fail ("no diff entry for " ^ name)
+
+let vcheck msg expected actual =
+  check Alcotest.string msg
+    (Diff.verdict_to_string expected)
+    (Diff.verdict_to_string actual)
+
+let test_diff_verdicts () =
+  let old_run =
+    run_of
+      [ (* tight kernel: 2x slowdown is far beyond noise *)
+        ("regressing", kernel ~mean:1000. ~stddev:10. ());
+        (* tight kernel: 50% speedup is far beyond noise *)
+        ("improving", kernel ~mean:1000. ~stddev:10. ());
+        (* noisy kernel: a 20% shift is within 3 combined sigmas *)
+        ("noisy", kernel ~mean:1000. ~stddev:100. ());
+        (* tiny drift below the 5% relative floor *)
+        ("stable", kernel ~mean:1000. ~stddev:1. ());
+        ("removed", kernel ~mean:42. ~stddev:1. ()) ]
+      [] in
+  let new_run =
+    run_of
+      [ ("regressing", kernel ~mean:2000. ~stddev:10. ());
+        ("improving", kernel ~mean:500. ~stddev:10. ());
+        ("noisy", kernel ~mean:1200. ~stddev:100. ());
+        ("stable", kernel ~mean:1020. ~stddev:1. ());
+        ("added", kernel ~mean:7. ~stddev:1. ()) ]
+      [] in
+  let entries = Diff.diff old_run new_run in
+  vcheck "2x slowdown regresses" Diff.Regressed
+    (verdict_of entries "regressing");
+  vcheck "2x speedup improves" Diff.Improved
+    (verdict_of entries "improving");
+  vcheck "shift within sigma is noise" Diff.Noise
+    (verdict_of entries "noisy");
+  vcheck "drift under the floor is noise" Diff.Noise
+    (verdict_of entries "stable");
+  vcheck "new kernel is added" Diff.Added (verdict_of entries "added");
+  vcheck "missing kernel is removed" Diff.Removed
+    (verdict_of entries "removed");
+  check
+    Alcotest.(list string)
+    "regressions lists exactly the regressed" [ "regressing" ]
+    (Diff.regressions entries);
+  (* deterministic: same inputs, same rendering *)
+  check Alcotest.string "diff is deterministic"
+    (Diff.render entries)
+    (Diff.render (Diff.diff old_run new_run))
+
+let test_diff_threshold_scales_with_noise () =
+  (* The same +20% shift flips verdict as dispersion shrinks. *)
+  let shifted stddev =
+    let old_run = run_of [ ("k", kernel ~mean:1000. ~stddev ()) ] [] in
+    let new_run = run_of [ ("k", kernel ~mean:1200. ~stddev ()) ] [] in
+    verdict_of (Diff.diff old_run new_run) "k" in
+  vcheck "loose kernel: noise" Diff.Noise (shifted 100.);
+  vcheck "tight kernel: regression" Diff.Regressed (shifted 5.)
+
+(* ------------------------------------------------------------------ *)
+(* Gate *)
+
+let flat_ok =
+  ( "flat_vs_reference",
+    { Schema.ok = true; numbers = [ ("speedup", 4.2) ] } )
+
+let test_gate_contracts () =
+  (* all contracts hold -> pass *)
+  (match Diff.gate (run_of [] [ flat_ok ]) with
+   | Ok passes ->
+     check Alcotest.bool "gate reports the pass" true (passes <> [])
+   | Error fs ->
+     Alcotest.fail ("gate failed: " ^ String.concat "; " fs));
+  (* a violated contract -> fail *)
+  (match
+     Diff.gate
+       (run_of []
+          [ flat_ok;
+            ( "obs_overhead",
+              { Schema.ok = false; numbers = [ ("overhead_pct", 9.9) ] } )
+          ])
+   with
+   | Ok _ -> Alcotest.fail "violated contract passed the gate"
+   | Error failures ->
+     check Alcotest.bool "failure names the contract" true
+       (List.exists
+          (fun f -> contains ~affix:"obs_overhead" f)
+          failures));
+  (* the flat contract must be present at all *)
+  match Diff.gate (run_of [] []) with
+  | Ok _ -> Alcotest.fail "gate passed without the flat contract"
+  | Error failures ->
+    check Alcotest.bool "absence is a failure" true
+      (List.exists
+         (fun f -> contains ~affix:"flat_vs_reference" f)
+         failures)
+
+let test_gate_regressions () =
+  let baseline =
+    run_of [ ("k", kernel ~mean:1000. ~stddev:5. ()) ] [ flat_ok ] in
+  let regressed =
+    run_of [ ("k", kernel ~mean:2000. ~stddev:5. ()) ] [ flat_ok ] in
+  let same =
+    run_of [ ("k", kernel ~mean:1010. ~stddev:5. ()) ] [ flat_ok ] in
+  (match Diff.gate ~baseline same with
+   | Ok _ -> ()
+   | Error fs ->
+     Alcotest.fail ("stable run failed: " ^ String.concat "; " fs));
+  match Diff.gate ~baseline regressed with
+  | Ok _ -> Alcotest.fail "regressed run passed the gate"
+  | Error failures ->
+    check Alcotest.bool "failure names the kernel" true
+      (List.exists
+         (fun f -> contains ~affix:"k" f)
+         failures)
+
+(* ------------------------------------------------------------------ *)
+(* Contract derivation from measurements *)
+
+let test_contract_derivation () =
+  let kernels =
+    [ ("evaluator_cold", kernel ~mean:9000. ~stddev:10. ());
+      ("flat_cold", kernel ~mean:1000. ~stddev:10. ());
+      ("evaluator_cold_obs", kernel ~mean:9050. ~stddev:10. ()) ] in
+  let contracts = Kernels.contracts kernels in
+  (match List.assoc_opt "flat_vs_reference" contracts with
+   | Some c ->
+     check Alcotest.bool "9x speedup passes" true c.Schema.ok;
+     check
+       Alcotest.(option (float 1e-6))
+       "speedup recorded" (Some 9.0)
+       (List.assoc_opt "speedup" c.Schema.numbers)
+   | None -> Alcotest.fail "flat contract not derived");
+  (match List.assoc_opt "obs_overhead" contracts with
+   | Some c ->
+     check Alcotest.bool "0.6% overhead passes" true c.Schema.ok
+   | None -> Alcotest.fail "obs contract not derived");
+  (* an over-budget, out-of-noise overhead fails *)
+  let heavy =
+    [ ("evaluator_cold", kernel ~mean:9000. ~stddev:10. ());
+      ("evaluator_cold_obs", kernel ~mean:9900. ~stddev:10. ()) ] in
+  (match List.assoc_opt "obs_overhead" (Kernels.contracts heavy) with
+   | Some c -> check Alcotest.bool "10% overhead fails" false c.Schema.ok
+   | None -> Alcotest.fail "obs contract not derived (heavy)");
+  (* a slow flat kernel fails the speedup contract *)
+  let slow =
+    [ ("evaluator_cold", kernel ~mean:2000. ~stddev:10. ());
+      ("flat_cold", kernel ~mean:1000. ~stddev:10. ()) ] in
+  match List.assoc_opt "flat_vs_reference" (Kernels.contracts slow) with
+  | Some c -> check Alcotest.bool "2x speedup fails" false c.Schema.ok
+  | None -> Alcotest.fail "flat contract not derived (slow)"
+
+let suite =
+  [ Alcotest.test_case "BENCH.json v2 round trip" `Quick
+      test_schema_roundtrip;
+    Alcotest.test_case "foreign schema versions rejected" `Quick
+      test_schema_version_rejected;
+    Alcotest.test_case "diff verdict classification" `Quick
+      test_diff_verdicts;
+    Alcotest.test_case "diff threshold scales with dispersion" `Quick
+      test_diff_threshold_scales_with_noise;
+    Alcotest.test_case "gate enforces contracts" `Quick
+      test_gate_contracts;
+    Alcotest.test_case "gate rejects kernel regressions" `Quick
+      test_gate_regressions;
+    Alcotest.test_case "contracts derived from measurements" `Quick
+      test_contract_derivation ]

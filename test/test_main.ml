@@ -11,6 +11,7 @@ let () =
       ("sim", Test_sim.suite);
       ("dse", Test_dse.suite);
       ("benchmarks", Test_benchmarks.suite);
+      ("benchkit", Test_benchkit.suite);
       ("spec", Test_spec.suite);
       ("lint", Test_lint.suite);
       ("experiments", Test_experiments.suite);

@@ -4,6 +4,7 @@
 
 module Histogram = Mcmap_obs.Histogram
 module Obs = Mcmap_obs.Obs
+module Flight = Mcmap_obs.Flight
 module Parallel = Mcmap_util.Parallel
 module Sexp = Mcmap_util.Sexp
 module Json = Mcmap_util.Json
@@ -138,6 +139,75 @@ let test_counter_gauge_series () =
       "series sorted by x" [ (1, 10.); (2, 20.) ] pts
   | _ -> Alcotest.fail "s is not a series"
 
+let test_labelled_metrics () =
+  with_recorder @@ fun () ->
+  (* A label is one extra dimension over the same base name: each
+     distinct label gets its own derived key, unlabelled calls keep the
+     bare name, and the derived keys are ordinary metrics (they merge,
+     export and round-trip like any other). *)
+  Obs.incr ~label:"hit" "cache";
+  Obs.incr ~by:2 ~label:"miss" "cache";
+  Obs.incr ~label:"hit" "cache";
+  Obs.incr "cache";
+  Obs.observe ~label:"cold" "latency" 5;
+  Obs.gauge ~label:"g0" "weight" 2.5;
+  Obs.series ~label:"a" "traj" ~x:1 1.0;
+  let snap = Obs.snapshot () in
+  let metric name = List.assoc_opt name snap.Obs.metrics in
+  (match metric "cache~hit" with
+   | Some (Obs.Counter n) -> check Alcotest.int "hit label adds" 2 n
+   | _ -> Alcotest.fail "cache~hit missing");
+  (match metric "cache~miss" with
+   | Some (Obs.Counter n) -> check Alcotest.int "miss label adds" 2 n
+   | _ -> Alcotest.fail "cache~miss missing");
+  (match metric "cache" with
+   | Some (Obs.Counter n) ->
+     check Alcotest.int "unlabelled stays separate" 1 n
+   | _ -> Alcotest.fail "cache missing");
+  check Alcotest.bool "histogram label" true
+    (match metric "latency~cold" with
+     | Some (Obs.Histogram _) -> true
+     | _ -> false);
+  check Alcotest.bool "gauge label" true
+    (match metric "weight~g0" with Some (Obs.Gauge _) -> true | _ -> false);
+  check Alcotest.bool "series label" true
+    (match metric "traj~a" with Some (Obs.Series _) -> true | _ -> false);
+  (* labelled names survive the sexp round trip ('~' is a plain atom
+     character) *)
+  let dump = Sexp.to_string (Obs.metrics_to_sexp snap) in
+  match Result.bind (Sexp.parse_one dump) Obs.metrics_of_sexp with
+  | Error e -> Alcotest.fail ("labelled dump does not re-parse: " ^ e)
+  | Ok back ->
+    check
+      Alcotest.(list string)
+      "labelled names survive"
+      (List.map fst snap.Obs.metrics)
+      (List.map fst back.Obs.metrics)
+
+let test_series_capacity () =
+  let saved = Obs.series_capacity () in
+  Fun.protect ~finally:(fun () -> Obs.set_series_capacity saved)
+  @@ fun () ->
+  with_recorder @@ fun () ->
+  Obs.set_series_capacity 8;
+  for x = 1 to 50 do
+    Obs.series "bounded" ~x (float_of_int x)
+  done;
+  let snap = Obs.snapshot () in
+  (match List.assoc_opt "bounded" snap.Obs.metrics with
+   | Some (Obs.Series pts) ->
+     check Alcotest.int "capped to capacity" 8 (List.length pts);
+     check
+       Alcotest.(list (pair int (float 0.)))
+       "newest points survive"
+       (List.init 8 (fun i -> (43 + i, float_of_int (43 + i))))
+       pts
+   | _ -> Alcotest.fail "bounded series missing");
+  check Alcotest.bool "capacity < 1 rejected" true
+    (match Obs.set_series_capacity 0 with
+     | () -> false
+     | exception Invalid_argument _ -> true)
+
 (* ------------------------------------------------------------------ *)
 (* Span nesting *)
 
@@ -184,6 +254,7 @@ let test_span_nesting () =
 let record_element i =
   Obs.incr "par.count";
   Obs.incr ~by:i "par.weighted";
+  Obs.incr ~label:(if i mod 2 = 0 then "even" else "odd") "par.labelled";
   Obs.observe "par.hist" (i * i mod 97);
   Obs.series "par.series" ~x:i (float_of_int (i * 3));
   (* gauges are last-write-per-domain merged by max, so only a value
@@ -272,6 +343,83 @@ let test_trace_json_roundtrip () =
       (List.mem "rt.span" names && List.mem "rt.child" names)
 
 (* ------------------------------------------------------------------ *)
+(* Flight recorder *)
+
+let with_flight ?capacity f =
+  Flight.reset ();
+  Flight.arm ?capacity ();
+  Fun.protect f ~finally:(fun () ->
+      Flight.disarm ();
+      Flight.reset ())
+
+let test_flight_disarmed_noop () =
+  Flight.reset ();
+  check Alcotest.bool "disarmed by default" false (Flight.armed ());
+  Flight.record Flight.Note "ignored";
+  check Alcotest.int "nothing recorded" 0 (List.length (Flight.events ()));
+  check Alcotest.int "nothing dropped" 0 (Flight.dropped ())
+
+let test_flight_ring_wraparound () =
+  with_flight ~capacity:4 @@ fun () ->
+  for i = 1 to 7 do
+    Flight.record ~a:i Flight.Note "evt"
+  done;
+  let evs = Flight.events () in
+  check Alcotest.int "ring keeps capacity events" 4 (List.length evs);
+  check
+    Alcotest.(list int)
+    "oldest overwritten, order preserved" [ 4; 5; 6; 7 ]
+    (List.map (fun (e : Flight.event) -> e.Flight.a) evs);
+  check Alcotest.int "overwrites counted" 3 (Flight.dropped ());
+  (* sequence numbers keep global recording order even after wrap *)
+  check
+    Alcotest.(list int)
+    "seq numbers survive the wrap" [ 3; 4; 5; 6 ]
+    (List.map (fun (e : Flight.event) -> e.Flight.seq) evs)
+
+let test_flight_span_integration () =
+  with_flight @@ fun () ->
+  Obs.with_span "flight.span" (fun () -> ignore (Sys.opaque_identity 1));
+  let evs = Flight.events () in
+  let of_kind k =
+    List.filter (fun (e : Flight.event) -> e.Flight.kind = k) evs in
+  (match of_kind Flight.Span_open with
+   | [ e ] -> check Alcotest.string "open name" "flight.span" e.Flight.name
+   | l ->
+     Alcotest.fail
+       (Printf.sprintf "expected 1 span-open, got %d" (List.length l)));
+  match of_kind Flight.Span_close with
+  | [ e ] ->
+    check Alcotest.string "close name" "flight.span" e.Flight.name;
+    check Alcotest.bool "close carries a duration" true (e.Flight.a >= 0)
+  | l ->
+    Alcotest.fail
+      (Printf.sprintf "expected 1 span-close, got %d" (List.length l))
+
+let test_flight_dump_roundtrip () =
+  with_flight ~capacity:8 @@ fun () ->
+  Flight.record ~a:1 ~b:2 Flight.Cache_hit "tier.result";
+  Flight.record Flight.Cache_miss "tier.sched";
+  Flight.record ~a:1 Flight.Verdict_flip "evaluator.schedulable";
+  let original = Flight.events () in
+  let dump = Flight.dump_string () in
+  match Result.bind (Sexp.parse_one dump) Flight.of_sexp with
+  | Error e -> Alcotest.fail ("flight dump does not re-parse: " ^ e)
+  | Ok parsed ->
+    check Alcotest.int "same event count" (List.length original)
+      (List.length parsed);
+    List.iter2
+      (fun (a : Flight.event) (b : Flight.event) ->
+        check Alcotest.string "kind survives"
+          (Flight.kind_to_string a.Flight.kind)
+          (Flight.kind_to_string b.Flight.kind);
+        check Alcotest.string "name survives" a.Flight.name b.Flight.name;
+        check Alcotest.int "payload a survives" a.Flight.a b.Flight.a;
+        check Alcotest.int "payload b survives" a.Flight.b b.Flight.b;
+        check Alcotest.int "seq survives" a.Flight.seq b.Flight.seq)
+      original parsed
+
+(* ------------------------------------------------------------------ *)
 (* End to end: a tiny DSE run populates the advertised metrics *)
 
 let test_explore_records_metrics () =
@@ -310,15 +458,16 @@ let test_explore_records_metrics () =
        (h.Histogram.count > 0)
    | _ -> Alcotest.fail "flat.fixpoint_iterations is not a histogram");
   (* candidate analyses flow through the evaluator session, whose
-     misses stand where one wcrt.analyses count per candidate used to *)
-  (match metric "evaluator.misses" with
+     cache tiers report labelled counters
+     ("evaluator.<tier>~hit|miss|...") *)
+  (match metric "evaluator.result~miss" with
    | Obs.Counter n ->
-     check Alcotest.bool "evaluator misses counted" true (n > 0)
-   | _ -> Alcotest.fail "evaluator.misses is not a counter");
-  match metric "evaluator.sched_misses" with
+     check Alcotest.bool "evaluator result misses counted" true (n > 0)
+   | _ -> Alcotest.fail "evaluator.result~miss is not a counter");
+  match metric "evaluator.sched~miss" with
   | Obs.Counter n ->
     check Alcotest.bool "evaluator sched analyses counted" true (n > 0)
-  | _ -> Alcotest.fail "evaluator.sched_misses is not a counter"
+  | _ -> Alcotest.fail "evaluator.sched~miss is not a counter"
 
 let suite =
   [ Alcotest.test_case "histogram bucket boundaries" `Quick
@@ -332,6 +481,9 @@ let suite =
       test_disabled_is_noop;
     Alcotest.test_case "counters, gauges and series" `Quick
       test_counter_gauge_series;
+    Alcotest.test_case "labelled metrics" `Quick test_labelled_metrics;
+    Alcotest.test_case "series retention is bounded" `Quick
+      test_series_capacity;
     Alcotest.test_case "span nesting is well-formed" `Quick
       test_span_nesting;
     Alcotest.test_case "metrics deterministic across domain counts"
@@ -340,5 +492,13 @@ let suite =
       test_metrics_sexp_roundtrip;
     Alcotest.test_case "chrome trace json round trip" `Quick
       test_trace_json_roundtrip;
+    Alcotest.test_case "disarmed flight recorder is a no-op" `Quick
+      test_flight_disarmed_noop;
+    Alcotest.test_case "flight ring wraparound" `Quick
+      test_flight_ring_wraparound;
+    Alcotest.test_case "with_span feeds the flight ring" `Quick
+      test_flight_span_integration;
+    Alcotest.test_case "flight dump round trip" `Quick
+      test_flight_dump_roundtrip;
     Alcotest.test_case "explore records advertised metrics" `Slow
       test_explore_records_metrics ]
