@@ -17,6 +17,8 @@ module Histogram = Mcmap_obs.Histogram
 module K = Mcmap_benchkit.Kernels
 module Bschema = Mcmap_benchkit.Schema
 module Bdiff = Mcmap_benchkit.Diff
+module Bloadgen = Mcmap_benchkit.Loadgen
+module Sv = Mcmap_serve
 module Sexp = Mcmap_util.Sexp
 module Texttable = Mcmap_util.Texttable
 
@@ -681,15 +683,7 @@ let campaign_cmd =
 
 let float_cell = Printf.sprintf "%.4g"
 
-let stats_run file =
-  let input = In_channel.with_open_text file In_channel.input_all in
-  let parsed =
-    Result.bind (Sexp.parse_one input) Obs.metrics_of_sexp in
-  match parsed with
-  | Error e ->
-    prerr_endline (file ^ ": " ^ e);
-    1
-  | Ok snapshot ->
+let render_metrics_snapshot snapshot =
     let counters, gauges, histograms, serieses =
       List.fold_left
         (fun (cs, gs, hs, ss) (name, metric) ->
@@ -750,16 +744,287 @@ let stats_run file =
     if snapshot.Obs.metrics = [] then print_endline "(empty metrics dump)";
     0
 
+let stats_run file =
+  let input = In_channel.with_open_text file In_channel.input_all in
+  match Result.bind (Sexp.parse_one input) Obs.metrics_of_sexp with
+  | Error e -> prerr_endline (file ^ ": " ^ e); 1
+  | Ok snapshot -> render_metrics_snapshot snapshot
+
+(* ------------------------------------------------------------------ *)
+(* serve: the persistent analysis daemon, and its client *)
+
+let connect_arg =
+  Arg.(value & opt (some string) None
+       & info [ "connect" ] ~docv:"ADDR"
+           ~doc:"Server address: a Unix-domain socket path, or \
+                 $(b,HOST:PORT) for TCP.")
+
+let new_request c deadline_ms no_lint body =
+  { Sv.Protocol.id = Sv.Client.fresh_id c; deadline_ms; no_lint; body }
+
+(* Connect, run [f] over the connection, close. *)
+let with_client addr_str f =
+  match Sv.Protocol.parse_addr addr_str with
+  | Error e -> prerr_endline e; 2
+  | Ok addr ->
+    (match Sv.Client.connect addr with
+     | Error e -> prerr_endline e; 2
+     | Ok c -> Fun.protect ~finally:(fun () -> Sv.Client.close c)
+                 (fun () -> f c))
+
+let live_stats_snapshot c =
+  match
+    Sv.Client.call c
+      (new_request c None true Sv.Protocol.Stats)
+  with
+  | Ok { Sv.Protocol.r_body = Sv.Protocol.Stats_snapshot s; _ } ->
+    Obs.metrics_of_sexp s
+  | Ok _ -> Error "unexpected response to stats"
+  | Error _ as e -> e
+
+let serve_run listen workers queue pool session_domains max_frame
+    max_population deadline_ms trace metrics flight =
+  with_obs trace metrics flight @@ fun () ->
+  match Sv.Protocol.parse_addr listen with
+  | Error e -> prerr_endline e; 2
+  | Ok addr ->
+    let cfg =
+      { (Sv.Server.default_config addr) with
+        Sv.Server.workers;
+        queue_capacity = queue;
+        pool_capacity = pool;
+        session_domains;
+        max_frame;
+        max_population;
+        default_deadline_ms = deadline_ms;
+        handle_signals = true } in
+    (try
+       Sv.Server.run
+         ~on_ready:(fun a ->
+           Printf.printf
+             "mcmap serve: listening on %s (%d workers, queue %d, \
+              pool %d)\n%!"
+             (Sv.Protocol.addr_to_string a) workers queue pool)
+         cfg;
+       print_endline "mcmap serve: shut down cleanly";
+       0
+     with Unix.Unix_error (err, fn, arg) ->
+       Printf.eprintf "mcmap serve: %s %s: %s\n%!" fn arg
+         (Unix.error_message err);
+       1)
+
+let serve_cmd =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the persistent analysis daemon: a socket server sharing \
+          one warm evaluator-session pool across all clients, with \
+          lint gating on ingest, a bounded work queue with per-request \
+          deadlines, and live metrics served over the protocol \
+          (DESIGN.md section 14)")
+    Term.(const serve_run
+          $ Arg.(value & opt string "mcmap.sock"
+                 & info [ "listen" ] ~docv:"ADDR"
+                     ~doc:"Address to listen on: a Unix-domain socket \
+                           path, or $(b,HOST:PORT) for TCP (port 0 \
+                           picks an ephemeral port, printed on \
+                           startup).")
+          $ Arg.(value & opt int 4
+                 & info [ "workers" ]
+                     ~doc:"Worker domains evaluating requests.")
+          $ Arg.(value & opt int 64
+                 & info [ "queue" ]
+                     ~doc:"Work-queue bound; further requests are \
+                           rejected, not blocked.")
+          $ Arg.(value & opt int 8
+                 & info [ "pool" ]
+                     ~doc:"Evaluator sessions kept warm (LRU beyond \
+                           this).")
+          $ Arg.(value & opt int 1
+                 & info [ "session-domains" ]
+                     ~doc:"Domains per pooled session's population \
+                           fan-out.")
+          $ Arg.(value & opt int Mcmap_util.Wire.default_max_frame
+                 & info [ "max-frame" ] ~docv:"BYTES"
+                     ~doc:"Largest accepted request frame.")
+          $ Arg.(value & opt int 4096
+                 & info [ "max-population" ]
+                     ~doc:"Largest accepted eval-population request.")
+          $ Arg.(value & opt (some int) None
+                 & info [ "deadline-ms" ] ~docv:"MS"
+                     ~doc:"Default queue deadline applied to requests \
+                           that carry none.")
+          $ trace_arg $ metrics_arg $ flight_arg)
+
+let client_system_forms bench_name system_file =
+  match system_file with
+  | Some path ->
+    Result.bind (Spec.read_file path) Sexp.parse
+  | None ->
+    (match find_benchmark bench_name with
+     | Error _ as e -> e
+     | Ok b ->
+       Sexp.parse
+         (Spec.write_system
+            { Spec.arch = b.B.Benchmark.arch;
+              apps = b.B.Benchmark.apps }))
+
+let client_plan_form path =
+  Result.bind (Spec.read_file path) Sexp.parse_one
+
+let print_analysis (a : Sv.Protocol.analysis) =
+  Printf.printf
+    "power: %.6g\nservice: %.6g\nschedulable: %b\nreliable: %b\n\
+     violation: %.6g\nrescued: %b\n"
+    a.Sv.Protocol.a_power a.Sv.Protocol.a_service
+    a.Sv.Protocol.a_schedulable a.Sv.Protocol.a_reliable
+    a.Sv.Protocol.a_violation a.Sv.Protocol.a_rescued
+
+let client_call c deadline_ms no_lint body on_ok =
+  match Sv.Client.call c (new_request c deadline_ms no_lint body) with
+  | Error e -> prerr_endline e; 2
+  | Ok { Sv.Protocol.r_body = Sv.Protocol.Rejected reason; _ } ->
+    prerr_endline ("rejected: " ^ reason); 3
+  | Ok { Sv.Protocol.r_body = Sv.Protocol.Error_response msg; _ } ->
+    prerr_endline ("error: " ^ msg); 1
+  | Ok resp -> on_ok resp.Sv.Protocol.r_body
+
+let client_run action addr_str bench_name system_file plan_files
+    deadline_ms no_lint =
+  match addr_str with
+  | None -> prerr_endline "client needs --connect ADDR"; 2
+  | Some addr_str ->
+    with_client addr_str @@ fun c ->
+    let unexpected _ = prerr_endline "unexpected response"; 1 in
+    let with_system k =
+      match client_system_forms bench_name system_file with
+      | Error e -> prerr_endline e; 2
+      | Ok forms -> k forms in
+    let with_plans k =
+      let rec load acc = function
+        | [] -> Ok (List.rev acc)
+        | p :: rest ->
+          (match client_plan_form p with
+           | Error e -> Error (p ^ ": " ^ e)
+           | Ok f -> load (f :: acc) rest) in
+      match load [] plan_files with
+      | Error e -> prerr_endline e; 2
+      | Ok forms -> k forms in
+    (match action with
+     | `Ping ->
+       client_call c deadline_ms no_lint Sv.Protocol.Ping (function
+         | Sv.Protocol.Pong -> print_endline "pong"; 0
+         | other -> unexpected other)
+     | `Stats ->
+       (match live_stats_snapshot c with
+        | Error e -> prerr_endline e; 1
+        | Ok snapshot -> render_metrics_snapshot snapshot)
+     | `Shutdown ->
+       client_call c deadline_ms no_lint Sv.Protocol.Shutdown (function
+         | Sv.Protocol.Shutting_down ->
+           print_endline "server shutting down"; 0
+         | other -> unexpected other)
+     | `Analyze ->
+       with_system @@ fun system ->
+       with_plans @@ fun plans ->
+       let plan = match plans with [] -> None | p :: _ -> Some p in
+       client_call c deadline_ms no_lint
+         (Sv.Protocol.Analyze { system; plan })
+         (function
+           | Sv.Protocol.Analysis a -> print_analysis a; 0
+           | other -> unexpected other)
+     | `Lint ->
+       with_system @@ fun system ->
+       with_plans @@ fun plans ->
+       let plan = match plans with [] -> None | p :: _ -> Some p in
+       client_call c deadline_ms no_lint
+         (Sv.Protocol.Lint_request { system; plan })
+         (function
+           | Sv.Protocol.Lint_report { errors; diags } ->
+             List.iter
+               (fun d ->
+                 Printf.printf "%s[%s]: %s\n"
+                   d.Sv.Protocol.d_severity d.Sv.Protocol.d_code
+                   d.Sv.Protocol.d_message)
+               diags;
+             Printf.printf "%d diagnostics, %d errors\n"
+               (List.length diags) errors;
+             if errors > 0 then 1 else 0
+           | other -> unexpected other)
+     | `Eval_population ->
+       with_system @@ fun system ->
+       with_plans @@ fun plans ->
+       client_call c deadline_ms no_lint
+         (Sv.Protocol.Eval_population { system; plans })
+         (function
+           | Sv.Protocol.Population results ->
+             Array.iteri
+               (fun i (a : Sv.Protocol.analysis) ->
+                 Printf.printf
+                   "[%d] power %.6g service %.6g feasible %b\n" i
+                   a.Sv.Protocol.a_power a.Sv.Protocol.a_service
+                   (a.Sv.Protocol.a_schedulable
+                   && a.Sv.Protocol.a_reliable))
+               results;
+             0
+           | other -> unexpected other))
+
+let client_cmd =
+  let action_arg =
+    Arg.(required
+         & pos 0
+             (some
+                (enum
+                   [ ("ping", `Ping); ("stats", `Stats);
+                     ("analyze", `Analyze); ("lint", `Lint);
+                     ("eval-population", `Eval_population);
+                     ("shutdown", `Shutdown) ]))
+             None
+         & info [] ~docv:"ACTION"
+             ~doc:"One of $(b,ping), $(b,stats), $(b,analyze), \
+                   $(b,lint), $(b,eval-population), $(b,shutdown).") in
+  let plans_arg =
+    Arg.(value & opt_all file []
+         & info [ "plan" ] ~docv:"FILE"
+             ~doc:"Plan file; repeatable for eval-population. Without \
+                   one, analyze asks the server for its balanced seed \
+                   plan.") in
+  let deadline_arg =
+    Arg.(value & opt (some int) None
+         & info [ "deadline-ms" ] ~docv:"MS"
+             ~doc:"Give up if the request waits longer than $(docv) in \
+                   the server queue.") in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Talk to a running mcmap serve daemon: health checks, live \
+          metrics, remote analyses and orderly shutdown")
+    Term.(const client_run $ action_arg $ connect_arg $ bench_arg
+          $ system_arg $ plans_arg $ deadline_arg $ no_lint_arg)
+
 let stats_cmd =
+  let run file connect =
+    match connect, file with
+    | Some addr_str, _ ->
+      with_client addr_str @@ fun c ->
+      (match live_stats_snapshot c with
+       | Error e -> prerr_endline e; 1
+       | Ok snapshot -> render_metrics_snapshot snapshot)
+    | None, Some f -> stats_run f
+    | None, None ->
+      prerr_endline "stats needs a FILE or --connect ADDR";
+      2 in
   Cmd.v
     (Cmd.info "stats"
        ~doc:
          "Pretty-print a metrics dump produced by --metrics (counters, \
-          gauges, histograms with approximate quantiles, and series)")
-    Term.(const stats_run
-          $ Arg.(required & pos 0 (some file) None
+          gauges, histograms with approximate quantiles, and series), \
+          or fetch a live server's snapshot with --connect")
+    Term.(const run
+          $ Arg.(value & pos 0 (some file) None
                  & info [] ~docv:"FILE"
-                     ~doc:"Metrics dump written by a --metrics run."))
+                     ~doc:"Metrics dump written by a --metrics run.")
+          $ connect_arg)
 
 (* ------------------------------------------------------------------ *)
 (* lint: static semantic analysis of system/plan files *)
@@ -936,13 +1201,110 @@ let bench_gate_cmd =
                  & info [ "baseline" ] ~docv:"FILE"
                      ~doc:"Baseline BENCH.json for regression checks."))
 
+(* [mcmap bench serve]: the load generator. Serve kernels MERGE into an
+   existing BENCH.json (when one parses) instead of replacing it — the
+   gate requires the suite's contracts, so a serve-only file would
+   regress CI. *)
+let bench_serve_cmd =
+  let start_local_server f =
+    let path =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "mcmap-bench-%d.sock" (Unix.getpid ())) in
+    (try Unix.unlink path with Unix.Unix_error _ -> ());
+    let addr = Sv.Protocol.Unix_sock path in
+    let ready = Atomic.make false in
+    let server =
+      Domain.spawn (fun () ->
+          Sv.Server.run
+            ~on_ready:(fun _ -> Atomic.set ready true)
+            (Sv.Server.default_config addr)) in
+    let rec await n =
+      if Atomic.get ready then ()
+      else if n > 5000 then failwith "local bench server did not start"
+      else (Unix.sleepf 0.001; await (n + 1)) in
+    await 0;
+    let result = f addr in
+    (match Sv.Client.connect addr with
+     | Ok c ->
+       ignore
+         (Sv.Client.call c
+            { Sv.Protocol.id = 1; deadline_ms = None; no_lint = true;
+              body = Sv.Protocol.Shutdown });
+       Sv.Client.close c
+     | Error _ -> ());
+    Domain.join server;
+    result in
+  let run connect clients requests plans bench_name out =
+    let load addr =
+      Bloadgen.run ~clients ~requests ~distinct_plans:plans
+        ~bench:bench_name ~addr () in
+    let result =
+      match connect with
+      | Some addr_str ->
+        Result.bind (Sv.Protocol.parse_addr addr_str) load
+      | None -> start_local_server load in
+    match result with
+    | Error e -> prerr_endline e; 2
+    | Ok r ->
+      let serve_kernels = Bloadgen.kernels r in
+      let base =
+        match Bschema.read out with
+        | Ok b -> b
+        | Error _ ->
+          { Bschema.fast = K.fast_requested ();
+            env = Bschema.env_now (); kernels = []; metrics = [];
+            contracts = [] } in
+      let kernels =
+        List.sort
+          (fun (a, _) (b, _) -> String.compare a b)
+          (List.filter
+             (fun (n, _) -> not (List.mem_assoc n serve_kernels))
+             base.Bschema.kernels
+          @ serve_kernels) in
+      Bschema.write out { base with Bschema.kernels };
+      let wall_s = Int64.to_float r.Bloadgen.wall_ns /. 1e9 in
+      Printf.printf
+        "serve load: %d requests in %.2fs (%.0f req/s), %d rejected, \
+         %d errors\n"
+        r.Bloadgen.requests wall_s
+        (if wall_s > 0. then float_of_int r.Bloadgen.requests /. wall_s
+         else 0.)
+        r.Bloadgen.rejected r.Bloadgen.errors;
+      List.iter
+        (fun (name, k) ->
+          match k.Bschema.ns_per_run with
+          | Some ns -> Printf.printf "%-28s %12.0f ns\n" name ns
+          | None -> ())
+        serve_kernels;
+      Printf.printf "serve kernels merged into %s\n%!" out;
+      if r.Bloadgen.errors > 0 || r.Bloadgen.requests = 0 then 1 else 0 in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Load-test a serve daemon (N client domains x M requests over \
+          a real socket) and merge throughput and latency kernels into \
+          BENCH.json; without --connect a private server is started in \
+          process for the duration")
+    Term.(const run $ connect_arg
+          $ Arg.(value & opt int 4
+                 & info [ "clients" ] ~doc:"Concurrent client domains.")
+          $ Arg.(value & opt int 50
+                 & info [ "requests" ] ~doc:"Requests per client.")
+          $ Arg.(value & opt int 8
+                 & info [ "plans" ]
+                     ~doc:"Distinct seeded plans cycled through the \
+                           request schedule.")
+          $ bench_arg $ bench_out_arg)
+
 let bench_cmd =
   Cmd.group
     (Cmd.info "bench"
        ~doc:
          "Kernel micro-benchmarks: run the suite, diff two runs with \
-          noise-aware verdicts, gate CI on the performance contracts")
-    [ bench_run_cmd; bench_diff_cmd; bench_gate_cmd ]
+          noise-aware verdicts, gate CI on the performance contracts, \
+          load-test the serve daemon")
+    [ bench_run_cmd; bench_diff_cmd; bench_gate_cmd; bench_serve_cmd ]
 
 let main_cmd =
   let doc =
@@ -951,6 +1313,6 @@ let main_cmd =
   Cmd.group (Cmd.info "mcmap" ~version:"1.0.0" ~doc)
     [ list_cmd; analyze_cmd; simulate_cmd; gantt_cmd; explore_cmd;
       experiments_cmd; campaign_cmd; check_cmd; stats_cmd; lint_cmd;
-      bench_cmd ]
+      bench_cmd; serve_cmd; client_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

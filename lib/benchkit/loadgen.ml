@@ -1,0 +1,158 @@
+module Protocol = Mcmap_serve.Protocol
+module Client = Mcmap_serve.Client
+module Spec = Mcmap_spec.Spec
+module Sexp = Mcmap_util.Sexp
+module Obs = Mcmap_obs.Obs
+module B = Mcmap_benchmarks
+
+type result = {
+  requests : int;
+  rejected : int;
+  errors : int;
+  wall_ns : int64;
+  latencies_ns : int array;
+}
+
+type client_tally = {
+  mutable c_rejected : int;
+  mutable c_errors : int;
+  c_latencies : int list ref;
+}
+
+let client_loop addr requests (schedule : Protocol.request_body array) =
+  let tally =
+    { c_rejected = 0; c_errors = 0; c_latencies = ref [] } in
+  match Client.connect addr with
+  | Error _ -> None
+  | Ok c ->
+    Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+    for i = 0 to requests - 1 do
+      let body = schedule.(i mod Array.length schedule) in
+      let req =
+        { Protocol.id = Client.fresh_id c;
+          deadline_ms = None;
+          no_lint = true;
+          body }
+      in
+      let t0 = Obs.now_ns () in
+      match Client.call c req with
+      | Ok { Protocol.r_body = Protocol.Analysis _; _ } ->
+        let dt = Int64.to_int (Int64.sub (Obs.now_ns ()) t0) in
+        tally.c_latencies := dt :: !(tally.c_latencies)
+      | Ok { Protocol.r_body = Protocol.Rejected _; _ } ->
+        tally.c_rejected <- tally.c_rejected + 1
+      | Ok _ | Error _ -> tally.c_errors <- tally.c_errors + 1
+    done;
+    Some tally
+
+let schedule_of bench distinct_plans =
+  match B.Registry.find bench with
+  | None ->
+    Error
+      (Printf.sprintf "unknown benchmark %s (expected one of: %s)" bench
+         (String.concat ", " B.Registry.names))
+  | Some b ->
+    let system =
+      { Spec.arch = b.B.Benchmark.arch; apps = b.B.Benchmark.apps } in
+    (match Sexp.parse (Spec.write_system system) with
+     | Error e -> Error ("system forms: " ^ e)
+     | Ok forms ->
+       let plan_form seed =
+         let plan =
+           B.Sampler.balanced_plan ~seed b.B.Benchmark.arch
+             b.B.Benchmark.apps
+         in
+         match Sexp.parse_one (Spec.write_plan system plan) with
+         | Ok f -> f
+         | Error e -> failwith ("plan form: " ^ e)
+       in
+       (try
+          Ok
+            (Array.init (max 1 distinct_plans) (fun i ->
+                 Protocol.Analyze
+                   { system = forms; plan = Some (plan_form (i + 1)) }))
+        with Failure e -> Error e))
+
+let run ?(clients = 4) ?(requests = 50) ?(distinct_plans = 8)
+    ?(bench = "cruise") ~addr () =
+  if clients < 1 then invalid_arg "Loadgen.run: clients < 1";
+  if requests < 1 then invalid_arg "Loadgen.run: requests < 1";
+  match schedule_of bench distinct_plans with
+  | Error _ as e -> e
+  | Ok schedule ->
+    let t0 = Obs.now_ns () in
+    let domains =
+      Array.init clients (fun _ ->
+          Domain.spawn (fun () -> client_loop addr requests schedule))
+    in
+    let tallies = Array.map Domain.join domains in
+    let wall_ns = Int64.sub (Obs.now_ns ()) t0 in
+    if Array.exists Option.is_none tallies then
+      Error "a load-generator client could not connect"
+    else begin
+      let rejected = ref 0 and errors = ref 0 and lats = ref [] in
+      Array.iter
+        (fun t ->
+          let t = Option.get t in
+          rejected := !rejected + t.c_rejected;
+          errors := !errors + t.c_errors;
+          lats := !(t.c_latencies) @ !lats)
+        tallies;
+      let latencies_ns = Array.of_list !lats in
+      Array.sort compare latencies_ns;
+      Ok
+        { requests = Array.length latencies_ns;
+          rejected = !rejected;
+          errors = !errors;
+          wall_ns;
+          latencies_ns }
+    end
+
+let dispersion samples =
+  let n = Array.length samples in
+  let mean =
+    Array.fold_left (fun a v -> a +. float_of_int v) 0. samples
+    /. float_of_int n
+  in
+  let var =
+    if n < 2 then 0.
+    else
+      Array.fold_left
+        (fun a v ->
+          let d = float_of_int v -. mean in
+          a +. (d *. d))
+        0. samples
+      /. float_of_int (n - 1)
+  in
+  (mean, sqrt var)
+
+let kernels r =
+  if Array.length r.latencies_ns = 0 then []
+  else begin
+    let n = Array.length r.latencies_ns in
+    let mean, stddev = dispersion r.latencies_ns in
+    let p99 =
+      float_of_int
+        r.latencies_ns.(min (n - 1) (int_of_float (ceil (0.99 *. float_of_int n)) - 1))
+    in
+    let per_req =
+      Int64.to_float r.wall_ns /. float_of_int (max 1 r.requests) in
+    [ ("serve_rpc_ns",
+       { Schema.ns_per_run = Some mean;
+         min_ns = float_of_int r.latencies_ns.(0);
+         mean_ns = mean;
+         stddev_ns = stddev;
+         samples = n });
+      ("serve_rpc_p99_ns",
+       { Schema.ns_per_run = Some p99;
+         min_ns = p99;
+         mean_ns = p99;
+         stddev_ns = 0.;
+         samples = n });
+      ("serve_throughput_ns_per_req",
+       { Schema.ns_per_run = Some per_req;
+         min_ns = per_req;
+         mean_ns = per_req;
+         stddev_ns = 0.;
+         samples = r.requests }) ]
+  end

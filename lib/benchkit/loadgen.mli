@@ -1,0 +1,40 @@
+(** The [mcmap bench serve] load generator: N client domains firing M
+    requests each at a running server over a real socket, measuring
+    client-observed round-trip latency and aggregate throughput.
+
+    Every client connects on its own socket and walks a deterministic
+    request schedule (analyze requests for a built-in benchmark,
+    cycling through a small set of distinct seeded plans so both the
+    evaluation path and the warm result cache are exercised). The
+    numbers become BENCH.json v2 kernels — see {!kernels} — so serve
+    performance is diffed and gated like every other kernel. *)
+
+type result = {
+  requests : int;  (** responses received that carried an analysis *)
+  rejected : int;  (** [Rejected] responses (backpressure) *)
+  errors : int;  (** transport or [Error_response] failures *)
+  wall_ns : int64;  (** whole-run wall clock across all clients *)
+  latencies_ns : int array;  (** one per completed request, sorted *)
+}
+
+val run :
+  ?clients:int ->
+  ?requests:int ->
+  ?distinct_plans:int ->
+  ?bench:string ->
+  addr:Mcmap_serve.Protocol.addr ->
+  unit ->
+  (result, string) Stdlib.result
+(** [clients] (default 4) domains x [requests] (default 50) calls
+    each; [distinct_plans] (default 8) seeded balanced plans cycled
+    through; [bench] (default ["cruise"]) names the built-in benchmark
+    whose system is served. [Error] when the benchmark is unknown or
+    no client could connect. *)
+
+val kernels : result -> (string * Schema.kernel) list
+(** - [serve_rpc_ns]: round-trip latency dispersion (one sample per
+      request);
+    - [serve_rpc_p99_ns]: the 99th-percentile round trip;
+    - [serve_throughput_ns_per_req]: wall clock over completed
+      requests — the inverse of requests/sec, oriented so that lower
+      is better like every other kernel. *)

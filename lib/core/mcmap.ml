@@ -37,6 +37,7 @@ module Util = struct
   module Sexp = Mcmap_util.Sexp
   module Json = Mcmap_util.Json
   module Texttable = Mcmap_util.Texttable
+  module Wire = Mcmap_util.Wire
 end
 
 (** Observability: metrics, spans, flight recorder and exporters (see
@@ -133,6 +134,17 @@ module Spec_ast = Mcmap_spec.Ast
 module Lint = struct
   module Diagnostic = Mcmap_lint.Diagnostic
   module Lint = Mcmap_lint.Lint
+end
+
+(** The [mcmap serve] daemon: a socket server sharing warm evaluator
+    sessions across clients (see [lib/serve] and DESIGN.md §14). *)
+module Serve = struct
+  module Protocol = Mcmap_serve.Protocol
+  module Metrics = Mcmap_serve.Metrics
+  module Bqueue = Mcmap_serve.Bqueue
+  module Pool = Mcmap_serve.Pool
+  module Server = Mcmap_serve.Server
+  module Client = Mcmap_serve.Client
 end
 
 module Experiments = struct

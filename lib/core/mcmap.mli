@@ -45,6 +45,7 @@ module Util : sig
   module Sexp = Mcmap_util.Sexp
   module Json = Mcmap_util.Json
   module Texttable = Mcmap_util.Texttable
+  module Wire = Mcmap_util.Wire
 end
 
 (** Observability: metrics, spans, flight recorder and exporters (see
@@ -141,6 +142,18 @@ module Spec_ast = Mcmap_spec.Ast
 module Lint : sig
   module Diagnostic = Mcmap_lint.Diagnostic
   module Lint = Mcmap_lint.Lint
+end
+
+(** The [mcmap serve] daemon and its client: a socket server sharing
+    warm evaluator sessions across clients (see [lib/serve] and
+    DESIGN.md §14). *)
+module Serve : sig
+  module Protocol = Mcmap_serve.Protocol
+  module Metrics = Mcmap_serve.Metrics
+  module Bqueue = Mcmap_serve.Bqueue
+  module Pool = Mcmap_serve.Pool
+  module Server = Mcmap_serve.Server
+  module Client = Mcmap_serve.Client
 end
 
 module Experiments : sig

@@ -111,6 +111,35 @@ let canonical_equal (a : Plan.t) (b : Plan.t) =
 (* ------------------------------------------------------------------ *)
 (* Session state.                                                      *)
 
+(* Cross-domain sharing audit (the discipline [mcmap serve] and
+   [eval_population] rely on):
+
+   - Every LRU tier ([results], [sched], [components], [rows],
+     [rates]), the per-entry [ce_external] tables, the stat counters
+     and [last_ok] are mutated only under [lock] — including the
+     hit-counter bumps, which share the critical section of the lookup
+     that observed the hit (a bump outside it loses updates when
+     domains race).
+   - Cached values ([Evaluate.t], [centry], hardened graphs, rates)
+     are immutable once published, so a value evicted while another
+     domain still holds it stays valid — eviction only drops the
+     cache's reference.
+   - The analysis contexts inside [centry] are shared across domains
+     without the lock, which is safe for both engines: [Bounds.ctx]
+     is read-only during [analyze] (scratch is allocated per call) and
+     [Flat.ctx]'s scratch lives in a per-domain arena (Domain.DLS).
+   - Two domains missing the same key may compute the same entry
+     twice; results are bit-identical, the last insert wins, and the
+     loser's entry dies with its holder — duplicated work, never
+     divergence.
+   - [eval] is therefore safe from any number of domains.
+     [eval_population] additionally spawns its own fan-out, so
+     concurrent calls are serialised on [population_lock] (below).
+   - Obs/Flight recording uses per-domain buffers: safe from domains,
+     but NOT from multiple systhreads sharing one domain — callers
+     embedding a session in a threaded server must record their own
+     metrics from reader threads (see Mcmap_serve.Metrics). *)
+
 type engine = Reference | Flat
 
 (* The two Algorithm 1 backends behind one face: the reference
@@ -185,6 +214,12 @@ type t = {
   base : int;  (* application hyperperiod *)
   horizon : int;  (* full-jobset divergence horizon, plan-independent *)
   lock : Mutex.t;
+  population_lock : Mutex.t;
+      (* serialises eval_population: each call spawns its own domain
+         fan-out, and two overlapping fan-outs from different callers
+         would oversubscribe the machine and interleave their progress
+         spans. One population at a time is the discipline [mcmap
+         serve] relies on (its pool keeps one lock per session). *)
   results : (Fingerprint.t, Evaluate.t) Lru.t;
   sched : (Fingerprint.t, sched_info) Lru.t;
   components : (Fingerprint.t, centry) Lru.t;
@@ -242,6 +277,7 @@ let create ?(cache_capacity = 4096) ?(component_capacity = 64)
   { arch; apps; engine; check_rescue; max_iterations; domains; n_graphs;
     deadlines;
     rel_bounds; base; horizon; lock = Mutex.create ();
+    population_lock = Mutex.create ();
     results = Lru.create ~capacity:cache_capacity ();
     sched = Lru.create ~capacity:cache_capacity ();
     components = Lru.create ~capacity:component_capacity ();
@@ -446,9 +482,13 @@ let per_graph_outcome response res =
 let centry_for t js graphs =
   let rjs = Jobset.restrict js ~graphs in
   let key = structure_fp rjs in
-  match with_lock t (fun () -> Lru.find t.components key) with
+  match
+    with_lock t (fun () ->
+        let found = Lru.find t.components key in
+        if found <> None then t.n_component_hits <- t.n_component_hits + 1;
+        found)
+  with
   | Some entry ->
-    t.n_component_hits <- t.n_component_hits + 1;
     tier_event "evaluator.component" Flight.Cache_hit "memo";
     entry
   | None ->
@@ -578,9 +618,13 @@ let compute_sched t (happ : Happ.t) =
   end
 
 let sched_of t fp (happ : Happ.t Lazy.t) =
-  match with_lock t (fun () -> Lru.find t.sched fp) with
+  match
+    with_lock t (fun () ->
+        let found = Lru.find t.sched fp in
+        if found <> None then t.n_sched_hits <- t.n_sched_hits + 1;
+        found)
+  with
   | Some info ->
-    t.n_sched_hits <- t.n_sched_hits + 1;
     tier_hit "evaluator.sched";
     info
   | None ->
@@ -652,6 +696,14 @@ let eval t plan =
         e)
 
 let eval_population t plans =
+  (* One population fan-out at a time (see [population_lock]): a second
+     concurrent caller blocks here until the first finishes, rather
+     than doubling the spawned domains. [eval] itself is reentrant
+     under this lock — population workers call it freely. *)
+  Mutex.lock t.population_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.population_lock)
+  @@ fun () ->
   Obs.with_span "evaluator.eval_population" (fun () ->
       let n = Array.length plans in
       let fps = Array.map fingerprint plans in

@@ -65,14 +65,29 @@ val eval : t -> Mcmap_hardening.Plan.t -> Evaluate.t
 (** Evaluate one plan through the session caches. Exactly equal to
     [Evaluate.evaluate ~check_rescue ~max_iterations arch apps plan]
     (with the session's option values), except the returned [plan] field
-    is the argument itself. Safe to call from several domains. *)
+    is the argument itself.
+
+    Domain safety: safe to call concurrently from any number of
+    domains. Every cache tier is guarded by one session lock, cached
+    values are immutable once published, and the shared analysis
+    contexts are either read-only ([Reference]) or keep their scratch
+    in per-domain arenas ([Flat]); racing domains can at worst duplicate
+    work, never diverge (audited in [evaluator.ml], exercised by the
+    concurrent-access test). Not safe from multiple systhreads that
+    share one domain while Obs/Flight recording is enabled — the
+    recorders' per-domain buffers assume one mutator per domain. *)
 
 val eval_population :
   t -> Mcmap_hardening.Plan.t array -> Evaluate.t array
 (** Evaluate a population: canonical duplicates are folded onto one
     representative, cached results are served, and the remaining fresh
     evaluations fan out over the session's domains. The result array is
-    index-aligned and byte-identical for any domain count. *)
+    index-aligned and byte-identical for any domain count.
+
+    Concurrent calls on one session are serialised (each call owns the
+    session's single population fan-out at a time); [mcmap serve]
+    relies on exactly this discipline when several workers share a
+    pooled session. *)
 
 val power : t -> Mcmap_hardening.Plan.t -> float
 (** The power objective through the session's cached hardened graphs;

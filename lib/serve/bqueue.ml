@@ -1,0 +1,52 @@
+type 'a t = {
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  q : 'a Queue.t;
+  capacity : int;
+  mutable closed : bool;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Bqueue.create: capacity < 1";
+  { lock = Mutex.create ();
+    nonempty = Condition.create ();
+    q = Queue.create ();
+    capacity;
+    closed = false }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let try_push t x =
+  with_lock t (fun () ->
+      if t.closed then `Closed
+      else if Queue.length t.q >= t.capacity then `Full
+      else begin
+        Queue.add x t.q;
+        Condition.signal t.nonempty;
+        `Ok
+      end)
+
+let pop t =
+  with_lock t (fun () ->
+      let rec wait () =
+        match Queue.take_opt t.q with
+        | Some x -> Some x
+        | None ->
+          if t.closed then None
+          else begin
+            Condition.wait t.nonempty t.lock;
+            wait ()
+          end
+      in
+      wait ())
+
+let close t =
+  with_lock t (fun () ->
+      if not t.closed then begin
+        t.closed <- true;
+        Condition.broadcast t.nonempty
+      end)
+
+let length t = with_lock t (fun () -> Queue.length t.q)

@@ -1,0 +1,28 @@
+(** A bounded multi-producer / multi-consumer blocking queue — the
+    server's backpressure primitive.
+
+    Producers never block: {!try_push} reports [`Full] instead, and the
+    caller turns that into a [Rejected] response immediately (a full
+    queue must shed load, not make every connection wait behind it).
+    Consumers block in {!pop} until an element or {!close} arrives;
+    after [close] the remaining elements drain in order, then every
+    consumer receives [None] — the shutdown path answers everything it
+    already accepted and drops nothing.
+
+    Safe from any mix of systhreads and domains. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument if [capacity < 1]. *)
+
+val try_push : 'a t -> 'a -> [ `Ok | `Full | `Closed ]
+
+val pop : 'a t -> 'a option
+(** Blocks until an element is available ([Some]) or the queue is
+    closed and drained ([None]). *)
+
+val close : 'a t -> unit
+(** Refuse further pushes and wake every blocked consumer. Idempotent. *)
+
+val length : 'a t -> int

@@ -1,0 +1,74 @@
+module Wire = Mcmap_util.Wire
+
+type t = {
+  fd : Unix.file_descr;
+  mutable next_id : int;
+  mutable closed : bool;
+}
+
+let connect addr =
+  try
+    let fd =
+      match addr with
+      | Protocol.Unix_sock path ->
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_UNIX path);
+        fd
+      | Protocol.Tcp (host, port) ->
+        let inet =
+          try Unix.inet_addr_of_string host
+          with Failure _ ->
+            (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        in
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_INET (inet, port));
+        fd
+    in
+    Ok { fd; next_id = 0; closed = false }
+  with
+  | Unix.Unix_error (e, _, _) ->
+    Error
+      (Printf.sprintf "connect %s: %s"
+         (Protocol.addr_to_string addr)
+         (Unix.error_message e))
+  | Not_found -> Error ("connect: unknown host " ^ Protocol.addr_to_string addr)
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let fresh_id t =
+  t.next_id <- t.next_id + 1;
+  t.next_id
+
+let send t req =
+  try
+    Wire.write_frame ~max:Wire.max_frame_limit t.fd
+      (Protocol.request_to_string req);
+    Ok ()
+  with
+  | Unix.Unix_error (e, _, _) ->
+    Error ("send: " ^ Unix.error_message e)
+  | Invalid_argument m -> Error ("send: " ^ m)
+
+let recv ?(max = Wire.max_frame_limit) t =
+  match Wire.read_frame ~max t.fd with
+  | Ok payload -> Protocol.response_of_string payload
+  | Error e -> Error ("recv: " ^ Wire.read_error_to_string e)
+  | exception Unix.Unix_error (e, _, _) ->
+    Error ("recv: " ^ Unix.error_message e)
+
+let call ?max t req =
+  match send t req with
+  | Error _ as e -> e
+  | Ok () ->
+    let rec await () =
+      match recv ?max t with
+      | Error _ as e -> e
+      | Ok resp ->
+        if resp.Protocol.r_id = req.Protocol.id then Ok resp
+        else await ()
+    in
+    await ()

@@ -1,0 +1,27 @@
+(** A synchronous [mcmap serve] client: one connection, one outstanding
+    request at a time ({!call}), or explicit {!send}/{!recv} for
+    pipelining. Used by [mcmap client], [mcmap stats --connect], the
+    load generator and the end-to-end tests. *)
+
+type t
+
+val connect : Protocol.addr -> (t, string) result
+
+val close : t -> unit
+(** Idempotent. *)
+
+val send : t -> Protocol.request -> (unit, string) result
+
+val recv : ?max:int -> t -> (Protocol.response, string) result
+(** Read one response frame (default frame limit
+    {!Mcmap_util.Wire.max_frame_limit} — population responses can be
+    far larger than the server's request limit). *)
+
+val call :
+  ?max:int -> t -> Protocol.request -> (Protocol.response, string) result
+(** [send] then [recv] until the response with the request's id
+    arrives (responses to other ids — e.g. the id-0 notices the server
+    emits for frames it could not attribute — are discarded). *)
+
+val fresh_id : t -> int
+(** A connection-unique request id (1, 2, ...). *)

@@ -1,0 +1,87 @@
+let default_max_frame = 16 * 1024 * 1024
+
+let max_frame_limit = 0xFFFF_FFFF
+
+type read_error =
+  | Eof
+  | Truncated of int
+  | Oversized of int
+  | Empty
+
+let read_error_to_string = function
+  | Eof -> "end of stream"
+  | Truncated n -> Printf.sprintf "stream truncated mid-frame (%d bytes in)" n
+  | Oversized n -> Printf.sprintf "frame payload of %d bytes exceeds the limit" n
+  | Empty -> "zero-length frame"
+
+(* Restart-on-EINTR wrappers: a signal (SIGCHLD from a worker, a timer)
+   must never tear a frame. *)
+let rec read_retry fd buf ofs len =
+  try Unix.read fd buf ofs len
+  with Unix.Unix_error (Unix.EINTR, _, _) -> read_retry fd buf ofs len
+
+let rec write_retry fd buf ofs len =
+  try Unix.write fd buf ofs len
+  with Unix.Unix_error (Unix.EINTR, _, _) -> write_retry fd buf ofs len
+
+(* Fill [buf.[ofs..ofs+len)] completely; returns the byte count actually
+   read, which is < [len] only at end of stream. *)
+let really_read fd buf ofs len =
+  let got = ref 0 in
+  (try
+     while !got < len do
+       let n = read_retry fd buf (ofs + !got) (len - !got) in
+       if n = 0 then raise Exit else got := !got + n
+     done
+   with Exit -> ());
+  !got
+
+let really_write fd buf ofs len =
+  let sent = ref 0 in
+  while !sent < len do
+    sent := !sent + write_retry fd buf (ofs + !sent) (len - !sent)
+  done
+
+let clamp_max max = min (Option.value max ~default:default_max_frame) max_frame_limit
+
+let read_frame ?max fd =
+  let max = clamp_max max in
+  let header = Bytes.create 4 in
+  match really_read fd header 0 4 with
+  | 0 -> Error Eof
+  | n when n < 4 -> Error (Truncated n)
+  | _ ->
+    let len = Int32.to_int (Bytes.get_int32_be header 0) land max_frame_limit in
+    if len = 0 then Error Empty
+    else if len > max then Error (Oversized len)
+    else begin
+      let payload = Bytes.create len in
+      let got = really_read fd payload 0 len in
+      if got < len then Error (Truncated (4 + got))
+      else Ok (Bytes.unsafe_to_string payload)
+    end
+
+let write_frame ?max fd payload =
+  let max = clamp_max max in
+  let len = String.length payload in
+  if len = 0 then invalid_arg "Wire.write_frame: empty payload";
+  if len > max then
+    invalid_arg
+      (Printf.sprintf "Wire.write_frame: %d-byte payload exceeds limit %d"
+         len max);
+  let header = Bytes.create 4 in
+  Bytes.set_int32_be header 0 (Int32.of_int len);
+  really_write fd header 0 4;
+  really_write fd (Bytes.unsafe_of_string payload) 0 len
+
+let discard fd n =
+  let chunk = Bytes.create 65536 in
+  let remaining = ref n in
+  let alive = ref true in
+  while !alive && !remaining > 0 do
+    let want = min !remaining (Bytes.length chunk) in
+    let got = really_read fd chunk 0 want in
+    if got < want then alive := false;
+    remaining := !remaining - got
+  done;
+  !alive

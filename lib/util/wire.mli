@@ -1,0 +1,54 @@
+(** Length-prefixed frame transport over file descriptors — the wire
+    substrate of the [mcmap serve] protocol (DESIGN.md §14).
+
+    A frame is a 4-byte big-endian unsigned payload length followed by
+    exactly that many payload bytes. Both directions enforce a maximum
+    frame size (so a malicious or confused peer cannot make the reader
+    allocate gigabytes from four header bytes) and reject zero-length
+    frames (an empty payload is always a protocol error, and rejecting
+    it here keeps every consumer honest).
+
+    All loops are EINTR-safe and handle partial reads/writes: a frame
+    split across dozens of TCP segments or pipe chunks arrives intact.
+    The same module serves the server, the client and the bench load
+    generator, so framing bugs cannot diverge between them. *)
+
+val default_max_frame : int
+(** 16 MiB — generous for any system description plus a population. *)
+
+val max_frame_limit : int
+(** The hard ceiling any [?max] is clamped to ([0xFFFF_FFFF], the
+    largest length the 4-byte header can carry). *)
+
+type read_error =
+  | Eof  (** clean end of stream before the first header byte *)
+  | Truncated of int
+      (** stream ended mid-frame after this many bytes (header
+          included) — the peer died or lied about the length *)
+  | Oversized of int
+      (** declared payload length exceeds the [max] guard; nothing
+          past the header has been consumed (see {!discard}) *)
+  | Empty  (** zero-length frame (header consumed, stream still
+               synchronised) *)
+
+val read_error_to_string : read_error -> string
+
+val read_frame :
+  ?max:int -> Unix.file_descr -> (string, read_error) result
+(** Read one frame. On [Error (Oversized _)] and [Error Empty] the
+    stream remains synchronised (exactly the 4 header bytes were
+    consumed); a caller that wants to keep the connection must
+    {!discard} the oversized payload. On [Eof]/[Truncated] the stream
+    is dead. [max] defaults to {!default_max_frame}.
+    @raise Unix.Unix_error on transport errors other than EINTR. *)
+
+val write_frame : ?max:int -> Unix.file_descr -> string -> unit
+(** Write one frame (header + payload), looping over partial writes.
+    @raise Invalid_argument on an empty payload or one larger than
+    [max] — the writer enforces the same guards the reader does.
+    @raise Unix.Unix_error on transport errors other than EINTR. *)
+
+val discard : Unix.file_descr -> int -> bool
+(** [discard fd n] reads and drops exactly [n] bytes (the payload of
+    an oversized frame), returning [false] if the stream ended first.
+    Bounded scratch: drops in 64 KiB chunks. *)

@@ -15,4 +15,5 @@ let () =
       ("spec", Test_spec.suite);
       ("lint", Test_lint.suite);
       ("experiments", Test_experiments.suite);
-      ("check", Test_check.suite) ]
+      ("check", Test_check.suite);
+      ("serve", Test_serve.suite) ]

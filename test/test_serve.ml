@@ -1,0 +1,659 @@
+(* Tests for mcmap.serve: wire framing, the protocol, the bounded
+   queue, the session pool, evaluator-session concurrency, and the
+   server end to end over a real socket. *)
+
+module Wire = Mcmap_util.Wire
+module Sexp = Mcmap_util.Sexp
+module P = Mcmap_serve.Protocol
+module Server = Mcmap_serve.Server
+module Client = Mcmap_serve.Client
+module Bqueue = Mcmap_serve.Bqueue
+module Pool = Mcmap_serve.Pool
+module Metrics = Mcmap_serve.Metrics
+module Spec = Mcmap_spec.Spec
+module B = Mcmap_benchmarks
+module D = Mcmap_dse
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Wire framing *)
+
+let with_pipe f =
+  let r, w = Unix.pipe () in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close r with Unix.Unix_error _ -> ());
+      try Unix.close w with Unix.Unix_error _ -> ())
+    (fun () -> f r w)
+
+let read_ok r =
+  match Wire.read_frame r with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "read_frame: %s" (Wire.read_error_to_string e)
+
+let test_wire_roundtrip () =
+  with_pipe @@ fun r w ->
+  let payloads =
+    [ "x"; "hello"; String.make 100_000 'q';
+      String.init 256 Char.chr ] in
+  (* a 100 KB frame overflows the pipe buffer: write from a thread so
+     the partial-write loop is actually exercised *)
+  let writer =
+    Thread.create (fun () -> List.iter (Wire.write_frame w) payloads) ()
+  in
+  List.iter
+    (fun p -> check Alcotest.string "payload" p (read_ok r))
+    payloads;
+  Thread.join writer
+
+let test_wire_empty_rejected () =
+  with_pipe @@ fun r w ->
+  (* a zero-length frame cannot be written... *)
+  (try
+     Wire.write_frame w "";
+     Alcotest.fail "write_frame accepted an empty payload"
+   with Invalid_argument _ -> ());
+  (* ...and a hand-rolled one is rejected without desynchronising *)
+  let header = Bytes.make 4 '\000' in
+  assert (Unix.write w header 0 4 = 4);
+  Wire.write_frame w "after";
+  (match Wire.read_frame r with
+   | Error Wire.Empty -> ()
+   | Ok _ | Error _ -> Alcotest.fail "expected Empty");
+  check Alcotest.string "stream still synchronised" "after" (read_ok r)
+
+let test_wire_oversized_rejected () =
+  with_pipe @@ fun r w ->
+  let big = String.make 4096 'b' in
+  Wire.write_frame w big;
+  Wire.write_frame w "small";
+  (match Wire.read_frame ~max:64 r with
+   | Error (Wire.Oversized n) ->
+     check Alcotest.int "reported length" 4096 n
+   | Ok _ | Error _ -> Alcotest.fail "expected Oversized");
+  (* the payload is still in the stream; discard resynchronises *)
+  check Alcotest.bool "discard" true (Wire.discard r 4096);
+  check Alcotest.string "next frame survives" "small" (read_ok r);
+  (* write-side guard agrees with the read-side limit *)
+  try
+    Wire.write_frame ~max:64 w big;
+    Alcotest.fail "write_frame accepted an oversized payload"
+  with Invalid_argument _ -> ()
+
+let test_wire_truncated () =
+  (* header cut short *)
+  with_pipe (fun r w ->
+      assert (Unix.write_substring w "\000\000" 0 2 = 2);
+      Unix.close w;
+      match Wire.read_frame r with
+      | Error (Wire.Truncated 2) -> ()
+      | Ok _ | Error _ -> Alcotest.fail "expected Truncated 2");
+  (* payload cut short *)
+  with_pipe (fun r w ->
+      let header = Bytes.create 4 in
+      Bytes.set_int32_be header 0 10l;
+      assert (Unix.write w header 0 4 = 4);
+      assert (Unix.write_substring w "abc" 0 3 = 3);
+      Unix.close w;
+      match Wire.read_frame r with
+      | Error (Wire.Truncated 7) -> ()
+      | Ok _ | Error _ -> Alcotest.fail "expected Truncated 7");
+  (* clean EOF between frames *)
+  with_pipe (fun r w ->
+      Unix.close w;
+      match Wire.read_frame r with
+      | Error Wire.Eof -> ()
+      | Ok _ | Error _ -> Alcotest.fail "expected Eof")
+
+(* ------------------------------------------------------------------ *)
+(* Bqueue *)
+
+let test_bqueue_fifo_and_bounds () =
+  let q = Bqueue.create ~capacity:2 in
+  check Alcotest.bool "push 1" true (Bqueue.try_push q 1 = `Ok);
+  check Alcotest.bool "push 2" true (Bqueue.try_push q 2 = `Ok);
+  check Alcotest.bool "full" true (Bqueue.try_push q 3 = `Full);
+  check Alcotest.(option int) "pop 1" (Some 1) (Bqueue.pop q);
+  check Alcotest.bool "room again" true (Bqueue.try_push q 4 = `Ok);
+  Bqueue.close q;
+  check Alcotest.bool "closed" true (Bqueue.try_push q 5 = `Closed);
+  (* close drains: accepted elements still come out, in order *)
+  check Alcotest.(option int) "drain 2" (Some 2) (Bqueue.pop q);
+  check Alcotest.(option int) "drain 4" (Some 4) (Bqueue.pop q);
+  check Alcotest.(option int) "then None" None (Bqueue.pop q);
+  check Alcotest.(option int) "stays None" None (Bqueue.pop q)
+
+let test_bqueue_concurrent () =
+  let n_producers = 4 and per_producer = 250 in
+  let q = Bqueue.create ~capacity:(n_producers * per_producer) in
+  let consumer =
+    Domain.spawn (fun () ->
+        let seen = ref [] in
+        let rec loop () =
+          match Bqueue.pop q with
+          | Some v -> seen := v :: !seen; loop ()
+          | None -> !seen
+        in
+        loop ())
+  in
+  let producers =
+    Array.init n_producers (fun p ->
+        Domain.spawn (fun () ->
+            for i = 0 to per_producer - 1 do
+              match Bqueue.try_push q ((p * per_producer) + i) with
+              | `Ok -> ()
+              | `Full | `Closed -> failwith "unexpected push failure"
+            done))
+  in
+  Array.iter Domain.join producers;
+  Bqueue.close q;
+  let seen = Domain.join consumer in
+  check Alcotest.int "all delivered" (n_producers * per_producer)
+    (List.length seen);
+  check Alcotest.int "no duplicates"
+    (n_producers * per_producer)
+    (List.length (List.sort_uniq compare seen))
+
+(* ------------------------------------------------------------------ *)
+(* Protocol *)
+
+let text_roundtrip =
+  QCheck.Test.make ~name:"encode_text/decode_text round-trip" ~count:500
+    QCheck.string (fun s ->
+      let atom = P.encode_text s in
+      (* the encoding must be a single parseable atom *)
+      (match Sexp.parse_one atom with
+       | Ok (Sexp.Atom a) -> a = atom
+       | Ok (Sexp.List _) | Error _ -> false)
+      && P.decode_text atom = Ok s)
+
+let sexp_gen =
+  let open QCheck.Gen in
+  let atom =
+    map
+      (fun cs -> Sexp.Atom (String.concat "" cs))
+      (list_size (int_range 1 8)
+         (map (String.make 1) (oneof [ char_range 'a' 'z'; char_range '0' '9' ])))
+  in
+  sized_size (int_bound 3) (fix (fun self n ->
+      if n = 0 then atom
+      else
+        frequency
+          [ (2, atom);
+            (1,
+             map (fun l -> Sexp.List l)
+               (list_size (int_bound 3) (self (n - 1)))) ]))
+
+let float_gen =
+  QCheck.Gen.oneof
+    [ QCheck.Gen.float;
+      QCheck.Gen.oneofl
+        [ 0.; -0.; infinity; neg_infinity; nan; 1e-310; 4.2232;
+          Int64.float_of_bits 0x7ff8000000000001L (* NaN, odd payload *) ] ]
+
+let analysis_gen =
+  let open QCheck.Gen in
+  map
+    (fun ((p, s, v), (sch, rel, res)) ->
+      { P.a_power = p; a_service = s; a_schedulable = sch;
+        a_reliable = rel; a_violation = v; a_rescued = res })
+    (pair (triple float_gen float_gen float_gen) (triple bool bool bool))
+
+let request_gen =
+  let open QCheck.Gen in
+  let body =
+    oneof
+      [ return P.Ping; return P.Stats; return P.Shutdown;
+        map2
+          (fun system plan -> P.Analyze { system; plan })
+          (list_size (int_bound 3) sexp_gen)
+          (opt sexp_gen);
+        map2
+          (fun system plan -> P.Lint_request { system; plan })
+          (list_size (int_bound 3) sexp_gen)
+          (opt sexp_gen);
+        map2
+          (fun system plans -> P.Eval_population { system; plans })
+          (list_size (int_bound 3) sexp_gen)
+          (list_size (int_bound 4) sexp_gen) ]
+  in
+  map
+    (fun (id, dl, nl, body) ->
+      { P.id; deadline_ms = dl; no_lint = nl; body })
+    (quad (int_bound 1_000_000)
+       (opt (int_bound 10_000))
+       bool body)
+
+let response_gen =
+  let open QCheck.Gen in
+  let diag =
+    map
+      (fun (c, s, m) ->
+        { P.d_code = "MC" ^ string_of_int c;
+          d_severity = (if s then "error" else "warning");
+          d_message = m })
+      (triple (int_bound 999) bool string)
+  in
+  let body =
+    oneof
+      [ return P.Pong; return P.Shutting_down;
+        map (fun s -> P.Stats_snapshot s) sexp_gen;
+        map (fun a -> P.Analysis a) analysis_gen;
+        map
+          (fun l -> P.Population (Array.of_list l))
+          (list_size (int_bound 5) analysis_gen);
+        map2
+          (fun errors diags -> P.Lint_report { errors; diags })
+          (int_bound 10)
+          (list_size (int_bound 3) diag);
+        map (fun s -> P.Rejected s) string;
+        map (fun s -> P.Error_response s) string ]
+  in
+  map
+    (fun (r_id, r_body) -> { P.r_id; r_body })
+    (pair (int_bound 1_000_000) body)
+
+let request_roundtrip =
+  QCheck.Test.make ~name:"request wire round-trip, byte-identical"
+    ~count:300
+    (QCheck.make request_gen)
+    (fun req ->
+      let wire = P.request_to_string req in
+      match P.request_of_string wire with
+      | Error _ -> false
+      | Ok back ->
+        P.equal_request req back
+        && P.request_to_string back = wire)
+
+let response_roundtrip =
+  QCheck.Test.make ~name:"response wire round-trip, byte-identical"
+    ~count:300
+    (QCheck.make response_gen)
+    (fun resp ->
+      let wire = P.response_to_string resp in
+      match P.response_of_string wire with
+      | Error _ -> false
+      | Ok back ->
+        P.equal_response resp back
+        && P.response_to_string back = wire)
+
+let test_protocol_float_bits () =
+  (* every interesting double crosses the wire bit for bit *)
+  List.iter
+    (fun x ->
+      let a =
+        { P.a_power = x; a_service = 0.; a_schedulable = true;
+          a_reliable = true; a_violation = 0.; a_rescued = false } in
+      let resp = { P.r_id = 1; r_body = P.Analysis a } in
+      match P.response_of_string (P.response_to_string resp) with
+      | Ok { P.r_body = P.Analysis b; _ } ->
+        check Alcotest.int64
+          (Printf.sprintf "bits of %h" x)
+          (Int64.bits_of_float x)
+          (Int64.bits_of_float b.P.a_power)
+      | Ok _ | Error _ -> Alcotest.fail "round-trip failed")
+    [ 0.; -0.; 1.5; -1.5; 4.2232; 1e-310; -1e-310; infinity;
+      neg_infinity; nan; Int64.float_of_bits 0x7ff8000000000001L;
+      Int64.float_of_bits 0xfff8000000000042L; max_float; min_float ]
+
+(* ------------------------------------------------------------------ *)
+(* Session pool *)
+
+let system_of name =
+  let b = B.Registry.find_exn name in
+  { Spec.arch = b.B.Benchmark.arch; apps = b.B.Benchmark.apps }
+
+let pool_counters sexp =
+  match sexp with
+  | Sexp.List (Sexp.Atom "pool" :: items) ->
+    let get k =
+      match Sexp.assoc_int k items with
+      | Ok v -> v
+      | Error e -> Alcotest.failf "pool stats: %s" e
+    in
+    (get "size", get "hits", get "misses", get "evictions")
+  | _ -> Alcotest.fail "pool stats shape"
+
+let test_pool_hit_miss_evict () =
+  let metrics = Metrics.create () in
+  let pool = Pool.create ~capacity:2 ~metrics () in
+  let cruise = system_of "cruise" in
+  let s1 = Pool.session pool cruise in
+  let s2 = Pool.session pool cruise in
+  check Alcotest.bool "same session on hit" true (s1 == s2);
+  ignore (Pool.session pool (system_of "dt-med"));
+  ignore (Pool.session pool (system_of "synth-1"));
+  let size, hits, misses, evictions = pool_counters (Pool.stats pool) in
+  check Alcotest.int "bounded" 2 size;
+  check Alcotest.int "one hit" 1 hits;
+  check Alcotest.int "three misses" 3 misses;
+  check Alcotest.int "one eviction" 1 evictions;
+  (* cruise was the LRU entry and must have been evicted: a fresh ask
+     is a miss that builds a new session *)
+  let s3 = Pool.session pool cruise in
+  check Alcotest.bool "rebuilt after eviction" true (s1 != s3)
+
+(* ------------------------------------------------------------------ *)
+(* Evaluator session: cross-domain discipline *)
+
+let eval_equal (a : D.Evaluate.t) (b : D.Evaluate.t) =
+  Int64.bits_of_float a.D.Evaluate.power
+  = Int64.bits_of_float b.D.Evaluate.power
+  && Int64.bits_of_float a.D.Evaluate.service
+     = Int64.bits_of_float b.D.Evaluate.service
+  && a.D.Evaluate.schedulable = b.D.Evaluate.schedulable
+  && a.D.Evaluate.reliable = b.D.Evaluate.reliable
+  && Int64.bits_of_float a.D.Evaluate.violation
+     = Int64.bits_of_float b.D.Evaluate.violation
+  && a.D.Evaluate.rescued = b.D.Evaluate.rescued
+
+let test_evaluator_concurrent_eval () =
+  let b = B.Registry.find_exn "cruise" in
+  let arch = b.B.Benchmark.arch and apps = b.B.Benchmark.apps in
+  let plans =
+    Array.init 12 (fun i -> B.Sampler.plan ~seed:(i + 1) arch apps) in
+  let reference =
+    let session = D.Evaluator.create arch apps in
+    Array.map (D.Evaluator.eval session) plans
+  in
+  (* one shared session hammered from 4 domains, each walking the
+     plans in a different order — results must be bit-identical to the
+     sequential session *)
+  let shared = D.Evaluator.create arch apps in
+  let domains =
+    Array.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            let n = Array.length plans in
+            Array.init n (fun j ->
+                let i = (j + (d * 3)) mod n in
+                (i, D.Evaluator.eval shared plans.(i)))))
+  in
+  Array.iter
+    (fun dom ->
+      Array.iter
+        (fun (i, r) ->
+          check Alcotest.bool
+            (Printf.sprintf "plan %d bit-equal across domains" i)
+            true
+            (eval_equal reference.(i) r))
+        (Domain.join dom))
+    domains
+
+let test_evaluator_concurrent_population () =
+  let b = B.Registry.find_exn "cruise" in
+  let arch = b.B.Benchmark.arch and apps = b.B.Benchmark.apps in
+  let plans =
+    Array.init 8 (fun i -> B.Sampler.plan ~seed:(100 + i) arch apps) in
+  let session = D.Evaluator.create arch apps in
+  let reference = D.Evaluator.eval_population session plans in
+  (* concurrent eval_population calls on one session serialise; both
+     callers get the same bit-exact answers *)
+  let callers =
+    Array.init 2 (fun _ ->
+        Domain.spawn (fun () -> D.Evaluator.eval_population session plans))
+  in
+  Array.iter
+    (fun dom ->
+      let got = Domain.join dom in
+      Array.iteri
+        (fun i r ->
+          check Alcotest.bool
+            (Printf.sprintf "population[%d] bit-equal" i)
+            true
+            (eval_equal reference.(i) r))
+        got)
+    callers
+
+(* ------------------------------------------------------------------ *)
+(* The server, end to end *)
+
+let temp_sock_path () =
+  let path = Filename.temp_file "mcmap-test" ".sock" in
+  Unix.unlink path;
+  path
+
+let start_server cfg_of =
+  let path = temp_sock_path () in
+  let addr = P.Unix_sock path in
+  let ready = Atomic.make false in
+  let server =
+    Domain.spawn (fun () ->
+        Server.run ~on_ready:(fun _ -> Atomic.set ready true)
+          (cfg_of (Server.default_config addr)))
+  in
+  let rec await n =
+    if Atomic.get ready then ()
+    else if n > 5000 then Alcotest.fail "server did not start"
+    else (Unix.sleepf 0.001; await (n + 1))
+  in
+  await 0;
+  (addr, path, server)
+
+let connect_exn addr =
+  match Client.connect addr with
+  | Ok c -> c
+  | Error e -> Alcotest.failf "connect: %s" e
+
+let call_exn c req =
+  match Client.call c req with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "call: %s" e
+
+let request c ?deadline_ms ?(no_lint = false) body =
+  { P.id = Client.fresh_id c; deadline_ms; no_lint; body }
+
+let shutdown_server addr server =
+  let c = connect_exn addr in
+  (match call_exn c (request c P.Shutdown) with
+   | { P.r_body = P.Shutting_down; _ } -> ()
+   | _ -> Alcotest.fail "expected Shutting_down");
+  Client.close c;
+  Domain.join server
+
+let cruise_forms () =
+  let system = system_of "cruise" in
+  match Sexp.parse (Spec.write_system system) with
+  | Ok forms -> (system, forms)
+  | Error e -> Alcotest.failf "system forms: %s" e
+
+let plan_form system plan =
+  match Sexp.parse_one (Spec.write_plan system plan) with
+  | Ok f -> f
+  | Error e -> Alcotest.failf "plan form: %s" e
+
+let test_serve_e2e_concurrent () =
+  let system, forms = cruise_forms () in
+  let n_plans = 6 in
+  let plans =
+    Array.init n_plans (fun i ->
+        B.Sampler.balanced_plan ~seed:(i + 1) system.Spec.arch
+          system.Spec.apps)
+  in
+  let plan_forms = Array.map (plan_form system) plans in
+  (* ground truth: the same parse-and-evaluate path, run directly *)
+  let expected =
+    let session =
+      D.Evaluator.create system.Spec.arch system.Spec.apps in
+    Array.map
+      (fun p -> P.analysis_of_eval (D.Evaluator.eval session p))
+      plans
+  in
+  let addr, path, server =
+    start_server (fun c -> { c with Server.workers = 3 }) in
+  let failures = Atomic.make 0 in
+  let fail_note = ref "" in
+  let client_thread t =
+    let c = connect_exn addr in
+    Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+    for j = 0 to 11 do
+      let i = (j + t) mod n_plans in
+      if j mod 4 = 3 then begin
+        (* mix in the lint plane *)
+        let req =
+          request c (P.Lint_request { system = forms; plan = None }) in
+        match Client.call c req with
+        | Ok { P.r_body = P.Lint_report { errors; _ }; r_id } ->
+          if r_id <> req.P.id || errors <> 0 then begin
+            Atomic.incr failures;
+            fail_note := "lint response mismatch"
+          end
+        | Ok _ | Error _ ->
+          Atomic.incr failures;
+          fail_note := "lint call failed"
+      end
+      else begin
+        let req =
+          request c
+            (P.Analyze { system = forms; plan = Some plan_forms.(i) })
+        in
+        match Client.call c req with
+        | Ok resp ->
+          let want =
+            { P.r_id = req.P.id; r_body = P.Analysis expected.(i) } in
+          if not (P.equal_response want resp) then begin
+            Atomic.incr failures;
+            fail_note :=
+              Printf.sprintf "analyze plan %d not bit-exact" i
+          end
+        | Error e ->
+          Atomic.incr failures;
+          fail_note := "analyze call failed: " ^ e
+      end
+    done
+  in
+  let threads = Array.init 4 (fun t -> Thread.create client_thread t) in
+  Array.iter Thread.join threads;
+  shutdown_server addr server;
+  check Alcotest.int (!fail_note ^ " (failures)") 0 (Atomic.get failures);
+  check Alcotest.bool "socket file unlinked" false (Sys.file_exists path)
+
+let test_serve_backpressure_population () =
+  let _system, forms = cruise_forms () in
+  let addr, _path, server =
+    start_server (fun c ->
+        { c with Server.workers = 2; max_population = 2 }) in
+  Fun.protect ~finally:(fun () -> shutdown_server addr server)
+  @@ fun () ->
+  (* an over-budget population is rejected immediately... *)
+  let big = connect_exn addr in
+  let junk = Sexp.Atom "junk" in
+  let req_big =
+    request big
+      (P.Eval_population { system = forms; plans = [ junk; junk; junk ] })
+  in
+  (* ...without blocking a concurrent analyze on another connection *)
+  let analyzer =
+    Thread.create
+      (fun () ->
+        let c = connect_exn addr in
+        Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+        let req = request c (P.Analyze { system = forms; plan = None }) in
+        match call_exn c req with
+        | { P.r_body = P.Analysis _; _ } -> ()
+        | _ -> Alcotest.fail "concurrent analyze did not succeed")
+      ()
+  in
+  (match call_exn big req_big with
+   | { P.r_body = P.Rejected reason; r_id } ->
+     check Alcotest.int "echoes id" req_big.P.id r_id;
+     check Alcotest.bool "names the budget" true
+       (String.length reason > 0)
+   | _ -> Alcotest.fail "expected Rejected");
+  Thread.join analyzer;
+  Client.close big
+
+let test_serve_deadline_expired () =
+  let _system, forms = cruise_forms () in
+  let addr, _path, server = start_server (fun c -> c) in
+  Fun.protect ~finally:(fun () -> shutdown_server addr server)
+  @@ fun () ->
+  let c = connect_exn addr in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  (* a 0 ms budget has always expired by the time a worker pops it *)
+  let req =
+    request c ~deadline_ms:0 (P.Analyze { system = forms; plan = None })
+  in
+  match call_exn c req with
+  | { P.r_body = P.Rejected _; _ } -> ()
+  | _ -> Alcotest.fail "expected deadline rejection"
+
+let test_serve_oversized_frame () =
+  let _system, forms = cruise_forms () in
+  let addr, _path, server =
+    start_server (fun c -> { c with Server.max_frame = 256 }) in
+  Fun.protect ~finally:(fun () -> shutdown_server addr server)
+  @@ fun () ->
+  let c = connect_exn addr in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  (* the cruise system is far larger than 256 bytes: the server must
+     refuse the frame (id 0 — it never parsed the request) and keep
+     the connection usable *)
+  (match Client.send c (request c (P.Analyze { system = forms; plan = None }))
+   with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "send: %s" e);
+  (match Client.recv c with
+   | Ok { P.r_id = 0; r_body = P.Rejected _ } -> ()
+   | Ok _ -> Alcotest.fail "expected an id-0 Rejected"
+   | Error e -> Alcotest.failf "recv: %s" e);
+  match call_exn c (request c P.Ping) with
+  | { P.r_body = P.Pong; _ } -> ()
+  | _ -> Alcotest.fail "connection unusable after oversized frame"
+
+let test_serve_stats_over_protocol () =
+  let addr, _path, server = start_server (fun c -> c) in
+  Fun.protect ~finally:(fun () -> shutdown_server addr server)
+  @@ fun () ->
+  let c = connect_exn addr in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  (match call_exn c (request c P.Ping) with
+   | { P.r_body = P.Pong; _ } -> ()
+   | _ -> Alcotest.fail "expected Pong");
+  match call_exn c (request c P.Stats) with
+  | { P.r_body = P.Stats_snapshot sexp; _ } ->
+    (* the snapshot is an Obs metrics document mcmap stats can read *)
+    (match Mcmap_obs.Obs.metrics_of_sexp sexp with
+     | Error e -> Alcotest.failf "metrics_of_sexp: %s" e
+     | Ok snapshot ->
+       let count name =
+         match List.assoc_opt name snapshot.Mcmap_obs.Obs.metrics with
+         | Some (Mcmap_obs.Obs.Counter n) -> n
+         | _ -> 0
+       in
+       check Alcotest.int "ping counted" 1 (count "serve.request~ping");
+       check Alcotest.int "stats counted" 1
+         (count "serve.request~stats"))
+  | _ -> Alcotest.fail "expected Stats_snapshot"
+
+let suite =
+  [ Alcotest.test_case "wire round-trip" `Quick test_wire_roundtrip;
+    Alcotest.test_case "wire empty frame" `Quick test_wire_empty_rejected;
+    Alcotest.test_case "wire oversized frame" `Quick
+      test_wire_oversized_rejected;
+    Alcotest.test_case "wire truncated/eof" `Quick test_wire_truncated;
+    Alcotest.test_case "bqueue fifo, bounds, drain" `Quick
+      test_bqueue_fifo_and_bounds;
+    Alcotest.test_case "bqueue concurrent" `Quick test_bqueue_concurrent;
+    qtest text_roundtrip;
+    qtest request_roundtrip;
+    qtest response_roundtrip;
+    Alcotest.test_case "protocol float bit-exactness" `Quick
+      test_protocol_float_bits;
+    Alcotest.test_case "pool hit/miss/evict" `Quick
+      test_pool_hit_miss_evict;
+    Alcotest.test_case "evaluator eval across domains" `Quick
+      test_evaluator_concurrent_eval;
+    Alcotest.test_case "evaluator concurrent populations" `Quick
+      test_evaluator_concurrent_population;
+    Alcotest.test_case "serve e2e: 4 clients, bit-exact" `Quick
+      test_serve_e2e_concurrent;
+    Alcotest.test_case "serve backpressure: population budget" `Quick
+      test_serve_backpressure_population;
+    Alcotest.test_case "serve backpressure: queue deadline" `Quick
+      test_serve_deadline_expired;
+    Alcotest.test_case "serve backpressure: oversized frame" `Quick
+      test_serve_oversized_frame;
+    Alcotest.test_case "serve stats over the protocol" `Quick
+      test_serve_stats_over_protocol ]
