@@ -202,10 +202,13 @@ let list_cmd =
     List.iter
       (fun name ->
         let b = B.Registry.find_exn name in
-        Format.printf "%-10s %d graphs, %d tasks, %d processors@." name
+        Format.printf "%-12s %d graphs, %d tasks, %d processors, %s@."
+          name
           (Mcmap_model.Appset.n_graphs b.B.Benchmark.apps)
           (Mcmap_model.Appset.total_tasks b.B.Benchmark.apps)
-          (Mcmap_model.Arch.n_procs b.B.Benchmark.arch))
+          (Mcmap_model.Arch.n_procs b.B.Benchmark.arch)
+          (Mcmap_model.Interconnect.describe
+             b.B.Benchmark.arch.Mcmap_model.Arch.interconnect))
       B.Registry.names in
   Cmd.v (Cmd.info "list" ~doc:"List available benchmarks")
     Term.(const (fun () -> run (); 0) $ const ())

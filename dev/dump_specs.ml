@@ -14,7 +14,7 @@ let () =
           ; Regenerate with: dune exec dev/dump_specs.exe examples/specs\n\n");
       output_string oc (Mcmap_spec.Spec.write_system system);
       close_out oc)
-    [ "cruise"; "dt-med" ];
+    [ "cruise"; "dt-med"; "dt-large-noc" ];
   (* one sample plan for cruise *)
   let b = Mcmap_benchmarks.Registry.find_exn "cruise" in
   let system =

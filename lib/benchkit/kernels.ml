@@ -66,6 +66,17 @@ let evaluator_ctx =
      let domains = min 4 (Mcmap_util.Parallel.recommended_domains ()) in
      (arch, apps, plan, population, warm, domains))
 
+(* [noc_cold]: the same cold session + full analysis on the mesh-NoC
+   variant of DT-large — exercises the dense delay-table path the
+   interconnect backend precomputes at [Arch.make]. *)
+let noc_ctx =
+  lazy
+    (let bench = B.Registry.find_exn "dt-large-noc" in
+     let arch = bench.B.Benchmark.arch
+     and apps = bench.B.Benchmark.apps in
+     let plan = B.Sampler.balanced_plan ~seed:42 arch apps in
+     (arch, apps, plan))
+
 let evaluator_cold_run () =
   let arch, apps, plan, _, _, _ = Lazy.force evaluator_ctx in
   let session =
@@ -128,6 +139,10 @@ let suite =
         let arch, apps, plan, _, _, _ = Lazy.force evaluator_ctx in
         let session =
           D.Evaluator.create ~engine:D.Evaluator.Flat arch apps in
+        ignore (D.Evaluator.eval session plan));
+    plain "noc_cold" (fun () ->
+        let arch, apps, plan = Lazy.force noc_ctx in
+        let session = D.Evaluator.create arch apps in
         ignore (D.Evaluator.eval session plan));
     { (plain "evaluator_cold_obs" evaluator_cold_run) with
       k_setup = (fun () -> Obs.enable ());

@@ -109,3 +109,12 @@ let dt_large () =
   Benchmark.make ~name:"dt-large"
     ~arch:(Platforms.hexa ~policy:Proc.Non_preemptive_fp ())
     ~apps
+
+let dt_large_noc () =
+  let apps =
+    Appset.make
+      [| rt_control (); rt_stream (); rt_gateway (); rt_safety (); u1 ();
+         u2 (); u3 (); u4 (); u5 () |] in
+  Benchmark.make ~name:"dt-large-noc"
+    ~arch:(Platforms.hexa_mesh ~policy:Proc.Non_preemptive_fp ())
+    ~apps

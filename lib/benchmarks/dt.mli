@@ -10,3 +10,7 @@
 val dt_med : unit -> Benchmark.t
 
 val dt_large : unit -> Benchmark.t
+
+val dt_large_noc : unit -> Benchmark.t
+(** DT-large re-hosted on {!Platforms.hexa_mesh}: identical
+    applications, mesh-NoC communication delays instead of the bus. *)

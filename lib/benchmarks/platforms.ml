@@ -1,8 +1,10 @@
 module Proc = Mcmap_model.Proc
 module Arch = Mcmap_model.Arch
+module Interconnect = Mcmap_model.Interconnect
 
 let quad ?(policy = Proc.Preemptive_fp) () =
-  Arch.make ~bus_bandwidth:2 ~bus_latency:1
+  Arch.make
+    ~interconnect:(Interconnect.Bus { bandwidth = 2; latency = 1 })
     [| Proc.make ~id:0 ~name:"risc0" ~proc_type:"RISC" ~static_power:0.30
          ~dynamic_power:2.0 ~fault_rate:1e-5 ~speed:1.0 ~policy ();
        Proc.make ~id:1 ~name:"risc1" ~proc_type:"RISC" ~static_power:0.30
@@ -13,7 +15,8 @@ let quad ?(policy = Proc.Preemptive_fp) () =
          ~dynamic_power:1.4 ~fault_rate:1e-5 ~speed:0.8 ~policy () |]
 
 let hexa ?(policy = Proc.Preemptive_fp) () =
-  Arch.make ~bus_bandwidth:2 ~bus_latency:1
+  Arch.make
+    ~interconnect:(Interconnect.Bus { bandwidth = 2; latency = 1 })
     [| Proc.make ~id:0 ~name:"risc0" ~proc_type:"RISC" ~static_power:0.30
          ~dynamic_power:2.0 ~fault_rate:1e-5 ~speed:1.0 ~policy ();
        Proc.make ~id:1 ~name:"risc1" ~proc_type:"RISC" ~static_power:0.30
@@ -27,3 +30,15 @@ let hexa ?(policy = Proc.Preemptive_fp) () =
          ~policy ();
        Proc.make ~id:5 ~name:"dsp0" ~proc_type:"DSP" ~static_power:0.20
          ~dynamic_power:1.4 ~fault_rate:1e-5 ~speed:0.8 ~policy () |]
+
+(* The hexa platform re-hosted on a 3x2 mesh NoC: one node per
+   processor, guaranteed per-flow link share of 2 (TDM), one cycle per
+   hop plus one injection cycle. *)
+let hexa_mesh ?policy () =
+  let bus = hexa ?policy () in
+  Arch.make
+    ~interconnect:
+      (Interconnect.Noc
+         { cols = 3; rows = 2; link_bandwidth = 2; hop_latency = 1;
+           router_latency = 1 })
+    bus.Arch.procs

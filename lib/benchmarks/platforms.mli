@@ -11,3 +11,9 @@ val hexa : ?policy:Mcmap_model.Proc.policy -> unit -> Mcmap_model.Arch.t
     one extra RISC) — the platform of the DT benchmarks, which run
     non-preemptively in the paper (pass
     [~policy:Mcmap_model.Proc.Non_preemptive_fp]). *)
+
+val hexa_mesh :
+  ?policy:Mcmap_model.Proc.policy -> unit -> Mcmap_model.Arch.t
+(** The {!hexa} processors placed one per node on a 3x2 mesh NoC
+    (XY routing, link bandwidth 2, hop latency 1, router latency 1) —
+    the platform of the [dt-large-noc] benchmark variant. *)

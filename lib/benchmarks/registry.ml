@@ -1,6 +1,7 @@
 let builders =
   [ ("cruise", Cruise.benchmark); ("dt-med", Dt.dt_med);
-    ("dt-large", Dt.dt_large); ("synth-1", Synth.synth1);
+    ("dt-large", Dt.dt_large);
+    ("dt-large-noc", Dt.dt_large_noc); ("synth-1", Synth.synth1);
     ("synth-2", Synth.synth2) ]
 
 let names = List.map fst builders

@@ -14,6 +14,7 @@ module Technique = Mcmap_hardening.Technique
 module Graph = Mcmap_model.Graph
 module Task = Mcmap_model.Task
 module Arch = Mcmap_model.Arch
+module Interconnect = Mcmap_model.Interconnect
 module Proc = Mcmap_model.Proc
 module Appset = Mcmap_model.Appset
 module Criticality = Mcmap_model.Criticality
@@ -159,8 +160,7 @@ let mc_z = 4.
 let amplified_fault_rate = 3e-3
 
 let amplify_arch (arch : Arch.t) =
-  Arch.make ~bus_bandwidth:arch.Arch.bus_bandwidth
-    ~bus_latency:arch.Arch.bus_latency
+  Arch.make ~interconnect:arch.Arch.interconnect
     (Array.map
        (fun (p : Proc.t) ->
          Proc.make ~proc_type:p.Proc.proc_type
@@ -523,8 +523,7 @@ let corrupt_duplicate_proc (sys : Gen.system) =
           if i = 1 then { p with Proc.name = first } else p)
         arch.Arch.procs in
     let arch' =
-      Arch.make ~bus_bandwidth:arch.Arch.bus_bandwidth
-        ~bus_latency:arch.Arch.bus_latency procs in
+      Arch.make ~interconnect:arch.Arch.interconnect procs in
     Some (Spec.write_system { Spec.arch = arch'; apps = sys.Gen.apps })
   end
 
@@ -846,6 +845,95 @@ let check_flat_agreement (sys : Gen.system) =
   chain 0 sys.Gen.plan
 
 (* ------------------------------------------------------------------ *)
+(* (k) Interconnect backends: a bus and its degenerate mesh are the
+   same machine. [Noc {cols = n; rows = 1; link_bandwidth = bw;
+   hop_latency = 0; router_latency = lat}] must reproduce [Bus
+   {bandwidth = bw; latency = lat}] exactly: per-pair delays for every
+   size, Algorithm 1 verdicts field for field, and full evaluations bit
+   for bit on both scheduling engines. The generator emits NoC systems
+   too; their (bw, lat) parameters seed the bus side, so the oracle
+   covers every random system. *)
+
+let check_bus_noc_equivalence (sys : Gen.system) =
+  let arch = sys.Gen.arch and apps = sys.Gen.apps in
+  let bandwidth, latency =
+    match arch.Arch.interconnect with
+    | Interconnect.Bus { bandwidth; latency } -> (bandwidth, latency)
+    | Interconnect.Noc { link_bandwidth; router_latency; _ } ->
+      (link_bandwidth, router_latency) in
+  let bus_arch =
+    Arch.make
+      ~interconnect:(Interconnect.Bus { bandwidth; latency })
+      arch.Arch.procs in
+  let noc_arch =
+    Arch.make
+      ~interconnect:
+        (Interconnect.Noc
+           { cols = Arch.n_procs arch; rows = 1;
+             link_bandwidth = bandwidth; hop_latency = 0;
+             router_latency = latency })
+      arch.Arch.procs in
+  let n = Arch.n_procs arch in
+  let rec pairs src dst =
+    if src >= n then Ok ()
+    else if dst >= n then pairs (src + 1) 0
+    else begin
+      let rec sizes = function
+        | [] -> pairs src (dst + 1)
+        | size :: rest ->
+          let b = Arch.comm_delay bus_arch ~size ~src_proc:src ~dst_proc:dst
+          and m =
+            Arch.comm_delay noc_arch ~size ~src_proc:src ~dst_proc:dst in
+          if b <> m then
+            failf
+              "interconnect: comm_delay(%d -> %d, size %d): bus %d vs \
+               degenerate 1x%d mesh %d"
+              src dst size b n m
+          else sizes rest in
+      sizes [ -1; 0; 1; 5; 17; 1000 ]
+    end in
+  let* () = pairs 0 0 in
+  (* Algorithm 1, field for field. *)
+  let report_of arch =
+    Wcrt.analyze (Bounds.make (Jobset.build (Happ.build arch apps sys.Gen.plan)))
+  in
+  let rb = report_of bus_arch and rm = report_of noc_arch in
+  let* () =
+    if
+      rb.Wcrt.wcrt = rm.Wcrt.wcrt
+      && rb.Wcrt.normal_wcrt = rm.Wcrt.normal_wcrt
+      && rb.Wcrt.required_wcrt = rm.Wcrt.required_wcrt
+      && rb.Wcrt.scenarios = rm.Wcrt.scenarios
+    then Ok ()
+    else
+      failf
+        "interconnect: Algorithm 1 verdicts differ between the bus and \
+         its degenerate mesh (%d vs %d scenarios)"
+        rb.Wcrt.scenarios rm.Wcrt.scenarios in
+  (* Full evaluations, bit for bit, on both engines. *)
+  let rec engines = function
+    | [] -> Ok ()
+    | (engine, label) :: rest ->
+      let eb =
+        Evaluator.eval (Evaluator.create ~engine bus_arch apps) sys.Gen.plan
+      and em =
+        Evaluator.eval (Evaluator.create ~engine noc_arch apps) sys.Gen.plan
+      in
+      if not (evaluations_equal eb em) then
+        failf
+          "interconnect: %s-engine evaluations differ between the bus \
+           and its degenerate mesh: power %.17g vs %.17g, service %.17g \
+           vs %.17g, violation %.17g vs %.17g, schedulable %b/%b, \
+           reliable %b/%b"
+          label eb.Evaluate.power em.Evaluate.power eb.Evaluate.service
+          em.Evaluate.service eb.Evaluate.violation em.Evaluate.violation
+          eb.Evaluate.schedulable em.Evaluate.schedulable
+          eb.Evaluate.reliable em.Evaluate.reliable
+      else engines rest in
+  engines
+    [ (Evaluator.Reference, "reference"); (Evaluator.Flat, "flat") ]
+
+(* ------------------------------------------------------------------ *)
 
 let soundness =
   { name = "wcrt-soundness";
@@ -919,9 +1007,19 @@ let flat_agreement =
        truncation, and at evaluation level along mutation chains";
     check = check_flat_agreement }
 
+let bus_noc_equivalence =
+  { name = "bus-noc-equivalence";
+    doc =
+      "a bus and its degenerate 1xN zero-hop mesh are the same machine: \
+       per-pair delays for every size, Algorithm 1 verdicts field for \
+       field, and full evaluations bit for bit on both the reference \
+       and the flat engine";
+    check = check_bus_noc_equivalence }
+
 let all =
   [ soundness; reliability_agreement; campaign_agreement;
     hardening_monotonic; wcet_monotonic; dropping_improves; pareto_front;
-    lint_soundness; evaluator_agreement; flat_agreement ]
+    lint_soundness; evaluator_agreement; flat_agreement;
+    bus_noc_equivalence ]
 
 let find name = List.find_opt (fun o -> o.name = name) all

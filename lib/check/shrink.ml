@@ -11,6 +11,7 @@
 
 module Gen = Mcmap_gen.Gen
 module Arch = Mcmap_model.Arch
+module Interconnect = Mcmap_model.Interconnect
 module Proc = Mcmap_model.Proc
 module Appset = Mcmap_model.Appset
 module Graph = Mcmap_model.Graph
@@ -160,8 +161,7 @@ let drop_proc (sys : Gen.system) p =
                            ~speed:pr.Proc.speed ~policy:pr.Proc.policy
                            ~id:(remap pr.Proc.id) ~name:pr.Proc.name ()))
                   (Array.to_list arch.Arch.procs)) in
-           Arch.make ~bus_bandwidth:arch.Arch.bus_bandwidth
-             ~bus_latency:arch.Arch.bus_latency procs))
+           Arch.make ~interconnect:arch.Arch.interconnect procs))
       (fun arch' ->
         let decisions =
           Array.map
@@ -301,15 +301,28 @@ let zero_channel_size sys g c =
       (with_graph sys g)
   end
 
-let zero_bus_latency (sys : Gen.system) =
+(* Zero every fixed latency component of the interconnect (bus
+   latency, or mesh hop + router latencies), keeping the bandwidth. *)
+let zero_comm_latency (sys : Gen.system) =
   let arch = sys.Gen.arch in
-  if arch.Arch.bus_latency = 0 then None
-  else
-    Option.map
-      (fun arch' -> { sys with Gen.arch = arch' })
-      (try_make (fun () ->
-           Arch.make ~bus_bandwidth:arch.Arch.bus_bandwidth ~bus_latency:0
-             arch.Arch.procs))
+  let zeroed =
+    match arch.Arch.interconnect with
+    | Interconnect.Bus { bandwidth; latency } ->
+      if latency = 0 then None
+      else Some (Interconnect.Bus { bandwidth; latency = 0 })
+    | Interconnect.Noc
+        { cols; rows; link_bandwidth; hop_latency; router_latency } ->
+      if hop_latency = 0 && router_latency = 0 then None
+      else
+        Some
+          (Interconnect.Noc
+             { cols; rows; link_bandwidth; hop_latency = 0;
+               router_latency = 0 }) in
+  Option.bind zeroed (fun interconnect ->
+      Option.map
+        (fun arch' -> { sys with Gen.arch = arch' })
+        (try_make (fun () ->
+             Arch.make ~interconnect arch.Arch.procs)))
 
 (* ------------------------------------------------------------------ *)
 
@@ -341,7 +354,7 @@ let candidates (sys : Gen.system) =
   each_task (fun g t -> add (shrink_bcet sys g t));
   each_task (fun g t -> add (zero_overheads sys g t));
   each_channel (fun g c -> add (zero_channel_size sys g c));
-  add (zero_bus_latency sys);
+  add (zero_comm_latency sys);
   List.rev !acc
 
 type stats = { evaluations : int; steps : int }

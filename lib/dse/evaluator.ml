@@ -204,6 +204,10 @@ type stats = {
 type t = {
   arch : Arch.t;
   apps : Appset.t;
+  salt : Fingerprint.t;
+      (* absorbs the architecture (interconnect + processor count) into
+         every plan/row cache key, so fingerprints from sessions over
+         different backends can never alias *)
   engine : engine;
   check_rescue : bool;
   max_iterations : int;
@@ -259,6 +263,10 @@ let create ?(cache_capacity = 4096) ?(component_capacity = 64)
     Array.init n_graphs (fun g ->
         Criticality.max_failure_rate (Appset.graph apps g).Graph.criticality)
   in
+  let salt =
+    Mcmap_model.Interconnect.fingerprint
+      (Fingerprint.int Fingerprint.empty (Arch.n_procs arch))
+      arch.Arch.interconnect in
   let base = Appset.hyperperiod apps in
   (* The full jobset's horizon ([Bounds.make]'s default: 4 hyperperiods
      plus the latest absolute deadline) is plan-independent — per graph
@@ -274,8 +282,8 @@ let create ?(cache_capacity = 4096) ?(component_capacity = 64)
           max !max_deadline (base - graph.Graph.period + graph.Graph.deadline)
     done;
     (4 * base) + !max_deadline in
-  { arch; apps; engine; check_rescue; max_iterations; domains; n_graphs;
-    deadlines;
+  { arch; apps; salt; engine; check_rescue; max_iterations; domains;
+    n_graphs; deadlines;
     rel_bounds; base; horizon; lock = Mutex.create ();
     population_lock = Mutex.create ();
     results = Lru.create ~capacity:cache_capacity ();
@@ -328,7 +336,7 @@ let apps t = t.apps
 (* Hardened-graph and reliability caches (keyed per decision row).     *)
 
 let hgraph_for t plan gi =
-  let key = row_fingerprint plan gi in
+  let key = Fingerprint.combine t.salt (row_fingerprint plan gi) in
   match with_lock t (fun () -> Lru.find t.rows key) with
   | Some hg ->
     tier_hit "evaluator.rows";
@@ -349,7 +357,7 @@ let happ_of t plan =
   Happ.assemble t.arch t.apps plan graphs
 
 let rate_of t plan gi =
-  let key = row_fingerprint plan gi in
+  let key = Fingerprint.combine t.salt (row_fingerprint plan gi) in
   match with_lock t (fun () -> Lru.find t.rates key) with
   | Some r ->
     tier_hit "evaluator.rates";
@@ -681,7 +689,7 @@ let find_cached t fp plan =
 
 let eval t plan =
   Obs.with_span "evaluator.eval" (fun () ->
-      let fp = fingerprint plan in
+      let fp = Fingerprint.combine t.salt (fingerprint plan) in
       match find_cached t fp plan with
       | Some e ->
         tier_hit "evaluator.result";
@@ -706,7 +714,10 @@ let eval_population t plans =
   @@ fun () ->
   Obs.with_span "evaluator.eval_population" (fun () ->
       let n = Array.length plans in
-      let fps = Array.map fingerprint plans in
+      let fps =
+        Array.map
+          (fun p -> Fingerprint.combine t.salt (fingerprint p))
+          plans in
       (* Representative of each canonical-equality class: the first
          occurrence. Classes are found via the fingerprint with a
          structural guard, so colliding-but-different plans stay

@@ -1,4 +1,5 @@
 module Arch = Mcmap_model.Arch
+module Interconnect = Mcmap_model.Interconnect
 module Proc = Mcmap_model.Proc
 module Task = Mcmap_model.Task
 module Channel = Mcmap_model.Channel
@@ -29,7 +30,8 @@ let scenario () =
   let proc id name =
     Proc.make ~id ~name ~fault_rate:1e-5 ~policy:Proc.Non_preemptive_fp () in
   let arch =
-    Arch.make ~bus_bandwidth:2 ~bus_latency:1
+    Arch.make
+    ~interconnect:(Interconnect.Bus { bandwidth = 2; latency = 1 })
       [| proc 0 "pe0"; proc 1 "pe1" |] in
   let high =
     Graph.make ~name:"high" ~deadline:deadline_high

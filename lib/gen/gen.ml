@@ -11,6 +11,7 @@ module Channel = Mcmap_model.Channel
 module Graph = Mcmap_model.Graph
 module Appset = Mcmap_model.Appset
 module Plan = Mcmap_hardening.Plan
+module Interconnect = Mcmap_model.Interconnect
 module Prng = Mcmap_util.Prng
 
 type system = {
@@ -20,12 +21,31 @@ type system = {
   seed : int;
 }
 
+let random_bus rng =
+  Interconnect.Bus
+    { bandwidth = Prng.int_in rng 1 4; latency = Prng.int_in rng 0 2 }
+
+(* A mesh just big enough (or one node bigger) for [n_procs], with the
+   small latencies the bus generator uses. *)
+let random_noc rng ~n_procs =
+  let cols = Prng.int_in rng 1 n_procs in
+  let rows = Mcmap_util.Mathx.ceil_div n_procs cols in
+  let rows = if Prng.bool rng then rows + 1 else rows in
+  Interconnect.Noc
+    { cols; rows;
+      link_bandwidth = Prng.int_in rng 1 4;
+      hop_latency = Prng.int_in rng 0 2;
+      router_latency = Prng.int_in rng 0 2 }
+
+let random_interconnect rng ~n_procs =
+  if Prng.bool rng then random_bus rng else random_noc rng ~n_procs
+
 let random_arch rng =
   let n = Prng.int_in rng 2 3 in
   let policy =
     if Prng.bool rng then Proc.Preemptive_fp else Proc.Non_preemptive_fp in
-  Arch.make ~bus_bandwidth:(Prng.int_in rng 1 4)
-    ~bus_latency:(Prng.int_in rng 0 2)
+  Arch.make
+    ~interconnect:(random_interconnect rng ~n_procs:n)
     (Array.init n (fun id ->
          Proc.make ~id
            ~name:(Format.asprintf "p%d" id)

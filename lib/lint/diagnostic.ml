@@ -96,6 +96,19 @@ let registry =
        value.";
     reg "MC018" Error "invalid-channel-size"
       "A channel has a negative payload size.";
+    reg "MC019" Error "invalid-interconnect-attribute"
+      "A NoC interconnect has an attribute outside its domain: \
+       non-positive mesh dimensions or link bandwidth, or a negative \
+       hop or router latency.";
+    reg "MC020" Error "mesh-capacity-exceeded"
+      "The NoC mesh declares fewer nodes (cols x rows) than the \
+       architecture has processors, so not every processor can be \
+       placed on the mesh.";
+    reg "MC021" Error "unreachable-processor-coordinates"
+      "A processor's row-major mesh coordinate (id mod cols, id / \
+       cols) lies outside the declared mesh, so no XY route can reach \
+       it. Reported per offending processor, alongside MC020 on the \
+       mesh itself.";
     (* MC1xx — plan consistency *)
     reg "MC100" Error "plan-syntax"
       "The plan file is not syntactically valid: malformed \

@@ -69,20 +69,72 @@ let check_proc ctx (p : Ast.proc) =
       "processor %s: unknown policy %s" name v
   | _ -> ()
 
+let check_bus ctx (b : Ast.bus) =
+  (match b.Ast.i_bandwidth with
+   | Some { Ast.v; pos } when v <= 0 ->
+     emit ctx ~pos ~code:"MC016"
+       "bus bandwidth must be positive, got %d" v
+   | _ -> ());
+  match b.Ast.i_latency with
+  | Some { Ast.v; pos } when v < 0 ->
+    emit ctx ~pos ~code:"MC016" "bus latency must be non-negative, got %d" v
+  | _ -> ()
+
+let check_noc ctx (n : Ast.noc) ~n_procs procs =
+  let positive what (l : int Ast.located) =
+    if l.Ast.v <= 0 then
+      emit ctx ~pos:l.Ast.pos ~code:"MC019"
+        ~fixit:(Format.asprintf "use a positive %s" what)
+        "noc: %s must be positive, got %d" what l.Ast.v in
+  positive "cols" n.Ast.n_cols;
+  positive "rows" n.Ast.n_rows;
+  (match n.Ast.n_link_bandwidth with
+   | Some { Ast.v; pos } when v <= 0 ->
+     emit ctx ~pos ~code:"MC019"
+       "noc: link bandwidth must be positive, got %d" v
+   | _ -> ());
+  let nonneg what (l : int Ast.located option) =
+    match l with
+    | Some { Ast.v; pos } when v < 0 ->
+      emit ctx ~pos ~code:"MC019" "noc: %s must be non-negative, got %d"
+        what v
+    | _ -> () in
+  nonneg "hop latency" n.Ast.n_hop_latency;
+  nonneg "router latency" n.Ast.n_router_latency;
+  let cols = n.Ast.n_cols.Ast.v and rows = n.Ast.n_rows.Ast.v in
+  if cols > 0 && rows > 0 && cols * rows < n_procs then begin
+    emit ctx ~pos:n.Ast.n_pos ~code:"MC020"
+      ~fixit:
+        (Format.asprintf "grow the mesh to at least %d nodes, e.g. %dx%d"
+           n_procs
+           (min cols n_procs)
+           (Mathx.ceil_div n_procs (min cols n_procs)))
+      "noc: the %dx%d mesh has %d nodes for %d processors" cols rows
+      (cols * rows) n_procs;
+    (* Row-major placement: processor [i] sits at node
+       [(i mod cols, i / cols)]; every id beyond the capacity maps to a
+       coordinate outside the mesh. *)
+    List.iteri
+      (fun id (p : Ast.proc) ->
+        if id >= cols * rows then
+          let x, y = (id mod cols, id / cols) in
+          emit ctx ~pos:p.Ast.p_name.Ast.pos ~code:"MC021"
+            ~fixit:"grow the mesh or remove the processor"
+            "processor %s maps to node (%d, %d), outside the %dx%d mesh"
+            (loc_value p.Ast.p_name) x y cols rows)
+      procs
+  end
+
 let check_arch ctx (a : Ast.arch) =
   if a.Ast.a_procs = [] then
     emit ctx ~pos:a.Ast.a_pos ~code:"MC015"
       ~fixit:"add at least one (processor (name ...)) entry"
       "architecture declares no processors";
-  (match a.Ast.a_bandwidth with
-   | Some { Ast.v; pos } when v <= 0 ->
-     emit ctx ~pos ~code:"MC016"
-       "bus bandwidth must be positive, got %d" v
-   | _ -> ());
-  (match a.Ast.a_latency with
-   | Some { Ast.v; pos } when v < 0 ->
-     emit ctx ~pos ~code:"MC016" "bus latency must be non-negative, got %d" v
-   | _ -> ());
+  (match a.Ast.a_interconnect with
+   | None -> ()
+   | Some (Ast.I_bus b) -> check_bus ctx b
+   | Some (Ast.I_noc n) ->
+     check_noc ctx n ~n_procs:(List.length a.Ast.a_procs) a.Ast.a_procs);
   check_duplicates ctx ~code:"MC001" ~what:"processor name"
     (List.map (fun (p : Ast.proc) -> p.Ast.p_name) a.Ast.a_procs);
   List.iter (check_proc ctx) a.Ast.a_procs

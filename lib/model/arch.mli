@@ -1,21 +1,38 @@
 (** MPSoC architecture [A = (P, nw)] (paper §2.1).
 
-    Processors communicate over a shared interconnect characterised by a
-    maximum bandwidth [bw_nw] and a fixed per-transfer latency. Faults on
-    communication links are assumed transparent (handled by low-level
-    error-resilient techniques), as in the paper. *)
+    Processors communicate over a pluggable interconnect backend
+    ({!Interconnect.t}): the paper's shared bus with a maximum
+    bandwidth [bw_nw] and a fixed per-transfer latency, or a 2D-mesh
+    NoC with XY routing. Faults on communication links are assumed
+    transparent (handled by low-level error-resilient techniques), as
+    in the paper. *)
 
 type t = private {
   procs : Proc.t array;
-  bus_bandwidth : int;  (** payload units transferred per time unit *)
-  bus_latency : int;  (** fixed start-up cost per remote transfer *)
+  interconnect : Interconnect.t;
+  base_delay : int array;
+      (** dense [src * n + dst] table of the size-independent delay
+          component, precomputed so {!comm_delay} is O(1) for every
+          backend *)
+  bandwidth : int;  (** serialisation bandwidth of the backend *)
 }
 
-val make : ?bus_bandwidth:int -> ?bus_latency:int -> Proc.t array -> t
-(** Defaults: bandwidth 1 unit/time, latency 0. Processor ids must equal
-    their array index.
-    @raise Invalid_argument on inconsistent ids or non-positive
-    bandwidth. *)
+val make :
+  ?bus_bandwidth:int ->
+  ?bus_latency:int ->
+  ?interconnect:Interconnect.t ->
+  Proc.t array ->
+  t
+(** Builds an architecture over [~interconnect] (default
+    [Interconnect.default], a bandwidth-1 latency-0 bus). Processor
+    ids must equal their array index, and a mesh must have at least as
+    many nodes as there are processors.
+
+    [?bus_bandwidth]/[?bus_latency] are deprecated spellings of
+    [~interconnect:(Bus {bandwidth; latency})], kept so existing
+    callers compile; they cannot be combined with [~interconnect].
+    @raise Invalid_argument on inconsistent ids, an invalid
+    interconnect, an overfull mesh, or mixing both parameter styles. *)
 
 val n_procs : t -> int
 
@@ -23,8 +40,9 @@ val proc : t -> int -> Proc.t
 (** @raise Invalid_argument if the id is out of range. *)
 
 val comm_delay : t -> size:int -> src_proc:int -> dst_proc:int -> int
-(** Worst-case transfer delay of a message of [size] payload units between
-    the given processors: [0] if they are equal, otherwise
-    [latency + ceil (size / bandwidth)]. *)
+(** Worst-case transfer delay of a message of [size] payload units
+    between the given processors: [0] if they are equal, otherwise the
+    backend's base latency for the pair plus [ceil (size / bandwidth)]
+    when [size > 0] (see {!Interconnect.comm_delay}). *)
 
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,141 @@
+type t =
+  | Bus of { bandwidth : int; latency : int }
+  | Noc of {
+      cols : int;
+      rows : int;
+      link_bandwidth : int;
+      hop_latency : int;
+      router_latency : int;
+    }
+
+let default = Bus { bandwidth = 1; latency = 0 }
+
+let validate = function
+  | Bus { bandwidth; latency } ->
+    if bandwidth <= 0 then
+      invalid_arg "Interconnect: bandwidth must be > 0";
+    if latency < 0 then invalid_arg "Interconnect: negative latency"
+  | Noc { cols; rows; link_bandwidth; hop_latency; router_latency } ->
+    if cols <= 0 then invalid_arg "Interconnect: mesh cols must be > 0";
+    if rows <= 0 then invalid_arg "Interconnect: mesh rows must be > 0";
+    if link_bandwidth <= 0 then
+      invalid_arg "Interconnect: link bandwidth must be > 0";
+    if hop_latency < 0 then
+      invalid_arg "Interconnect: negative hop latency";
+    if router_latency < 0 then
+      invalid_arg "Interconnect: negative router latency"
+
+let capacity = function
+  | Bus _ -> max_int
+  | Noc { cols; rows; _ } -> cols * rows
+
+let bandwidth = function
+  | Bus { bandwidth; _ } -> bandwidth
+  | Noc { link_bandwidth; _ } -> link_bandwidth
+
+let coords ~cols node = (node mod cols, node / cols)
+
+let hops t ~src ~dst =
+  match t with
+  | Bus _ -> if src = dst then 0 else 1
+  | Noc { cols; _ } ->
+    let sx, sy = coords ~cols src in
+    let dx, dy = coords ~cols dst in
+    abs (dx - sx) + abs (dy - sy)
+
+let route t ~src ~dst =
+  match t with
+  | Bus _ -> if src = dst then [ src ] else [ src; dst ]
+  | Noc { cols; _ } ->
+    let sx, sy = coords ~cols src in
+    let dx, dy = coords ~cols dst in
+    let node x y = (y * cols) + x in
+    let step a b = if a < b then a + 1 else a - 1 in
+    (* X first, then Y: walk the column index to [dx], then the row
+       index to [dy]. *)
+    let rec walk_y x y acc =
+      if y = dy then acc else walk_y x (step y dy) (node x (step y dy) :: acc)
+    in
+    let rec walk_x x y acc =
+      if x = dx then walk_y x y acc
+      else walk_x (step x dx) y (node (step x dx) y :: acc) in
+    List.rev (walk_x sx sy [ node sx sy ])
+
+(* Base (size-independent) part of the transfer delay; the payload
+   serialisation term [ceil size/bandwidth] is charged on top by the
+   caller when size > 0. [router_latency] is the fixed
+   network-interface/injection cost charged once per transfer (not per
+   router), so a bus maps exactly onto a 1xN zero-hop mesh. *)
+let base_delay t ~src ~dst =
+  if src = dst then 0
+  else
+    match t with
+    | Bus { latency; _ } -> latency
+    | Noc { hop_latency; router_latency; _ } ->
+      router_latency + (hop_latency * hops t ~src ~dst)
+
+let comm_delay t ~size ~src ~dst =
+  if src = dst then 0
+  else
+    base_delay t ~src ~dst
+    + (if size <= 0 then 0 else Mcmap_util.Mathx.ceil_div size (bandwidth t))
+
+(* Worst-case number of all-to-all unit flows crossing any single
+   directed link under XY routing (the bus is one link shared by every
+   remote pair). With a TDM/predictable NoC the guaranteed per-flow
+   share is already folded into [link_bandwidth], so this load figure
+   is diagnostic — it quantifies how conservative that share is. *)
+let max_link_load t ~n_procs =
+  let n = max n_procs 0 in
+  if n <= 1 then 0
+  else
+    match t with
+    | Bus _ -> n * (n - 1)
+    | Noc _ ->
+      let loads = Hashtbl.create 64 in
+      for src = 0 to n - 1 do
+        for dst = 0 to n - 1 do
+          if src <> dst then begin
+            let rec links = function
+              | a :: (b :: _ as rest) ->
+                let key = (a, b) in
+                Hashtbl.replace loads key
+                  (1 + Option.value ~default:0 (Hashtbl.find_opt loads key));
+                links rest
+              | [ _ ] | [] -> () in
+            links (route t ~src ~dst)
+          end
+        done
+      done;
+      Hashtbl.fold (fun _ c acc -> max c acc) loads 0
+
+let equal a b =
+  match a, b with
+  | Bus a, Bus b -> a.bandwidth = b.bandwidth && a.latency = b.latency
+  | Noc a, Noc b ->
+    a.cols = b.cols && a.rows = b.rows
+    && a.link_bandwidth = b.link_bandwidth
+    && a.hop_latency = b.hop_latency
+    && a.router_latency = b.router_latency
+  | Bus _, Noc _ | Noc _, Bus _ -> false
+
+let fingerprint fp t =
+  let module F = Mcmap_util.Fingerprint in
+  match t with
+  | Bus { bandwidth; latency } ->
+    F.int (F.int (F.int fp 1) bandwidth) latency
+  | Noc { cols; rows; link_bandwidth; hop_latency; router_latency } ->
+    F.int
+      (F.int
+         (F.int (F.int (F.int (F.int fp 2) cols) rows) link_bandwidth)
+         hop_latency)
+      router_latency
+
+let describe = function
+  | Bus { bandwidth; latency } ->
+    Printf.sprintf "bus bw=%d lat=%d" bandwidth latency
+  | Noc { cols; rows; link_bandwidth; hop_latency; router_latency } ->
+    Printf.sprintf "noc %dx%d linkbw=%d hop=%d router=%d" cols rows
+      link_bandwidth hop_latency router_latency
+
+let pp ppf t = Format.pp_print_string ppf (describe t)

@@ -1,0 +1,94 @@
+(** Pluggable interconnect backends.
+
+    The paper models inter-processor communication as a single shared
+    bus with a maximum bandwidth and a fixed per-transfer latency
+    (§2.1). [Bus] keeps exactly those semantics. [Noc] generalises to a
+    [cols] x [rows] 2D mesh with deterministic XY (dimension-ordered)
+    routing: processor [i] sits at node [(i mod cols, i / cols)], a
+    transfer pays a fixed injection cost [router_latency], a per-link
+    cost [hop_latency] for each traversed link, and serialises its
+    payload at [link_bandwidth] units per time step.
+
+    Contention: the NoC is modelled as a predictable (TDM-style)
+    network — [link_bandwidth] is the per-flow *guaranteed* share, so
+    the worst-case per-link contention is folded into the parameter by
+    construction and every bound stays a safe static bound.
+    {!max_link_load} exposes how many all-to-all flows share the
+    busiest link, to let callers judge how conservative that share is.
+
+    Degenerate equivalence: [Noc {cols = n; rows = 1; link_bandwidth =
+    bw; hop_latency = 0; router_latency = lat}] produces exactly the
+    same {!comm_delay} as [Bus {bandwidth = bw; latency = lat}] for
+    every (src, dst, size) — the correctness spine of the backend
+    redesign (see DESIGN.md §15). *)
+
+type t =
+  | Bus of { bandwidth : int; latency : int }
+      (** Shared bus: [bandwidth] payload units per time step,
+          [latency] fixed start-up cost per remote transfer. *)
+  | Noc of {
+      cols : int;
+      rows : int;
+      link_bandwidth : int;
+      hop_latency : int;
+      router_latency : int;
+    }
+      (** 2D mesh, XY routing; see the module description. *)
+
+val default : t
+(** [Bus {bandwidth = 1; latency = 0}] — the historical default. *)
+
+val validate : t -> unit
+(** @raise Invalid_argument on non-positive bandwidth/mesh dimensions
+    or negative latencies. *)
+
+val capacity : t -> int
+(** Number of processors the interconnect can attach: [cols * rows]
+    for a mesh, unbounded ([max_int]) for a bus. *)
+
+val bandwidth : t -> int
+(** The per-transfer serialisation bandwidth (bus bandwidth, or the
+    guaranteed per-flow link bandwidth of the mesh). *)
+
+val coords : cols:int -> int -> int * int
+(** [(node mod cols, node / cols)] — row-major placement. *)
+
+val hops : t -> src:int -> dst:int -> int
+(** Number of links an XY-routed transfer traverses: the Manhattan
+    distance of the endpoints on a mesh; [0]/[1] on a bus. *)
+
+val route : t -> src:int -> dst:int -> int list
+(** The deterministic XY route as the list of visited nodes, [src]
+    first and [dst] last ([[src]] when they coincide): the column
+    index walks to the destination column, then the row index walks to
+    the destination row. *)
+
+val base_delay : t -> src:int -> dst:int -> int
+(** The size-independent component of {!comm_delay}: [0] if
+    [src = dst], the bus latency, or
+    [router_latency + hop_latency * hops] on a mesh. [Arch] tabulates
+    it densely per processor pair. *)
+
+val comm_delay : t -> size:int -> src:int -> dst:int -> int
+(** Worst-case transfer delay of a [size]-unit message: [0] if
+    [src = dst]; otherwise the base latency (bus latency, or
+    [router_latency + hop_latency * hops]) plus
+    [ceil (size / bandwidth)] when [size > 0]. *)
+
+val max_link_load : t -> n_procs:int -> int
+(** Worst-case number of all-to-all unit flows sharing one directed
+    link under XY routing (diagnostic; see the module description). *)
+
+val equal : t -> t -> bool
+
+val fingerprint :
+  Mcmap_util.Fingerprint.t -> t -> Mcmap_util.Fingerprint.t
+(** Absorbs the backend tag and every parameter, so caches keyed on
+    the result cannot alias two different interconnects. *)
+
+val describe : t -> string
+(** One-line rendering, e.g. ["bus bw=2 lat=1"] or
+    ["noc 3x2 linkbw=2 hop=1 router=1"] — shared by {!pp},
+    [Arch.pp], and [mcmap stats] so human outputs agree. *)
+
+val pp : Format.formatter -> t -> unit

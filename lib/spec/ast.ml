@@ -49,10 +49,26 @@ type proc = {
   p_policy : string located option;
 }
 
+type bus = {
+  i_pos : pos;
+  i_bandwidth : int located option;
+  i_latency : int located option;
+}
+
+type noc = {
+  n_pos : pos;
+  n_cols : int located;
+  n_rows : int located;
+  n_link_bandwidth : int located option;
+  n_hop_latency : int located option;
+  n_router_latency : int located option;
+}
+
+type interconnect = I_bus of bus | I_noc of noc
+
 type arch = {
   a_pos : pos;
-  a_bandwidth : int located option;
-  a_latency : int located option;
+  a_interconnect : interconnect option;
   a_procs : proc list;
 }
 
@@ -216,32 +232,70 @@ let read_proc pos items =
   Ok { p_pos = pos; p_name; p_type; p_static; p_dynamic; p_fault_rate;
        p_speed; p_policy }
 
+let read_bus bpos payload =
+  let ctx = "bus" in
+  let* bus_fields = fields_of ~ctx payload in
+  let* () =
+    check_shape ~ctx ~allowed:[ "bandwidth"; "latency" ] ~multi:[]
+      bus_fields in
+  let* i_bandwidth = opt_int ~ctx "bandwidth" bus_fields in
+  let* i_latency = opt_int ~ctx "latency" bus_fields in
+  Ok { i_pos = bpos; i_bandwidth; i_latency }
+
+let read_noc npos payload =
+  let ctx = "noc" in
+  let* noc_fields = fields_of ~ctx payload in
+  let* () =
+    check_shape ~ctx
+      ~allowed:
+        [ "cols"; "rows"; "link-bandwidth"; "hop-latency"; "router-latency" ]
+      ~multi:[] noc_fields in
+  let* n_cols = req_int ~ctx ~pos:npos "cols" noc_fields in
+  let* n_rows = req_int ~ctx ~pos:npos "rows" noc_fields in
+  let* n_link_bandwidth = opt_int ~ctx "link-bandwidth" noc_fields in
+  let* n_hop_latency = opt_int ~ctx "hop-latency" noc_fields in
+  let* n_router_latency = opt_int ~ctx "router-latency" noc_fields in
+  Ok { n_pos = npos; n_cols; n_rows; n_link_bandwidth; n_hop_latency;
+       n_router_latency }
+
+(* (interconnect (bus ...)) | (interconnect (noc ...)) *)
+let read_interconnect pos payload =
+  let ctx = "interconnect" in
+  let* fields = fields_of ~ctx payload in
+  match fields with
+  | [ ("bus", bpos, bus_payload) ] ->
+    Result.map (fun b -> I_bus b) (read_bus bpos bus_payload)
+  | [ ("noc", npos, noc_payload) ] ->
+    Result.map (fun n -> I_noc n) (read_noc npos noc_payload)
+  | _ ->
+    errf ~pos "%s: expected exactly one (bus ...) or (noc ...) backend" ctx
+
 let read_arch pos items =
   let ctx = "architecture" in
   let* fields = fields_of ~ctx items in
   let* () =
-    check_shape ~ctx ~allowed:[ "bus"; "processor" ] ~multi:[ "processor" ]
-      fields in
-  let* a_bandwidth, a_latency =
-    match find "bus" fields with
-    | None -> Ok (None, None)
-    | Some (bpos, payload) ->
-      let ctx = "bus" in
-      let* bus_fields = fields_of ~ctx payload in
-      let* () =
-        check_shape ~ctx ~allowed:[ "bandwidth"; "latency" ] ~multi:[]
-          bus_fields in
-      ignore bpos;
-      let* bw = opt_int ~ctx "bandwidth" bus_fields in
-      let* lat = opt_int ~ctx "latency" bus_fields in
-      Ok (bw, lat) in
+    check_shape ~ctx ~allowed:[ "bus"; "interconnect"; "processor" ]
+      ~multi:[ "processor" ] fields in
+  let* a_interconnect =
+    match find "bus" fields, find "interconnect" fields with
+    | Some _, Some (ipos, _) ->
+      errf ~pos:ipos
+        "%s: both (bus ...) and (interconnect ...); keep only the \
+         (interconnect ...) form"
+        ctx
+    | Some (bpos, payload), None ->
+      (* legacy spelling of (interconnect (bus ...)) *)
+      Result.map (fun b -> Some (I_bus b)) (read_bus bpos payload)
+    | None, Some (ipos, payload) ->
+      Result.map Option.some (read_interconnect ipos payload)
+    | None, None -> Ok None in
   let* a_procs =
     collect
       (fun (key, fpos, payload) ->
         if key = "processor" then Result.map Option.some (read_proc fpos payload)
         else Ok None)
       fields in
-  Ok { a_pos = pos; a_bandwidth; a_latency;
+  Ok { a_pos = pos; a_interconnect;
        a_procs = List.filter_map Fun.id a_procs }
 
 let read_task pos items =

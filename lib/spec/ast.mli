@@ -29,10 +29,29 @@ type proc = {
   p_policy : string located option;
 }
 
+type bus = {
+  i_pos : pos;
+  i_bandwidth : int located option;
+  i_latency : int located option;
+}
+
+type noc = {
+  n_pos : pos;
+  n_cols : int located;
+  n_rows : int located;
+  n_link_bandwidth : int located option;
+  n_hop_latency : int located option;
+  n_router_latency : int located option;
+}
+
+type interconnect = I_bus of bus | I_noc of noc
+(** The interconnect backend of an architecture block, either from the
+    new [(interconnect (bus ...) | (noc ...))] form or from the legacy
+    top-level [(bus ...)] spelling (shaped as [I_bus]). *)
+
 type arch = {
   a_pos : pos;
-  a_bandwidth : int located option;
-  a_latency : int located option;
+  a_interconnect : interconnect option;
   a_procs : proc list;
 }
 

@@ -1,6 +1,7 @@
 module Sexp = Mcmap_util.Sexp
 module Proc = Mcmap_model.Proc
 module Arch = Mcmap_model.Arch
+module Interconnect = Mcmap_model.Interconnect
 module Criticality = Mcmap_model.Criticality
 module Task = Mcmap_model.Task
 module Channel = Mcmap_model.Channel
@@ -84,12 +85,24 @@ let build_arch (a : Ast.arch) =
       collect
         (fun (id, p) -> build_proc id p)
         (List.mapi (fun id p -> (id, p)) a.Ast.a_procs) in
-    let value o = Option.map (fun (l : _ Ast.located) -> l.Ast.v) o in
+    let value ~default o =
+      Option.fold ~none:default ~some:(fun (l : _ Ast.located) -> l.Ast.v) o
+    in
+    let interconnect =
+      match a.Ast.a_interconnect with
+      | None -> Interconnect.default
+      | Some (Ast.I_bus b) ->
+        Interconnect.Bus
+          { bandwidth = value ~default:1 b.Ast.i_bandwidth;
+            latency = value ~default:0 b.Ast.i_latency }
+      | Some (Ast.I_noc n) ->
+        Interconnect.Noc
+          { cols = n.Ast.n_cols.Ast.v; rows = n.Ast.n_rows.Ast.v;
+            link_bandwidth = value ~default:1 n.Ast.n_link_bandwidth;
+            hop_latency = value ~default:0 n.Ast.n_hop_latency;
+            router_latency = value ~default:0 n.Ast.n_router_latency } in
     protect_at a.Ast.a_pos (fun () ->
-        Arch.make
-          ?bus_bandwidth:(value a.Ast.a_bandwidth)
-          ?bus_latency:(value a.Ast.a_latency)
-          (Array.of_list procs))
+        Arch.make ~interconnect (Array.of_list procs))
   end
 
 let build_task id (t : Ast.task) =
@@ -323,11 +336,25 @@ let write_processor (p : Proc.t) =
          | Proc.Preemptive_fp -> "preemptive"
          | Proc.Non_preemptive_fp -> "non-preemptive") ]
 
+let write_interconnect (ic : Interconnect.t) =
+  field "interconnect"
+    [ (match ic with
+       | Interconnect.Bus { bandwidth; latency } ->
+         field "bus"
+           [ field1 "bandwidth" (string_of_int bandwidth);
+             field1 "latency" (string_of_int latency) ]
+       | Interconnect.Noc
+           { cols; rows; link_bandwidth; hop_latency; router_latency } ->
+         field "noc"
+           [ field1 "cols" (string_of_int cols);
+             field1 "rows" (string_of_int rows);
+             field1 "link-bandwidth" (string_of_int link_bandwidth);
+             field1 "hop-latency" (string_of_int hop_latency);
+             field1 "router-latency" (string_of_int router_latency) ]) ]
+
 let write_architecture (arch : Arch.t) =
   field "architecture"
-    (field "bus"
-       [ field1 "bandwidth" (string_of_int arch.Arch.bus_bandwidth);
-         field1 "latency" (string_of_int arch.Arch.bus_latency) ]
+    (write_interconnect arch.Arch.interconnect
      :: List.map write_processor (Array.to_list arch.Arch.procs))
 
 let write_task (t : Task.t) =

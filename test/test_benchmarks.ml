@@ -13,10 +13,11 @@ let check = Alcotest.check
 
 let test_registry () =
   check (Alcotest.list Alcotest.string) "names"
-    [ "cruise"; "dt-med"; "dt-large"; "synth-1"; "synth-2" ]
+    [ "cruise"; "dt-med"; "dt-large"; "dt-large-noc"; "synth-1";
+      "synth-2" ]
     B.Registry.names;
   check Alcotest.bool "find unknown" true (B.Registry.find "nope" = None);
-  check Alcotest.int "all returns every benchmark" 5
+  check Alcotest.int "all returns every benchmark" 6
     (List.length (B.Registry.all ()));
   Alcotest.check_raises "find_exn"
     (Invalid_argument "Registry.find_exn: unknown benchmark nope")

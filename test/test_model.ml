@@ -96,6 +96,142 @@ let test_arch_accessors () =
       ignore (Arch.proc a 4))
 
 (* ------------------------------------------------------------------ *)
+(* Interconnect *)
+
+module Interconnect = Mcmap_model.Interconnect
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let mesh ?(link_bandwidth = 2) ?(hop_latency = 1) ?(router_latency = 1)
+    ~cols ~rows () =
+  Interconnect.Noc { cols; rows; link_bandwidth; hop_latency;
+                     router_latency }
+
+let test_noc_comm_delay () =
+  (* 3x2 mesh: node 0 = (0,0), node 4 = (1,1), node 5 = (2,1). *)
+  let a =
+    Arch.make
+      ~interconnect:(mesh ~cols:3 ~rows:2 ())
+      (Array.init 6 (fun i -> proc i)) in
+  check Alcotest.int "local is free" 0
+    (Arch.comm_delay a ~size:100 ~src_proc:4 ~dst_proc:4);
+  (* 0 -> 5: 2 X hops + 1 Y hop, router 1, ceil 10/2 = 5 *)
+  check Alcotest.int "remote pays router + hops + transfer" (1 + 3 + 5)
+    (Arch.comm_delay a ~size:10 ~src_proc:0 ~dst_proc:5);
+  check Alcotest.int "empty message pays base only" (1 + 3)
+    (Arch.comm_delay a ~size:0 ~src_proc:0 ~dst_proc:5);
+  check Alcotest.int "neighbours pay one hop" (1 + 1 + 1)
+    (Arch.comm_delay a ~size:2 ~src_proc:3 ~dst_proc:4)
+
+let test_noc_validation () =
+  Alcotest.check_raises "mesh too small"
+    (Invalid_argument
+       "Arch.make: 4 processors exceed the 2-node mesh capacity")
+    (fun () ->
+      ignore
+        (Arch.make
+           ~interconnect:(mesh ~cols:2 ~rows:1 ())
+           (Array.init 4 (fun i -> proc i))));
+  Alcotest.check_raises "mixing parameter styles"
+    (Invalid_argument
+       "Arch.make: ~interconnect excludes ?bus_bandwidth/?bus_latency")
+    (fun () ->
+      ignore
+        (Arch.make ~bus_bandwidth:2
+           ~interconnect:(mesh ~cols:2 ~rows:2 ())
+           [| proc 0 |]));
+  Alcotest.check_raises "zero link bandwidth"
+    (Invalid_argument "Interconnect: link bandwidth must be > 0")
+    (fun () ->
+      ignore
+        (Arch.make
+           ~interconnect:(mesh ~link_bandwidth:0 ~cols:2 ~rows:2 ())
+           [| proc 0 |]))
+
+(* The correctness spine of the backend redesign, pointwise: a 1xN
+   zero-hop mesh is the bus. *)
+let test_bus_degenerate_noc () =
+  let n = 5 in
+  let procs = Array.init n (fun i -> proc i) in
+  let bus = Arch.make ~bus_bandwidth:3 ~bus_latency:2 procs in
+  let noc =
+    Arch.make
+      ~interconnect:
+        (mesh ~cols:n ~rows:1 ~link_bandwidth:3 ~hop_latency:0
+           ~router_latency:2 ())
+      procs in
+  for src = 0 to n - 1 do
+    for dst = 0 to n - 1 do
+      List.iter
+        (fun size ->
+          check Alcotest.int
+            (Format.asprintf "delay %d->%d size %d" src dst size)
+            (Arch.comm_delay bus ~size ~src_proc:src ~dst_proc:dst)
+            (Arch.comm_delay noc ~size ~src_proc:src ~dst_proc:dst))
+        [ 0; 1; 7; 100 ]
+    done
+  done
+
+(* qcheck XY-routing laws over random meshes and endpoint pairs. *)
+let noc_case =
+  QCheck.(
+    map
+      (fun (cols, rows, (a, b)) ->
+        let cap = cols * rows in
+        (cols, rows, a mod cap, b mod cap))
+      (triple (int_range 1 8) (int_range 1 8)
+         (pair (int_range 0 63) (int_range 0 63))))
+
+let qcheck_hops_symmetric =
+  QCheck.Test.make ~name:"XY hop count is symmetric" ~count:500 noc_case
+    (fun (cols, rows, src, dst) ->
+      let t = mesh ~cols ~rows () in
+      Interconnect.hops t ~src ~dst = Interconnect.hops t ~src:dst ~dst:src)
+
+let qcheck_route_length_manhattan =
+  QCheck.Test.make
+    ~name:"XY route length equals the Manhattan distance" ~count:500
+    noc_case
+    (fun (cols, rows, src, dst) ->
+      let t = mesh ~cols ~rows () in
+      let route = Interconnect.route t ~src ~dst in
+      let sx, sy = Interconnect.coords ~cols src in
+      let dx, dy = Interconnect.coords ~cols dst in
+      let manhattan = abs (dx - sx) + abs (dy - sy) in
+      List.length route = manhattan + 1
+      && Interconnect.hops t ~src ~dst = manhattan)
+
+let qcheck_route_deterministic =
+  QCheck.Test.make
+    ~name:"XY routes are deterministic, endpoint-correct and unit-step"
+    ~count:500 noc_case
+    (fun (cols, rows, src, dst) ->
+      let t = mesh ~cols ~rows () in
+      let route = Interconnect.route t ~src ~dst in
+      route = Interconnect.route t ~src ~dst
+      && List.hd route = src
+      && List.nth route (List.length route - 1) = dst
+      && (let rec steps = function
+            | a :: (b :: _ as rest) ->
+              let ax, ay = Interconnect.coords ~cols a in
+              let bx, by = Interconnect.coords ~cols b in
+              abs (bx - ax) + abs (by - ay) = 1 && steps rest
+            | [ _ ] | [] -> true in
+          steps route))
+
+let test_max_link_load () =
+  (* Bus: every remote pair shares the one link. *)
+  check Alcotest.int "bus all-to-all" 12
+    (Interconnect.max_link_load
+       (Interconnect.Bus { bandwidth = 1; latency = 0 })
+       ~n_procs:4);
+  (* 1xN chain: the middle link carries every crossing flow. *)
+  check Alcotest.int "chain middle link" 4
+    (Interconnect.max_link_load (mesh ~cols:4 ~rows:1 ()) ~n_procs:4);
+  check Alcotest.int "single node" 0
+    (Interconnect.max_link_load (mesh ~cols:1 ~rows:1 ()) ~n_procs:1)
+
+(* ------------------------------------------------------------------ *)
 (* Criticality *)
 
 let test_criticality () =
@@ -262,6 +398,17 @@ let suite =
     Alcotest.test_case "arch: validation" `Quick test_arch_validation;
     Alcotest.test_case "arch: comm delay" `Quick test_arch_comm_delay;
     Alcotest.test_case "arch: accessors" `Quick test_arch_accessors;
+    Alcotest.test_case "interconnect: noc comm delay" `Quick
+      test_noc_comm_delay;
+    Alcotest.test_case "interconnect: noc validation" `Quick
+      test_noc_validation;
+    Alcotest.test_case "interconnect: bus = degenerate noc" `Quick
+      test_bus_degenerate_noc;
+    Alcotest.test_case "interconnect: max link load" `Quick
+      test_max_link_load;
+    qtest qcheck_hops_symmetric;
+    qtest qcheck_route_length_manhattan;
+    qtest qcheck_route_deterministic;
     Alcotest.test_case "criticality" `Quick test_criticality;
     Alcotest.test_case "task: validation" `Quick test_task_validation;
     Alcotest.test_case "channel: validation" `Quick

@@ -89,6 +89,31 @@ let test_engine_chain_timing () =
   check (Alcotest.option Alcotest.int) "stayed normal" None
     o.Engine.critical_at
 
+(* A cross-mesh edge: the receiver's start is pushed out by the XY
+   route's delay, visible in the simulated finish time. *)
+let test_engine_noc_route_delay () =
+  let noc_arch =
+    Arch.make
+      ~interconnect:
+        (Mcmap_model.Interconnect.Noc
+           { cols = 2; rows = 2; link_bandwidth = 2; hop_latency = 1;
+             router_latency = 1 })
+      (Array.init 4 (fun id ->
+           Proc.make ~id ~name:(Format.asprintf "p%d" id) ())) in
+  let g =
+    graph ~name:"g" ~period:100
+      [ ("a", 10, 6); ("b", 20, 12) ]
+      [ (0, 1, 4) ] in
+  (* procs 0 and 3 sit on opposite corners: two hops, so the edge pays
+     router 1 + 2 * hop 1 + ceil 4/2 = 5 time units. *)
+  let js = build ~a:noc_arch [ g ] [ [ decision 0; decision 3 ] ] in
+  let o = Engine.run js ~profile:Fault_profile.none in
+  let b = Jobset.find js ~graph:0 ~task:1 ~instance:0 in
+  check (Alcotest.option Alcotest.int) "b waits out the mesh route"
+    (Some (10 + 5 + 20)) o.Engine.finish.(b.Job.id);
+  check (Alcotest.option Alcotest.int) "graph response includes route"
+    (Some 35) o.Engine.graph_response.(0)
+
 let test_engine_best_case_mode () =
   let g = graph ~name:"g" ~period:100 [ ("a", 10, 6) ] [] in
   let js = build [ g ] [ [ decision 0 ] ] in
@@ -544,6 +569,8 @@ let prop_analysis_covers_simulation =
 let suite =
   [ Alcotest.test_case "engine: chain timing" `Quick
       test_engine_chain_timing;
+    Alcotest.test_case "engine: noc route delay" `Quick
+      test_engine_noc_route_delay;
     Alcotest.test_case "engine: best case" `Quick
       test_engine_best_case_mode;
     Alcotest.test_case "engine: random durations" `Quick

@@ -236,12 +236,83 @@ let test_plan_errors () =
 (* Round-trips over the benchmark suite *)
 
 let arch_equal (a : Arch.t) (b : Arch.t) =
-  a.Arch.bus_bandwidth = b.Arch.bus_bandwidth
-  && a.Arch.bus_latency = b.Arch.bus_latency
+  Mcmap_model.Interconnect.equal a.Arch.interconnect b.Arch.interconnect
   && a.Arch.procs = b.Arch.procs
 
 let apps_equal (a : Appset.t) (b : Appset.t) =
   a.Appset.graphs = b.Appset.graphs
+
+(* The located (interconnect ...) form: the noc backend parses, drives
+   comm delays through the mesh, and round-trips through the writer
+   bit-exactly. The legacy (bus ...) form stays accepted but the writer
+   always emits the interconnect form. *)
+let noc_system_text =
+  {|
+(architecture
+  (interconnect (noc (cols 2) (rows 2) (link-bandwidth 3)
+                     (hop-latency 1) (router-latency 2)))
+  (processor (name cpu0))
+  (processor (name cpu1))
+  (processor (name cpu2)))
+
+(application (name a) (period 100) (critical 1e-4)
+  (task (name t0) (wcet 10))
+  (task (name t1) (wcet 8))
+  (channel (from t0) (to t1) (size 4)))
+|}
+
+let test_read_noc_system () =
+  match Spec.read_system noc_system_text with
+  | Error e -> Alcotest.fail e
+  | Ok system ->
+    let expected =
+      Mcmap_model.Interconnect.Noc
+        { cols = 2; rows = 2; link_bandwidth = 3; hop_latency = 1;
+          router_latency = 2 } in
+    check Alcotest.bool "interconnect parsed" true
+      (Mcmap_model.Interconnect.equal expected
+         system.Spec.arch.Arch.interconnect);
+    (* cpu0 = (0,0), cpu2 = (0,1): one hop, ceil 4/3 = 2 *)
+    check Alcotest.int "delay follows the mesh" (2 + 1 + 2)
+      (Arch.comm_delay system.Spec.arch ~size:4 ~src_proc:0 ~dst_proc:2);
+    let written = Spec.write_system system in
+    check Alcotest.bool "writer emits the interconnect form" true
+      (let rec contains i =
+         i + 12 <= String.length written
+         && (String.sub written i 12 = "interconnect" || contains (i + 1))
+       in
+       contains 0);
+    (match Spec.read_system written with
+     | Error e -> Alcotest.fail e
+     | Ok back ->
+       check Alcotest.bool "noc system round-trips" true
+         (Mcmap_model.Interconnect.equal
+            system.Spec.arch.Arch.interconnect
+            back.Spec.arch.Arch.interconnect))
+
+let test_interconnect_errors () =
+  expect_error "bus and interconnect together"
+    (Spec.read_system
+       {|(architecture
+           (bus (bandwidth 2))
+           (interconnect (bus (bandwidth 2)))
+           (processor (name p)))
+         (application (name a) (period 10) (droppable 1)
+           (task (name t) (wcet 5)))|});
+  expect_error "noc without cols"
+    (Spec.read_system
+       {|(architecture
+           (interconnect (noc (rows 2)))
+           (processor (name p)))
+         (application (name a) (period 10) (droppable 1)
+           (task (name t) (wcet 5)))|});
+  expect_error "two backends in one interconnect"
+    (Spec.read_system
+       {|(architecture
+           (interconnect (bus (bandwidth 1)) (noc (cols 1) (rows 1)))
+           (processor (name p)))
+         (application (name a) (period 10) (droppable 1)
+           (task (name t) (wcet 5)))|})
 
 let test_roundtrip_benchmarks () =
   List.iter
@@ -358,6 +429,10 @@ let suite =
     Alcotest.test_case "system: error positions" `Quick
       test_error_positions;
     Alcotest.test_case "plan: errors" `Quick test_plan_errors;
+    Alcotest.test_case "system: noc interconnect" `Quick
+      test_read_noc_system;
+    Alcotest.test_case "system: interconnect errors" `Quick
+      test_interconnect_errors;
     Alcotest.test_case "round-trip: benchmarks" `Quick
       test_roundtrip_benchmarks;
     Alcotest.test_case "round-trip: sample plans" `Quick
